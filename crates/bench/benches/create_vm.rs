@@ -1,0 +1,43 @@
+//! Criterion benches: one create+destroy cycle per toolstack mode at a
+//! steady density of 50 resident guests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guests::GuestImage;
+use simcore::{Machine, MachinePreset};
+use toolstack::{ControlPlane, ToolstackMode};
+
+fn bench_create(c: &mut Criterion) {
+    let image = GuestImage::unikernel_daytime();
+    let mut group = c.benchmark_group("create_vm");
+    for mode in [
+        ToolstackMode::Xl,
+        ToolstackMode::ChaosXs,
+        ToolstackMode::ChaosNoxs,
+        ToolstackMode::LightVm,
+    ] {
+        let mut cp = ControlPlane::new(
+            Machine::preset(MachinePreset::XeonE5_1630V3),
+            1,
+            mode,
+            42,
+        );
+        cp.prewarm(&image);
+        for i in 0..50 {
+            cp.create_and_boot(&format!("resident-{i}"), &image).unwrap();
+        }
+        let mut k = 0u64;
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                k += 1;
+                let (dom, _, _) = cp
+                    .create_and_boot(&format!("bench-{k}"), &image)
+                    .unwrap();
+                cp.destroy_vm(dom).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_create);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches of the simulation core's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::{CpuSim, Engine, SimTime};
+
+fn bench_cpu(c: &mut Criterion) {
+    c.bench_function("cpusim_recompute_1000_tasks", |b| {
+        let mut cpu = CpuSim::new(4, 1.0);
+        for i in 0..1000 {
+            cpu.add_background(i % 4, 0.0005);
+        }
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let id = cpu.add_finite(0, 1.0);
+            let r = cpu.rate_of(id);
+            cpu.remove(id);
+            r
+        })
+    });
+    c.bench_function("engine_schedule_fire_1000", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            for i in 0..1000u64 {
+                e.schedule_at(SimTime::from_micros(i), |_| {});
+            }
+            e.run();
+            e.events_fired()
+        })
+    });
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benches of the Tinyx build pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tinyx::{KernelBuilder, Platform, TinyxBuilder};
+
+fn bench_tinyx(c: &mut Criterion) {
+    c.bench_function("tinyx_full_build_nginx", |b| {
+        let builder = TinyxBuilder::new(Platform::Xen);
+        b.iter(|| builder.build("nginx").unwrap())
+    });
+    c.bench_function("kernel_minimize_nginx", |b| {
+        let db = tinyx::PackageDb::standard();
+        let app = db.app("nginx").unwrap().clone();
+        b.iter(|| KernelBuilder::tinyx_kernel(Platform::Xen, &app))
+    });
+    c.bench_function("package_closure_python", |b| {
+        let db = tinyx::PackageDb::standard();
+        b.iter(|| db.closure(["python3-minimal", "nginx", "redis-server"]).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_tinyx);
+criterion_main!(benches);

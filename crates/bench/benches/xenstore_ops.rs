@@ -1,0 +1,57 @@
+//! Criterion benches of the XenStore hot paths at two store populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::{CostModel, Meter};
+use xenstore::{Flavor, XsPath, Xenstored};
+
+fn populated(n: usize) -> Xenstored {
+    let mut xs = Xenstored::new(Flavor::Oxenstored, 1);
+    let cost = CostModel::paper_defaults();
+    let mut m = Meter::new();
+    for i in 0..n {
+        let p = XsPath::parse(&format!("/local/domain/{i}/name")).unwrap();
+        xs.write(&cost, &mut m, 0, &p, b"guest").unwrap();
+    }
+    xs
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let cost = CostModel::paper_defaults();
+    let mut group = c.benchmark_group("xenstore");
+    for &n in &[100usize, 5000] {
+        let mut xs = populated(n);
+        let path = XsPath::parse("/local/domain/1/name").unwrap();
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Meter::new();
+                xs.read(&cost, &mut m, 0, &path).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("write", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Meter::new();
+                xs.write(&cost, &mut m, 0, &path, b"v").unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("txn_commit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Meter::new();
+                xs.transaction(&cost, &mut m, 0, 4, |xs, cost, m, id| {
+                    xs.txn_write(cost, m, 0, id, &path, b"t")
+                })
+                .unwrap()
+            })
+        });
+        let dir = XsPath::parse("/local/domain").unwrap();
+        group.bench_with_input(BenchmarkId::new("directory", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Meter::new();
+                xs.directory(&cost, &mut m, 0, &dir).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Figure 12a: save (checkpoint) times vs density.
+
+use bench::checkpoint_sweep;
+
+fn main() {
+    checkpoint_sweep("fig12a", "Save times (daytime unikernel)", true);
+}

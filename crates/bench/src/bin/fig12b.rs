@@ -1,0 +1,7 @@
+//! Figure 12b: restore times vs density.
+
+use bench::checkpoint_sweep;
+
+fn main() {
+    checkpoint_sweep("fig12b", "Restore times (daytime unikernel)", false);
+}

@@ -1,0 +1,173 @@
+//! Shared helpers for the figure-regeneration binaries.
+
+use std::path::PathBuf;
+
+use metrics::Figure;
+
+/// Where figure artefacts (.json/.csv) are written.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("LIGHTVM_FIG_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"))
+}
+
+/// Prints the figure as a table sampled at `xs` and writes the artefacts.
+pub fn finish(fig: &Figure, xs: &[f64]) {
+    print!("{}", fig.render_table(xs));
+    let dir = out_dir();
+    match fig.write_files(&dir) {
+        Ok(()) => println!("# wrote {}/{}.{{json,csv}}", dir.display(), fig.id),
+        Err(e) => eprintln!("# WARNING: could not write artefacts: {e}"),
+    }
+}
+
+/// Densities at which the sweep binaries measure (denser at the start,
+/// then every 50 up to `max`).
+pub fn density_steps(max: usize) -> Vec<usize> {
+    let mut steps = vec![1, 2, 5, 10, 20, 35, 50, 75, 100];
+    let mut n = 150;
+    while n <= max {
+        steps.push(n);
+        n += 50;
+    }
+    steps.retain(|&s| s <= max);
+    if steps.last() != Some(&max) {
+        steps.push(max);
+    }
+    steps
+}
+
+/// Whether a quick (reduced-scale) run was requested.
+pub fn quick() -> bool {
+    std::env::var_os("LIGHTVM_QUICK").is_some()
+}
+
+/// Scale factor for run sizes: full scale by default, 1/10 with
+/// `LIGHTVM_QUICK=1`.
+pub fn scaled(n: usize) -> usize {
+    if quick() {
+        (n / 10).max(10)
+    } else {
+        n
+    }
+}
+
+use guests::GuestImage;
+use simcore::{Machine, SimTime};
+use toolstack::{ControlPlane, ToolstackMode};
+
+/// One guest's create/boot measurement within a density sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Guests already running when this one was created.
+    pub n_before: usize,
+    /// Toolstack creation latency.
+    pub create: SimTime,
+    /// Guest boot latency.
+    pub boot: SimTime,
+}
+
+/// Sequentially creates and boots `n` guests of `image` under `mode`,
+/// returning one point per guest (the Figure 4/9/11 methodology).
+pub fn sweep_create_boot(
+    machine: Machine,
+    dom0_cores: usize,
+    mode: ToolstackMode,
+    image: &GuestImage,
+    n: usize,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let mut cp = ControlPlane::new(machine, dom0_cores, mode, seed);
+    cp.prewarm(image);
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        let n_before = cp.running_count();
+        let (_, create, boot) = cp
+            .create_and_boot(&format!("{}-{i}", image.name), image)
+            .expect("density sweep create");
+        points.push(SweepPoint {
+            n_before,
+            create,
+            boot,
+        });
+    }
+    points
+}
+
+/// Extracts an (x = index, y = value ms) series from sweep points.
+pub fn series_ms(
+    label: &str,
+    points: &[SweepPoint],
+    f: impl Fn(&SweepPoint) -> SimTime,
+) -> metrics::Series {
+    metrics::Series::from_points(
+        label,
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64 + 1.0, f(p).as_millis_f64())),
+    )
+}
+
+/// Shared driver for Figures 12a/12b: with N guests running, checkpoint
+/// 10 randomly chosen ones and restore them, recording the averages.
+pub fn checkpoint_sweep(id: &str, title: &str, plot_save: bool) {
+    use simcore::{MachinePreset, SimRng};
+
+    let max = scaled(1000);
+    let steps = density_steps(max);
+    let image = GuestImage::unikernel_daytime();
+    let mut fig = metrics::Figure::new(
+        id,
+        title,
+        "number of running VMs",
+        "time (ms)",
+    );
+    let modes: &[ToolstackMode] = if plot_save {
+        &[ToolstackMode::Xl, ToolstackMode::ChaosXs, ToolstackMode::LightVm]
+    } else {
+        &[
+            ToolstackMode::Xl,
+            ToolstackMode::ChaosXs,
+            ToolstackMode::ChaosNoxs,
+            ToolstackMode::LightVm,
+        ]
+    };
+    for &mode in modes {
+        let mut cp = ControlPlane::new(
+            Machine::preset(MachinePreset::XeonE5_1630V3),
+            2,
+            mode,
+            42,
+        );
+        cp.prewarm(&image);
+        let mut rng = SimRng::new(11);
+        let mut s = metrics::Series::new(mode.label());
+        let mut made = 0usize;
+        for &n in &steps {
+            while cp.running_count() < n {
+                cp.create_and_boot(&format!("vm-{made}"), &image)
+                    .expect("creates");
+                made += 1;
+            }
+            let doms: Vec<_> = cp.vms().map(|(d, _)| *d).collect();
+            let k = 10.min(doms.len());
+            let picks = rng.sample_distinct(doms.len(), k);
+            let mut save_ms = 0.0;
+            let mut restore_ms = 0.0;
+            for idx in picks {
+                let (saved, t_save) = cp.save_vm(doms[idx]).expect("saves");
+                let (_, t_restore) = cp.restore_vm(&saved).expect("restores");
+                save_ms += t_save.as_millis_f64();
+                restore_ms += t_restore.as_millis_f64();
+            }
+            let avg = if plot_save { save_ms } else { restore_ms } / k as f64;
+            s.push(n as f64, avg);
+        }
+        fig.push_series(s);
+        eprintln!("# swept {}", mode.label());
+    }
+    fig.set_meta("machine", "Xeon E5-1630 v3, 2 Dom0 cores");
+    let xs: Vec<f64> = steps.iter().map(|&v| v as f64).collect();
+    finish(&fig, &xs);
+}

@@ -1,0 +1,83 @@
+//! Container images: layers plus runtime characteristics.
+
+const KIB: u64 = 1 << 10;
+const MIB: u64 = 1 << 20;
+
+/// A container image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContainerImage {
+    /// Image name.
+    pub name: &'static str,
+    /// Layer sizes (overlayfs mounts at start).
+    pub layer_sizes: Vec<u64>,
+    /// CPU-seconds of application start-up work inside the container.
+    pub app_start_work: f64,
+    /// Resident memory per running instance, bytes.
+    pub mem_per_instance: u64,
+    /// Idle background CPU demand (fraction of a core).
+    pub idle_demand: f64,
+}
+
+impl ContainerImage {
+    /// Total image size.
+    pub fn total_size(&self) -> u64 {
+        self.layer_sizes.iter().sum()
+    }
+
+    /// The noop/busybox image used for the density tests (Figures 4, 10,
+    /// 11, 15). Its resident set is what limited the paper's Docker run
+    /// to ~3,000 containers on 128 GiB.
+    pub fn noop() -> ContainerImage {
+        ContainerImage {
+            name: "busybox-noop",
+            layer_sizes: vec![1_100 * KIB, 48 * KIB],
+            app_start_work: 0.045,
+            mem_per_instance: 38 * MIB,
+            idle_demand: 0.00001,
+        }
+    }
+
+    /// The Micropython image used for the memory-footprint comparison
+    /// (Figure 14: ~5 GB for 1,000 containers).
+    pub fn micropython() -> ContainerImage {
+        ContainerImage {
+            name: "micropython",
+            layer_sizes: vec![1_100 * KIB, 600 * KIB, 450 * KIB],
+            app_start_work: 0.050,
+            mem_per_instance: 5 * MIB,
+            idle_demand: 0.00001,
+        }
+    }
+
+    /// An nginx image (TLS-termination baseline contexts).
+    pub fn nginx() -> ContainerImage {
+        ContainerImage {
+            name: "nginx",
+            layer_sizes: vec![1_100 * KIB, 4 * MIB, 11 * MIB],
+            app_start_work: 0.110,
+            mem_per_instance: 12 * MIB,
+            idle_demand: 0.00002,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        for img in [ContainerImage::noop(), ContainerImage::micropython(), ContainerImage::nginx()] {
+            assert!(!img.layer_sizes.is_empty());
+            assert!(img.total_size() > 0);
+            assert!(img.app_start_work > 0.0);
+            assert!(img.mem_per_instance > 0);
+        }
+    }
+
+    #[test]
+    fn micropython_container_is_about_5_mib() {
+        // Figure 14: 1,000 Docker/Micropython containers ≈ 5 GB.
+        assert_eq!(ContainerImage::micropython().mem_per_instance, 5 * MIB);
+    }
+}

@@ -1,0 +1,64 @@
+//! The unrelenting growth of the Linux syscall API (Figure 1).
+//!
+//! "Linux, for instance, has 400 different system calls, most with
+//! multiple parameters and many with overlapping functionality; moreover,
+//! the number of syscalls is constantly increasing" (paper §1). The
+//! counts below track the x86_32 syscall table across representative
+//! releases; the exact per-release values are approximate, the monotone
+//! growth and range (≈230 → ≈390) match the paper's figure.
+
+/// One release point of the syscall-count history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyscallRelease {
+    /// Release year.
+    pub year: u32,
+    /// Kernel version string.
+    pub version: &'static str,
+    /// Number of entries in the x86_32 syscall table.
+    pub syscalls: u32,
+}
+
+/// The x86_32 syscall-count history from 2002 to 2018.
+pub fn syscall_history() -> &'static [SyscallRelease] {
+    &[
+        SyscallRelease { year: 2002, version: "2.4.19", syscalls: 239 },
+        SyscallRelease { year: 2003, version: "2.6.0", syscalls: 274 },
+        SyscallRelease { year: 2004, version: "2.6.9", syscalls: 291 },
+        SyscallRelease { year: 2006, version: "2.6.16", syscalls: 311 },
+        SyscallRelease { year: 2008, version: "2.6.25", syscalls: 327 },
+        SyscallRelease { year: 2010, version: "2.6.33", syscalls: 338 },
+        SyscallRelease { year: 2012, version: "3.3", syscalls: 349 },
+        SyscallRelease { year: 2014, version: "3.14", syscalls: 354 },
+        SyscallRelease { year: 2016, version: "4.8", syscalls: 379 },
+        SyscallRelease { year: 2018, version: "4.17", syscalls: 387 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_monotone() {
+        let h = syscall_history();
+        for w in h.windows(2) {
+            assert!(w[1].year > w[0].year);
+            assert!(w[1].syscalls > w[0].syscalls, "{:?}", w);
+        }
+    }
+
+    #[test]
+    fn range_matches_figure_one() {
+        let h = syscall_history();
+        assert!(h.first().unwrap().syscalls >= 200);
+        assert!(h.last().unwrap().syscalls <= 400);
+        assert!(h.last().unwrap().syscalls - h.first().unwrap().syscalls > 100);
+    }
+
+    #[test]
+    fn covers_the_figure_x_axis() {
+        let h = syscall_history();
+        assert_eq!(h.first().unwrap().year, 2002);
+        assert_eq!(h.last().unwrap().year, 2018);
+    }
+}

@@ -1,0 +1,175 @@
+//! The host facade.
+
+use guests::GuestImage;
+use hypervisor::DomId;
+use lvnet::Link;
+use simcore::{Machine, MachinePreset, SimTime};
+use toolstack::{ControlPlane, PlaneError, SavedVm, ToolstackMode};
+
+/// A VM launched through [`Host::launch`].
+#[derive(Clone, Debug)]
+pub struct LaunchedVm {
+    /// The domain id.
+    pub dom: DomId,
+    /// Toolstack-side creation latency.
+    pub create_time: SimTime,
+    /// Guest-side boot latency.
+    pub boot_time: SimTime,
+}
+
+/// A LightVM host: a machine plus its control plane.
+///
+/// Thin sugar over [`ControlPlane`] — it names guests, couples
+/// create+boot, and exposes the checkpoint/migration operations. The
+/// underlying plane is public for anything finer-grained.
+pub struct Host {
+    /// The control plane (fully accessible).
+    pub plane: ControlPlane,
+    next_name: u64,
+}
+
+impl Host {
+    /// Creates a host from a machine preset.
+    pub fn new(
+        preset: MachinePreset,
+        dom0_cores: usize,
+        mode: ToolstackMode,
+        seed: u64,
+    ) -> Host {
+        Host {
+            plane: ControlPlane::new(Machine::preset(preset), dom0_cores, mode, seed),
+            next_name: 0,
+        }
+    }
+
+    /// Creates a host from a custom machine.
+    pub fn with_machine(
+        machine: Machine,
+        dom0_cores: usize,
+        mode: ToolstackMode,
+        seed: u64,
+    ) -> Host {
+        Host {
+            plane: ControlPlane::new(machine, dom0_cores, mode, seed),
+            next_name: 0,
+        }
+    }
+
+    /// Pre-fills the split-toolstack pool for `image` (no-op in
+    /// non-split modes).
+    pub fn prewarm(&mut self, image: &GuestImage) {
+        self.plane.prewarm(image);
+    }
+
+    /// Creates and boots a VM under the given name.
+    pub fn launch(&mut self, name: &str, image: &GuestImage) -> Result<LaunchedVm, PlaneError> {
+        let (dom, create_time, boot_time) = self.plane.create_and_boot(name, image)?;
+        Ok(LaunchedVm {
+            dom,
+            create_time,
+            boot_time,
+        })
+    }
+
+    /// Creates and boots a VM with an auto-generated name.
+    pub fn launch_auto(&mut self, image: &GuestImage) -> Result<LaunchedVm, PlaneError> {
+        let name = format!("{}-{}", image.name, self.next_name);
+        self.next_name += 1;
+        self.launch(&name, image)
+    }
+
+    /// Destroys a VM.
+    pub fn destroy(&mut self, dom: DomId) -> Result<SimTime, PlaneError> {
+        self.plane.destroy_vm(dom)
+    }
+
+    /// Checkpoints a VM to the ramdisk.
+    pub fn save(&mut self, dom: DomId) -> Result<(SavedVm, SimTime), PlaneError> {
+        self.plane.save_vm(dom)
+    }
+
+    /// Restores a checkpointed VM.
+    pub fn restore(&mut self, saved: &SavedVm) -> Result<(DomId, SimTime), PlaneError> {
+        self.plane.restore_vm(saved)
+    }
+
+    /// Migrates a VM to another host over `link`.
+    pub fn migrate_to(
+        &mut self,
+        dst: &mut Host,
+        link: &Link,
+        dom: DomId,
+    ) -> Result<(DomId, SimTime), PlaneError> {
+        self.plane.migrate_vm_to(&mut dst.plane, link, dom)
+    }
+
+    /// Number of VMs on this host.
+    pub fn running(&self) -> usize {
+        self.plane.running_count()
+    }
+
+    /// Guest memory in use, bytes.
+    pub fn memory_used(&self) -> u64 {
+        self.plane.guest_memory_used()
+    }
+
+    /// Machine-wide CPU utilisation (0..=1).
+    pub fn cpu_utilization(&self) -> f64 {
+        self.plane.cpu_utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_auto_names_are_unique() {
+        let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 1);
+        let img = GuestImage::unikernel_daytime();
+        let a = host.launch_auto(&img).unwrap();
+        let b = host.launch_auto(&img).unwrap();
+        assert_ne!(a.dom, b.dom);
+        assert_eq!(host.running(), 2);
+        assert_ne!(
+            host.plane.vm(a.dom).unwrap().name,
+            host.plane.vm(b.dom).unwrap().name
+        );
+    }
+
+    #[test]
+    fn save_restore_through_the_facade() {
+        let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 2);
+        let img = GuestImage::unikernel_daytime();
+        let vm = host.launch_auto(&img).unwrap();
+        let (saved, t_save) = host.save(vm.dom).unwrap();
+        assert_eq!(host.running(), 0);
+        let (_, t_restore) = host.restore(&saved).unwrap();
+        assert_eq!(host.running(), 1);
+        assert!(t_save < SimTime::from_millis(60));
+        assert!(t_restore < SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn migration_through_the_facade() {
+        let mut a = Host::new(MachinePreset::XeonE5_1630V3, 2, ToolstackMode::LightVm, 3);
+        let mut b = Host::new(MachinePreset::XeonE5_1630V3, 2, ToolstackMode::LightVm, 4);
+        let img = GuestImage::unikernel_daytime();
+        let vm = a.launch_auto(&img).unwrap();
+        let (_, t) = a.migrate_to(&mut b, &Link::datacenter(), vm.dom).unwrap();
+        assert_eq!(a.running(), 0);
+        assert_eq!(b.running(), 1);
+        assert!(t < SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn metrics_accessors_work() {
+        let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 5);
+        let img = GuestImage::unikernel_minipython();
+        for _ in 0..4 {
+            host.launch_auto(&img).unwrap();
+        }
+        assert_eq!(host.memory_used(), 4 * img.footprint_bytes());
+        assert!(host.cpu_utilization() >= 0.0);
+    }
+}

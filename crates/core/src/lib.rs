@@ -1,0 +1,51 @@
+//! LightVM: lightweight virtualization with VM-grade isolation
+//! (reproduction of Manco et al., *My VM is Lighter (and Safer) than your
+//! Container*, SOSP 2017).
+//!
+//! This crate is the top of the stack: a [`Host`] facade over the
+//! simulated Xen control plane ([`toolstack::ControlPlane`]) plus the
+//! paper's four §7 use cases as runnable library modules:
+//!
+//! - [`usecases::firewall`]: per-user personal firewalls at the mobile
+//!   edge (Figure 16a);
+//! - [`usecases::jit`]: just-in-time service instantiation (Figure 16b);
+//! - [`usecases::tls`]: high-density TLS termination (Figure 16c);
+//! - [`usecases::compute`]: an Amazon-Lambda-like Minipython compute
+//!   service (Figures 17 and 18).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lightvm::{Host, ToolstackMode};
+//! use lightvm::guests::GuestImage;
+//! use simcore::MachinePreset;
+//!
+//! // A 4-core host driven by the full LightVM control plane.
+//! let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 42);
+//! let image = GuestImage::unikernel_daytime();
+//! host.prewarm(&image);
+//! let vm = host.launch("my-first-vm", &image).unwrap();
+//! // Millisecond-scale instantiation:
+//! assert!((vm.create_time + vm.boot_time).as_millis_f64() < 10.0);
+//! ```
+
+pub mod cli;
+pub mod host;
+pub mod usecases;
+
+pub use host::{Host, LaunchedVm};
+pub use toolstack::{ControlPlane, CreateReport, PlaneError, SavedVm, ToolstackMode, VmConfig};
+
+// Re-export the substrate crates under stable names so downstream users
+// need only depend on `lightvm`.
+pub use container;
+pub use devices;
+pub use guests;
+pub use hypervisor;
+pub use lvnet as net;
+pub use metrics;
+pub use noxs;
+pub use simcore;
+pub use tinyx;
+pub use toolstack;
+pub use xenstore;

@@ -1,0 +1,6 @@
+//! The paper's §7 use cases as runnable library modules.
+
+pub mod compute;
+pub mod firewall;
+pub mod jit;
+pub mod tls;

@@ -1,0 +1,31 @@
+//! Virtual devices: split drivers, the xenbus handshake, hotplug and the
+//! software switch.
+//!
+//! Xen's split-driver model (paper §4.1) puts a back-end driver in Dom0
+//! (netback, blkback) talking over shared memory to a front-end driver in
+//! the guest (netfront, blkfront), with event channels for notification.
+//! Devices are negotiated through the *xenbus* state machine; under stock
+//! Xen the negotiation state lives in the XenStore, under noxs it flows
+//! through device/control pages.
+//!
+//! This crate implements:
+//!
+//! - [`xenbus`]: the device state machine;
+//! - [`backend`]: back-end drivers allocating channels/grants and serving
+//!   connections (used by both the XenStore path and the noxs path);
+//! - [`xsdev`]: the full XenStore-mediated device creation handshake of
+//!   Figure 7a;
+//! - [`hotplug`]: the user-space device setup step — slow bash scripts
+//!   via udev vs the paper's `xendevd` binary daemon (§5.3);
+//! - [`switch`]: the Dom0 software switch vifs are plugged into.
+
+pub mod backend;
+pub mod hotplug;
+pub mod switch;
+pub mod xenbus;
+pub mod xsdev;
+
+pub use backend::{Backend, BackendDevice, DevError};
+pub use hotplug::Hotplug;
+pub use switch::SoftwareSwitch;
+pub use xenbus::XenbusState;

@@ -1,0 +1,122 @@
+//! The Dom0 software switch (Open vSwitch stand-in).
+//!
+//! Muxes/demuxes packets between physical NICs and guest vifs (paper
+//! §4.1). For the control-plane experiments only port management matters;
+//! data-path behaviour (throughput sharing, overload) lives in `lvnet`.
+
+use std::collections::BTreeMap;
+
+use hypervisor::DomId;
+use simcore::{Category, CostModel, Meter};
+
+/// Switch errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchError {
+    /// Port name already attached.
+    PortExists,
+    /// No such port.
+    NoSuchPort,
+}
+
+/// A software switch: named ports mapping to guest domains.
+#[derive(Default, Debug)]
+pub struct SoftwareSwitch {
+    ports: BTreeMap<String, DomId>,
+}
+
+impl SoftwareSwitch {
+    /// Creates an empty switch.
+    pub fn new() -> SoftwareSwitch {
+        SoftwareSwitch::default()
+    }
+
+    /// Attaches a vif port.
+    pub fn add_port(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        name: &str,
+        dom: DomId,
+    ) -> Result<(), SwitchError> {
+        meter.charge(Category::Devices, cost.switch_add_port);
+        if self.ports.contains_key(name) {
+            return Err(SwitchError::PortExists);
+        }
+        self.ports.insert(name.to_string(), dom);
+        Ok(())
+    }
+
+    /// Detaches a vif port.
+    pub fn del_port(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        name: &str,
+    ) -> Result<(), SwitchError> {
+        meter.charge(Category::Devices, cost.switch_del_port);
+        self.ports.remove(name).map(|_| ()).ok_or(SwitchError::NoSuchPort)
+    }
+
+    /// Detaches every port of a domain (domain death).
+    pub fn drop_domain(&mut self, dom: DomId) -> usize {
+        let before = self.ports.len();
+        self.ports.retain(|_, d| *d != dom);
+        before - self.ports.len()
+    }
+
+    /// The domain behind a port.
+    pub fn port_owner(&self, name: &str) -> Option<DomId> {
+        self.ports.get(name).copied()
+    }
+
+    /// Number of attached ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Conventional vif port name.
+    pub fn vif_name(dom: DomId, devid: u32) -> String {
+        format!("vif{}.{}", dom.0, devid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_del_ports() {
+        let cost = CostModel::paper_defaults();
+        let mut m = Meter::new();
+        let mut sw = SoftwareSwitch::new();
+        sw.add_port(&cost, &mut m, "vif1.0", DomId(1)).unwrap();
+        assert_eq!(sw.port_owner("vif1.0"), Some(DomId(1)));
+        assert_eq!(
+            sw.add_port(&cost, &mut m, "vif1.0", DomId(2)).unwrap_err(),
+            SwitchError::PortExists
+        );
+        sw.del_port(&cost, &mut m, "vif1.0").unwrap();
+        assert_eq!(
+            sw.del_port(&cost, &mut m, "vif1.0").unwrap_err(),
+            SwitchError::NoSuchPort
+        );
+        assert!(m.of(Category::Devices) > simcore::SimTime::ZERO);
+    }
+
+    #[test]
+    fn drop_domain_clears_its_ports() {
+        let cost = CostModel::paper_defaults();
+        let mut m = Meter::new();
+        let mut sw = SoftwareSwitch::new();
+        sw.add_port(&cost, &mut m, "vif1.0", DomId(1)).unwrap();
+        sw.add_port(&cost, &mut m, "vif1.1", DomId(1)).unwrap();
+        sw.add_port(&cost, &mut m, "vif2.0", DomId(2)).unwrap();
+        assert_eq!(sw.drop_domain(DomId(1)), 2);
+        assert_eq!(sw.port_count(), 1);
+    }
+
+    #[test]
+    fn vif_names_follow_convention() {
+        assert_eq!(SoftwareSwitch::vif_name(DomId(12), 0), "vif12.0");
+    }
+}

@@ -1,0 +1,102 @@
+//! The xenbus device state machine.
+
+use std::fmt;
+
+/// Negotiation states of a split device, as defined by
+/// `xen/include/public/io/xenbus.h`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XenbusState {
+    /// Initial state of a freshly written device entry.
+    Initialising,
+    /// Back-end waits for the front-end to initialise.
+    InitWait,
+    /// Front-end has published its ring references.
+    Initialised,
+    /// Data path is live.
+    Connected,
+    /// Tear-down in progress.
+    Closing,
+    /// Device is closed.
+    Closed,
+}
+
+impl XenbusState {
+    /// Numeric encoding used in the store.
+    pub fn as_num(self) -> u8 {
+        match self {
+            XenbusState::Initialising => 1,
+            XenbusState::InitWait => 2,
+            XenbusState::Initialised => 3,
+            XenbusState::Connected => 4,
+            XenbusState::Closing => 5,
+            XenbusState::Closed => 6,
+        }
+    }
+
+    /// Parses the numeric encoding.
+    pub fn from_num(n: u8) -> Option<XenbusState> {
+        Some(match n {
+            1 => XenbusState::Initialising,
+            2 => XenbusState::InitWait,
+            3 => XenbusState::Initialised,
+            4 => XenbusState::Connected,
+            5 => XenbusState::Closing,
+            6 => XenbusState::Closed,
+            _ => return None,
+        })
+    }
+
+    /// Whether `next` is a legal successor in the handshake.
+    pub fn can_transition_to(self, next: XenbusState) -> bool {
+        use XenbusState::*;
+        matches!(
+            (self, next),
+            (Initialising, InitWait)
+                | (Initialising, Closed)
+                | (InitWait, Initialised)
+                | (InitWait, Closing)
+                | (Initialised, Connected)
+                | (Initialised, Closing)
+                | (Connected, Closing)
+                | (Closing, Closed)
+        )
+    }
+}
+
+impl fmt::Display for XenbusState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_num())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_round_trip() {
+        for n in 1..=6u8 {
+            let s = XenbusState::from_num(n).unwrap();
+            assert_eq!(s.as_num(), n);
+        }
+        assert!(XenbusState::from_num(0).is_none());
+        assert!(XenbusState::from_num(7).is_none());
+    }
+
+    #[test]
+    fn happy_path_is_legal() {
+        use XenbusState::*;
+        let path = [Initialising, InitWait, Initialised, Connected, Closing, Closed];
+        for w in path.windows(2) {
+            assert!(w[0].can_transition_to(w[1]), "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn illegal_jumps_rejected() {
+        use XenbusState::*;
+        assert!(!Initialising.can_transition_to(Connected));
+        assert!(!Closed.can_transition_to(Connected));
+        assert!(!Connected.can_transition_to(Initialising));
+    }
+}

@@ -1,0 +1,396 @@
+//! XenStore-mediated device creation: the full Figure 7a handshake.
+//!
+//! 1. The toolstack writes the front-end and back-end store entries in a
+//!    transaction, "essentially announcing the existence of a new VM in
+//!    need of a network device".
+//! 2. The back-end, watching its backend directory, is triggered: it
+//!    assigns an event channel and grant reference and writes them back
+//!    to the store.
+//! 3. When the VM boots it contacts the XenStore to retrieve the details
+//!    the back-end published, binds, maps and connects.
+//!
+//! Every store access pays the protocol tax; the watch-driven back-end
+//! activation and the transactional writes are the load the paper
+//! measures in Figure 5's "xenstore" band.
+
+use hypervisor::{DeviceKind, DomId, Hypervisor};
+use simcore::{CostModel, Meter};
+use xenstore::path::layout;
+use xenstore::{XsError, XsPath, Xenstored};
+
+use crate::backend::{Backend, DevError};
+use crate::hotplug::Hotplug;
+use crate::switch::SoftwareSwitch;
+use crate::xenbus::XenbusState;
+
+/// Watch token back-ends use for their backend directory.
+const BACKEND_TOKEN: &str = "backend-watch";
+
+/// How many times libxl retries a conflicted transaction before giving up.
+pub const TXN_RETRIES: usize = 8;
+
+/// Store-level failure wrapper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XsDevError {
+    /// Store operation failed.
+    Xs(XsError),
+    /// Device-level failure.
+    Dev(DevError),
+}
+
+impl From<XsError> for XsDevError {
+    fn from(e: XsError) -> Self {
+        XsDevError::Xs(e)
+    }
+}
+impl From<DevError> for XsDevError {
+    fn from(e: DevError) -> Self {
+        XsDevError::Dev(e)
+    }
+}
+
+/// Registers the back-end's watch on its backend directory (done once at
+/// back-end start-up).
+pub fn register_backend_watch(
+    xs: &mut Xenstored,
+    cost: &CostModel,
+    meter: &mut Meter,
+    kind: DeviceKind,
+) {
+    let path = XsPath::parse(&format!("/local/domain/0/backend/{}", kind.as_str()))
+        .expect("static path");
+    xs.watch(cost, meter, 0, &path, BACKEND_TOKEN);
+    let _ = xs.take_events(cost, meter, 0); // drain the registration event
+}
+
+/// Step 1: the toolstack announces the device by writing the front-end
+/// and back-end entries in one transaction.
+pub fn toolstack_announce_device(
+    xs: &mut Xenstored,
+    cost: &CostModel,
+    meter: &mut Meter,
+    kind: DeviceKind,
+    dom: DomId,
+    devid: u32,
+    mac: &str,
+) -> Result<(), XsDevError> {
+    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
+    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
+    let mac = mac.to_string();
+    xs.transaction(cost, meter, 0, TXN_RETRIES, |xs, cost, meter, id| {
+        // Front-end side.
+        xs.txn_write(cost, meter, 0, id, &fe.child("backend").expect("valid"), be.as_str().as_bytes())?;
+        xs.txn_write(cost, meter, 0, id, &fe.child("backend-id").expect("valid"), b"0")?;
+        xs.txn_write(cost, meter, 0, id, &fe.child("handle").expect("valid"), devid.to_string().as_bytes())?;
+        xs.txn_write(
+            cost,
+            meter,
+            0,
+            id,
+            &fe.child("state").expect("valid"),
+            XenbusState::Initialising.to_string().as_bytes(),
+        )?;
+        // Back-end side.
+        xs.txn_write(cost, meter, 0, id, &be.child("frontend").expect("valid"), fe.as_str().as_bytes())?;
+        xs.txn_write(
+            cost,
+            meter,
+            0,
+            id,
+            &be.child("frontend-id").expect("valid"),
+            dom.0.to_string().as_bytes(),
+        )?;
+        xs.txn_write(cost, meter, 0, id, &be.child("mac").expect("valid"), mac.as_bytes())?;
+        xs.txn_write(cost, meter, 0, id, &be.child("online").expect("valid"), b"1")?;
+        xs.txn_write(
+            cost,
+            meter,
+            0,
+            id,
+            &be.child("state").expect("valid"),
+            XenbusState::Initialising.to_string().as_bytes(),
+        )
+    })?;
+    // Hand the front-end directory to the guest (libxl sets permissions
+    // so the guest can update its own `state` node).
+    let guest_owned = xenstore::Perms {
+        owner: dom.0,
+        others_read: true,
+        others_write: false,
+    };
+    xs.set_perms(cost, meter, 0, &fe, guest_owned)?;
+    xs.set_perms(cost, meter, 0, &fe.child("state").expect("valid"), guest_owned)?;
+    Ok(())
+}
+
+/// Step 2: the back-ends react to the watch: each allocates the event
+/// channel and grant for devices of its class, writes them back to the
+/// store, moves to `InitWait`, and runs the hotplug setup.
+///
+/// All back-ends share Dom0's connection, so events are dispatched by
+/// the device-class component of the path; stale events for nodes that
+/// have since been removed are skipped, as xenbus drivers do.
+pub fn backend_process_events(
+    xs: &mut Xenstored,
+    hv: &mut Hypervisor,
+    backends: &mut [&mut Backend],
+    switch: &mut SoftwareSwitch,
+    hotplug: Hotplug,
+    cost: &CostModel,
+    meter: &mut Meter,
+) -> Result<usize, XsDevError> {
+    let events = xs.take_events(cost, meter, 0);
+    let mut handled = 0;
+    for ev in events {
+        if ev.token != BACKEND_TOKEN {
+            continue;
+        }
+        // Only the "state" write of a new announcement triggers set-up.
+        let comps: Vec<String> = ev.path.components().iter().map(|s| s.to_string()).collect();
+        // /local/domain/0/backend/<kind>/<domid>/<devid>/state
+        if comps.len() != 8 || comps[7] != "state" {
+            continue;
+        }
+        let state_raw = match xs.read(cost, meter, 0, &ev.path) {
+            Ok(v) => v,
+            // Stale event: the node was removed after the event fired.
+            Err(XsError::NotFound) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if state_raw != XenbusState::Initialising.to_string().as_bytes() {
+            continue;
+        }
+        let backend = match backends.iter_mut().find(|b| b.kind().as_str() == comps[4]) {
+            Some(b) => b,
+            None => continue, // a class nobody serves
+        };
+        let dom = DomId(comps[5].parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?);
+        let devid: u32 = comps[6].parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?;
+        let kind = backend.kind();
+        let (port, grant) = match backend.alloc_device(hv, cost, meter, dom, devid) {
+            Ok(x) => x,
+            Err(DevError::Exists) => continue, // re-delivered watch
+            Err(e) => return Err(e.into()),
+        };
+        let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
+        xs.write(
+            cost,
+            meter,
+            0,
+            &be.child("event-channel").expect("valid"),
+            port.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            cost,
+            meter,
+            0,
+            &be.child("grant-ref").expect("valid"),
+            grant.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            cost,
+            meter,
+            0,
+            &be.child("state").expect("valid"),
+            XenbusState::InitWait.to_string().as_bytes(),
+        )?;
+        if kind == DeviceKind::Net {
+            hotplug
+                .plug_vif(cost, meter, switch, dom, devid)
+                .map_err(|_| XsDevError::Dev(DevError::Exists))?;
+        } else {
+            hotplug.plug_vbd(cost, meter);
+        }
+        handled += 1;
+    }
+    Ok(handled)
+}
+
+/// Step 3: the booting guest contacts the XenStore, retrieves what the
+/// back-end published, connects, and both sides move to `Connected`.
+pub fn frontend_connect_via_xenstore(
+    xs: &mut Xenstored,
+    hv: &mut Hypervisor,
+    backend: &mut Backend,
+    cost: &CostModel,
+    meter: &mut Meter,
+    dom: DomId,
+    devid: u32,
+) -> Result<(), XsDevError> {
+    let kind = backend.kind();
+    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
+    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
+    // Guest reads its front-end dir to find the backend, then the
+    // back-end's published parameters.
+    let _backend_path = xs.read(cost, meter, dom.0, &fe.child("backend").expect("valid"))?;
+    let _port = xs.read(cost, meter, dom.0, &be.child("event-channel").expect("valid"))?;
+    let _gref = xs.read(cost, meter, dom.0, &be.child("grant-ref").expect("valid"))?;
+    let _mac = xs.read(cost, meter, dom.0, &be.child("mac").expect("valid"))?;
+    backend.frontend_connect(hv, cost, meter, dom, devid)?;
+    xs.write(
+        cost,
+        meter,
+        dom.0,
+        &fe.child("state").expect("valid"),
+        XenbusState::Connected.to_string().as_bytes(),
+    )?;
+    xs.write(
+        cost,
+        meter,
+        0,
+        &be.child("state").expect("valid"),
+        XenbusState::Connected.to_string().as_bytes(),
+    )?;
+    Ok(())
+}
+
+/// Device tear-down: closes the device and removes its store entries.
+#[allow(clippy::too_many_arguments)]
+pub fn destroy_device_via_xenstore(
+    xs: &mut Xenstored,
+    hv: &mut Hypervisor,
+    backend: &mut Backend,
+    switch: &mut SoftwareSwitch,
+    hotplug: Hotplug,
+    cost: &CostModel,
+    meter: &mut Meter,
+    dom: DomId,
+    devid: u32,
+) -> Result<(), XsDevError> {
+    let kind = backend.kind();
+    backend.close_device(hv, cost, meter, dom, devid)?;
+    if kind == DeviceKind::Net {
+        let _ = hotplug.unplug_vif(cost, meter, switch, dom, devid);
+    }
+    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
+    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
+    let _ = xs.rm(cost, meter, 0, &fe);
+    // libxl removes the guest's whole per-domain backend directory, not
+    // just the devid node (otherwise `/backend/<kind>/<domid>` dirs
+    // accumulate forever).
+    let _ = xs.rm(cost, meter, 0, &be.parent());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypervisor::DomainConfig;
+    use simcore::Category;
+    use xenstore::Flavor;
+
+    const GIB: u64 = 1 << 30;
+
+    struct World {
+        xs: Xenstored,
+        hv: Hypervisor,
+        be: Backend,
+        sw: SoftwareSwitch,
+        cost: CostModel,
+    }
+
+    fn setup() -> (World, Meter, DomId) {
+        let mut w = World {
+            xs: Xenstored::new(Flavor::Oxenstored, 7),
+            hv: Hypervisor::new(8 * GIB, 0, vec![1, 2, 3]),
+            be: Backend::new(DeviceKind::Net),
+            sw: SoftwareSwitch::new(),
+            cost: CostModel::paper_defaults(),
+        };
+        let mut m = Meter::new();
+        let dom = w
+            .hv
+            .create_domain(&w.cost, &mut m, &DomainConfig::default())
+            .unwrap();
+        w.xs.connect(dom.0);
+        register_backend_watch(&mut w.xs, &w.cost, &mut m, DeviceKind::Net);
+        (w, m, dom)
+    }
+
+    #[test]
+    fn full_figure_7a_handshake() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        let handled = backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m,
+        )
+        .unwrap();
+        assert_eq!(handled, 1);
+        assert_eq!(w.be.device(dom, 0).unwrap().state, XenbusState::InitWait);
+        assert_eq!(w.sw.port_count(), 1);
+        frontend_connect_via_xenstore(&mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0)
+            .unwrap();
+        assert_eq!(w.be.device(dom, 0).unwrap().state, XenbusState::Connected);
+        // The handshake paid both XenStore and Devices costs.
+        assert!(m.of(Category::Xenstore) > simcore::SimTime::ZERO);
+        assert!(m.of(Category::Devices) > simcore::SimTime::ZERO);
+        // The store now holds the negotiated parameters.
+        let be_dir = layout::backend_dir(0, "vif", dom.0, 0);
+        let state = w
+            .xs
+            .store()
+            .read_str(0, &be_dir.child("state").unwrap())
+            .unwrap();
+        assert_eq!(state, XenbusState::Connected.to_string());
+    }
+
+    #[test]
+    fn redelivered_watch_is_idempotent() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m,
+        )
+        .unwrap();
+        // The backend's own state write re-fires its watch; processing
+        // again must not allocate a second device.
+        let handled = backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m,
+        )
+        .unwrap();
+        assert_eq!(handled, 0);
+        assert_eq!(w.be.count(), 1);
+    }
+
+    #[test]
+    fn destroy_cleans_store_and_switch() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m,
+        )
+        .unwrap();
+        frontend_connect_via_xenstore(&mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0)
+            .unwrap();
+        destroy_device_via_xenstore(
+            &mut w.xs, &mut w.hv, &mut w.be, &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m, dom, 0,
+        )
+        .unwrap();
+        assert_eq!(w.be.count(), 0);
+        assert_eq!(w.sw.port_count(), 0);
+        assert!(!w.xs.store().exists(&layout::backend_dir(0, "vif", dom.0, 0)));
+        assert!(!w.xs.store().exists(&layout::frontend_dir(dom.0, "vif", 0)));
+    }
+
+    #[test]
+    fn announcement_is_transactional() {
+        let (mut w, mut m, dom) = setup();
+        let before_commits = w.xs.stats().txn_commits;
+        toolstack_announce_device(
+            &mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, "00:16:3e:00:00:00",
+        )
+        .unwrap();
+        assert_eq!(w.xs.stats().txn_commits, before_commits + 1);
+    }
+}

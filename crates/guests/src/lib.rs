@@ -1,0 +1,20 @@
+//! Guest images and their boot/memory/behaviour models (paper §3).
+//!
+//! Three families of guests span the paper's size spectrum:
+//!
+//! - **Unikernels** (Mini-OS based): the daytime server (480 KB image,
+//!   3.6 MB RAM), noop, Minipython, the ClickOS firewall and the TLS
+//!   termination proxy;
+//! - **Tinyx** images built by the [`tinyx`] crate (~10 MB image, ~30 MB
+//!   RAM);
+//! - a **Debian** jessie minimal install (1.1 GB image, 111 MB minimum
+//!   RAM).
+//!
+//! Each image carries the parameters the control-plane experiments need:
+//! boot CPU work, scheduler yield points (why Linux guests' boot times
+//! grow with density, Figure 11), idle background demand (Figure 15),
+//! Dom0 housekeeping load, and XenStore churn (watch registrations).
+
+pub mod image;
+
+pub use image::{GuestImage, GuestKind};

@@ -1,0 +1,288 @@
+//! Figures: labelled series plus metadata, renderable and serialisable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled data series (x, y pairs).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"chaos [NoXS]"`.
+    pub label: String,
+    /// The data points, in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Builds a series from an iterator of points.
+    pub fn from_points(
+        label: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Series {
+        Series {
+            label: label.into(),
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// The y value at the point whose x is nearest to `x`, or `None` if
+    /// the series is empty.
+    pub fn nearest_y(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - x)
+                    .abs()
+                    .partial_cmp(&(b.0 - x).abs())
+                    .expect("NaN x value")
+            })
+            .map(|p| p.1)
+    }
+
+    /// Largest y value.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .max_by(|a, b| a.partial_cmp(b).expect("NaN y value"))
+    }
+
+    /// y values only.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.1).collect()
+    }
+}
+
+/// A reproduced paper figure: series plus axis/em metadata.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Stable identifier, e.g. `"fig09"`.
+    pub id: String,
+    /// Human title, e.g. `"Creation times for LightVM mechanism combos"`.
+    pub title: String,
+    /// x-axis label.
+    pub xlabel: String,
+    /// y-axis label.
+    pub ylabel: String,
+    /// The series, in legend order.
+    pub series: Vec<Series>,
+    /// Free-form metadata (machine, seed, parameters).
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Records a metadata key (machine, seed, parameter).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.meta.insert(key.into(), value.to_string());
+    }
+
+    /// Finds a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders an ASCII table sampling each series at the given x values
+    /// (nearest data point). This is what the figure binaries print.
+    pub fn render_table(&self, xs: &[f64]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "#   {k}: {v}");
+        }
+        let col_w = 14usize;
+        let _ = write!(out, "{:>col_w$}", self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, " {:>col_w$}", truncate(&s.label, col_w));
+        }
+        let _ = writeln!(out);
+        for &x in xs {
+            let _ = write!(out, "{x:>col_w$.1}");
+            for s in &self.series {
+                match s.nearest_y(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>col_w$.3}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>col_w$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "# y unit: {}", self.ylabel);
+        out
+    }
+
+    /// CSV rendering: header `x,<label...>` then one row per distinct x
+    /// across all series (nearest-point sampling per series).
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN x value"));
+        xs.dedup();
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.xlabel));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.label));
+        }
+        let _ = writeln!(out);
+        for x in xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s
+                    .points
+                    .iter()
+                    .find(|p| p.0 == x)
+                    .map(|p| p.1)
+                {
+                    Some(y) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => {
+                        let _ = write!(out, ",");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serialises")
+    }
+
+    /// Writes `<id>.json` and `<id>.csv` into `dir` (created if missing).
+    pub fn write_files(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.to_json())?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, w: usize) -> String {
+    if s.len() <= w {
+        s.to_string()
+    } else {
+        format!("{}~", &s[..w - 1])
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("figX", "Test", "n", "time [ms]");
+        f.push_series(Series::from_points("a", [(0.0, 1.0), (10.0, 2.0)]));
+        f.push_series(Series::from_points("b", [(0.0, 5.0), (10.0, 6.0)]));
+        f.set_meta("seed", 42);
+        f
+    }
+
+    #[test]
+    fn nearest_y_picks_closest_point() {
+        let s = Series::from_points("s", [(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)]);
+        assert_eq!(s.nearest_y(1.0), Some(1.0));
+        assert_eq!(s.nearest_y(9.0), Some(2.0));
+        assert_eq!(s.nearest_y(100.0), Some(3.0));
+        assert_eq!(Series::new("e").nearest_y(0.0), None);
+    }
+
+    #[test]
+    fn table_contains_all_series() {
+        let f = sample_figure();
+        let t = f.render_table(&[0.0, 10.0]);
+        assert!(t.contains("figX"));
+        assert!(t.contains("seed: 42"));
+        assert!(t.contains("a"));
+        assert!(t.contains("b"));
+        assert!(t.contains("5.000"));
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let f = sample_figure();
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,a,b");
+        assert_eq!(lines[1], "0,1,5");
+        assert_eq!(lines[2], "10,2,6");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = sample_figure();
+        let parsed: Figure = serde_json::from_str(&f.to_json()).unwrap();
+        assert_eq!(parsed.id, "figX");
+        assert_eq!(parsed.series, f.series);
+    }
+
+    #[test]
+    fn write_files_creates_both_artifacts() {
+        let dir = std::env::temp_dir().join("lightvm-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample_figure().write_files(&dir).unwrap();
+        assert!(dir.join("figX.json").exists());
+        assert!(dir.join("figX.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

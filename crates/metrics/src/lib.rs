@@ -1,0 +1,12 @@
+//! Measurement containers and figure emission for the LightVM reproduction.
+//!
+//! The figure harnesses in `crates/bench` produce [`Figure`]s: named sets
+//! of labelled [`Series`] with axis metadata. A figure can be rendered as
+//! an ASCII table (what the harness prints) and written as JSON + CSV so
+//! EXPERIMENTS.md numbers are reproducible artefacts.
+
+pub mod figure;
+pub mod stats;
+
+pub use figure::{Figure, Series};
+pub use stats::{Cdf, Summary};

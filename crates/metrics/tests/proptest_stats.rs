@@ -1,0 +1,39 @@
+//! Property tests for summary statistics and CDFs.
+
+use metrics::{Cdf, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn summary_orderings(samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::of(&samples).unwrap();
+        let pts = cdf.points();
+        prop_assert_eq!(pts.len(), samples.len());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // at() agrees with percentile() at the extremes.
+        prop_assert_eq!(cdf.at(f64::MAX), 1.0);
+        prop_assert_eq!(cdf.at(f64::MIN), 0.0);
+    }
+
+    #[test]
+    fn percentile_within_range(samples in prop::collection::vec(0f64..1e6, 1..100), p in 0f64..=100.0) {
+        let cdf = Cdf::of(&samples).unwrap();
+        let v = cdf.percentile(p);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo && v <= hi);
+    }
+}

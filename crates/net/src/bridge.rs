@@ -1,0 +1,90 @@
+//! The Dom0 Linux bridge and its overload behaviour (Figure 16b).
+//!
+//! The just-in-time service boots a VM per new client. Every new client
+//! and every fresh vif triggers ARP resolution — broadcast frames the
+//! bridge floods to all ports. At high client arrival rates the bridge's
+//! packet budget is exceeded and it starts dropping (mostly ARP) packets:
+//! "our Linux bridge is overloaded and starts dropping packets (mostly
+//! ARP packets), hence some pings time out and there is a long tail for
+//! the client-perceived latency".
+
+use simcore::SimTime;
+
+/// The software bridge.
+#[derive(Clone, Debug)]
+pub struct Bridge {
+    /// Broadcast-path capacity in packets per second.
+    pub capacity_pps: f64,
+    /// Cost of flooding one broadcast frame per attached port.
+    pub per_port_flood: f64,
+    /// ARP retransmission timeout (Linux default 1 s).
+    pub arp_retry: SimTime,
+}
+
+impl Bridge {
+    /// Paper-scale bridge: tuned so one-client-per-10ms arrivals with a
+    /// couple hundred resident vifs overload the broadcast path.
+    pub fn paper_setup() -> Bridge {
+        Bridge {
+            capacity_pps: 30_000.0,
+            per_port_flood: 1.0,
+            arp_retry: SimTime::from_secs(1),
+        }
+    }
+
+    /// Offered broadcast load in packets per second: each client arrival
+    /// costs a couple of ARP broadcasts, each flooded to every port.
+    pub fn broadcast_load(&self, arrivals_per_sec: f64, ports: usize) -> f64 {
+        arrivals_per_sec * 2.0 * self.per_port_flood * ports as f64
+    }
+
+    /// Probability a given ARP exchange is dropped under the offered
+    /// load (0 when under capacity).
+    pub fn drop_probability(&self, arrivals_per_sec: f64, ports: usize) -> f64 {
+        let load = self.broadcast_load(arrivals_per_sec, ports);
+        if load <= self.capacity_pps {
+            0.0
+        } else {
+            (1.0 - self.capacity_pps / load).min(0.95)
+        }
+    }
+
+    /// Latency penalty when an ARP is dropped: wait for the retry.
+    pub fn drop_penalty(&self) -> SimTime {
+        self.arp_retry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drops_under_capacity() {
+        let b = Bridge::paper_setup();
+        assert_eq!(b.drop_probability(10.0, 100), 0.0);
+    }
+
+    #[test]
+    fn fast_arrivals_with_many_ports_drop() {
+        let b = Bridge::paper_setup();
+        // 100 clients/s (10 ms inter-arrival) with 500 attached vifs.
+        let p = b.drop_probability(100.0, 500);
+        assert!(p > 0.0, "should drop, got {p}");
+        assert!(p < 0.95);
+    }
+
+    #[test]
+    fn drop_probability_grows_with_load() {
+        let b = Bridge::paper_setup();
+        let p25 = b.drop_probability(40.0, 600);
+        let p10 = b.drop_probability(100.0, 600);
+        assert!(p10 > p25);
+    }
+
+    #[test]
+    fn penalty_is_the_arp_retry() {
+        let b = Bridge::paper_setup();
+        assert_eq!(b.drop_penalty(), SimTime::from_secs(1));
+    }
+}

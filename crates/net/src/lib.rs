@@ -1,0 +1,23 @@
+//! Network substrate for the use-case experiments (paper §7).
+//!
+//! - [`link`]: point-to-point links with bandwidth and propagation delay
+//!   (migration transport, the MEC backhaul of §7.1).
+//! - [`flow`]: the personal-firewall data-path model — per-client rate
+//!   caps, per-packet CPU costs in the firewall VMs, and the Xen
+//!   round-robin scheduling latency that inflates RTTs at high density
+//!   (Figure 16a).
+//! - [`bridge`]: the Linux bridge used by the just-in-time instantiation
+//!   service, including the ARP-broadcast overload that produces the
+//!   long ping tail in Figure 16b.
+//! - [`tls`]: RSA-handshake throughput for the TLS termination use case,
+//!   with the lwip-vs-Linux-stack efficiency gap (Figure 16c).
+
+pub mod bridge;
+pub mod flow;
+pub mod link;
+pub mod tls;
+
+pub use bridge::Bridge;
+pub use flow::FirewallFleet;
+pub use link::Link;
+pub use tls::{TlsEndpointKind, TlsFleet};

@@ -1,0 +1,87 @@
+//! Point-to-point links.
+
+use simcore::SimTime;
+
+/// A full-duplex link with fixed bandwidth and propagation delay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+}
+
+impl Link {
+    /// A 1 Gbps / 10 ms link (the paper's §7.1 migration path).
+    pub fn gigabit_wan() -> Link {
+        Link {
+            bandwidth_bps: 1e9,
+            delay: SimTime::from_millis(10),
+        }
+    }
+
+    /// A 1 Gbps / 0.1 ms LAN link (Figure 13's migration tests).
+    pub fn lan() -> Link {
+        Link {
+            bandwidth_bps: 1e9,
+            delay: SimTime::from_micros(100),
+        }
+    }
+
+    /// A 10 Gbps / 0.1 ms datacenter link.
+    pub fn datacenter() -> Link {
+        Link {
+            bandwidth_bps: 1e10,
+            delay: SimTime::from_micros(100),
+        }
+    }
+
+    /// Serialisation time of `bytes` at link rate.
+    pub fn serialize_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// One-way latency of a transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.delay + self.serialize_time(bytes)
+    }
+
+    /// Round-trip time of a small packet.
+    pub fn rtt(&self) -> SimTime {
+        self.delay * 2
+    }
+
+    /// TCP connection establishment (SYN, SYN-ACK, ACK): one RTT before
+    /// data can flow.
+    pub fn tcp_handshake(&self) -> SimTime {
+        self.rtt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_transfer_times() {
+        let l = Link::gigabit_wan();
+        // 8 MiB at 1 Gbps = ~67 ms serialisation + 10 ms delay.
+        let t = l.transfer_time(8 * 1024 * 1024);
+        let ms = t.as_millis_f64();
+        assert!((70.0..85.0).contains(&ms), "got {ms} ms");
+        assert_eq!(l.rtt(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn datacenter_is_fast() {
+        let l = Link::datacenter();
+        let t = l.transfer_time(8 * 1024 * 1024);
+        assert!(t < SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_delay() {
+        let l = Link::gigabit_wan();
+        assert_eq!(l.transfer_time(0), l.delay);
+    }
+}

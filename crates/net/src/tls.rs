@@ -1,0 +1,122 @@
+//! TLS termination throughput (paper §7.3, Figure 16c).
+//!
+//! N apachebench clients continuously fetch an empty file over HTTPS
+//! from N endpoints. Throughput is dominated by the 1024-bit RSA
+//! private-key operations of the handshake; adding endpoints raises
+//! throughput until every core is busy with public-key work. Tinyx
+//! matches bare-metal processes; the Mini-OS unikernel pays a ~5x
+//! penalty for its lwip stack ("the unikernel only achieves a fifth of
+//! the throughput of Tinyx; this is mostly due to the inefficient lwip
+//! stack").
+
+/// What terminates TLS on this machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TlsEndpointKind {
+    /// A plain Linux process (no hypervisor).
+    BareMetal,
+    /// A Tinyx VM with the Linux TCP stack.
+    Tinyx,
+    /// A Mini-OS unikernel with lwip + axtls.
+    Unikernel,
+}
+
+impl TlsEndpointKind {
+    /// Stack efficiency relative to bare metal (fraction of handshake
+    /// throughput retained).
+    pub fn stack_efficiency(self) -> f64 {
+        match self {
+            TlsEndpointKind::BareMetal => 1.0,
+            // "Tinyx's performance is very similar to that of running
+            // processes on a bare-metal Linux distribution."
+            TlsEndpointKind::Tinyx => 0.97,
+            TlsEndpointKind::Unikernel => 0.2,
+        }
+    }
+}
+
+/// A fleet of TLS-terminating endpoints on one machine.
+#[derive(Clone, Debug)]
+pub struct TlsFleet {
+    /// Cores available.
+    pub cores: usize,
+    /// CPU-seconds of one full handshake + empty response with 1024-bit
+    /// RSA on one core (bare metal).
+    pub handshake_cpu: f64,
+    /// Endpoint kind.
+    pub kind: TlsEndpointKind,
+}
+
+impl TlsFleet {
+    /// The paper's setup: the 14-core machine, calibrated so the machine
+    /// saturates around 1,400 req/s with Tinyx/bare-metal endpoints.
+    pub fn paper_setup(kind: TlsEndpointKind) -> TlsFleet {
+        TlsFleet {
+            cores: 14,
+            handshake_cpu: 0.0097,
+            kind,
+        }
+    }
+
+    /// Requests per second served with `n` endpoints under closed-loop
+    /// load. Each endpoint is single-threaded: it can use at most one
+    /// core; total is capped by machine CPU.
+    pub fn throughput_rps(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let eff = self.kind.stack_efficiency();
+        let per_endpoint = eff / self.handshake_cpu; // req/s, one core
+        let endpoint_bound = n as f64 * per_endpoint;
+        let machine_bound = self.cores as f64 * eff / self.handshake_cpu;
+        endpoint_bound.min(machine_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_rises_then_saturates() {
+        let f = TlsFleet::paper_setup(TlsEndpointKind::Tinyx);
+        let t1 = f.throughput_rps(1);
+        let t10 = f.throughput_rps(10);
+        let t100 = f.throughput_rps(100);
+        let t1000 = f.throughput_rps(1000);
+        assert!(t10 > t1 * 5.0);
+        assert!(t100 > t10);
+        // Saturation: more endpoints don't help once cores are busy.
+        assert!((t1000 - t100).abs() < 1.0);
+    }
+
+    #[test]
+    fn saturation_near_1400_rps() {
+        let f = TlsFleet::paper_setup(TlsEndpointKind::Tinyx);
+        let sat = f.throughput_rps(1000);
+        assert!((1200.0..1600.0).contains(&sat), "got {sat:.0} req/s");
+    }
+
+    #[test]
+    fn tinyx_matches_bare_metal() {
+        let bm = TlsFleet::paper_setup(TlsEndpointKind::BareMetal).throughput_rps(1000);
+        let tx = TlsFleet::paper_setup(TlsEndpointKind::Tinyx).throughput_rps(1000);
+        assert!((tx / bm) > 0.9);
+    }
+
+    #[test]
+    fn unikernel_pays_the_lwip_tax() {
+        let tx = TlsFleet::paper_setup(TlsEndpointKind::Tinyx).throughput_rps(1000);
+        let uk = TlsFleet::paper_setup(TlsEndpointKind::Unikernel).throughput_rps(1000);
+        let ratio = uk / tx;
+        assert!(
+            (0.15..0.3).contains(&ratio),
+            "unikernel should be ≈1/5 of Tinyx, ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn zero_endpoints_zero_throughput() {
+        let f = TlsFleet::paper_setup(TlsEndpointKind::BareMetal);
+        assert_eq!(f.throughput_rps(0), 0.0);
+    }
+}

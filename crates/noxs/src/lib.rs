@@ -1,0 +1,25 @@
+//! noxs ("no XenStore"): the paper's XenStore-less control plane (§5.1).
+//!
+//! The insight: "the hypervisor already acts as a sort of centralized
+//! store, so we can extend its functionality". Device details flow
+//! through a per-guest read-only *device memory page* written by Dom0 via
+//! hypercalls; front- and back-ends then talk over shared control pages
+//! and event channels. No message-passing protocol, no watches, no
+//! transactions — device setup is a handful of hypercalls and an ioctl,
+//! and its cost does not grow with the number of guests.
+//!
+//! - [`driver`]: device creation/connection through the device page
+//!   (Figure 7b);
+//! - [`sysctl`]: the power-control split pseudo-device that replaces
+//!   XenStore-based `control/shutdown` for suspend/resume/migration;
+//! - [`checkpoint`]: save/restore of guests to the ramdisk;
+//! - [`migrate`]: pre-copy-free migration via a remote daemon over TCP.
+
+pub mod checkpoint;
+pub mod driver;
+pub mod migrate;
+pub mod sysctl;
+
+pub use checkpoint::SavedGuest;
+pub use migrate::MigrationEndpoint;
+pub use sysctl::SysctlBackend;

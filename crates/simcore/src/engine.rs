@@ -1,0 +1,294 @@
+//! Discrete-event executor.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reverse ordering: the BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single-threaded discrete-event executor over [`SimTime`].
+///
+/// Events are closures scheduled at absolute or relative virtual times.
+/// Ties are broken by schedule order, so runs are fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Engine, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut engine = Engine::new();
+/// let fired = Rc::new(Cell::new(false));
+/// let f = fired.clone();
+/// engine.schedule_in(SimTime::from_millis(5), move |_| f.set(true));
+/// engine.run();
+/// assert!(fired.get());
+/// assert_eq!(engine.now(), SimTime::from_millis(5));
+/// ```
+pub struct Engine {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    fired: u64,
+}
+
+impl Engine {
+    /// Creates an engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// drained from the queue).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Advances the clock without firing anything.
+    ///
+    /// Used by sequential cost accounting: an operation that "takes" `dt`
+    /// simply pushes the clock forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if events scheduled before `now + dt` are
+    /// pending, since skipping over them would reorder time.
+    pub fn advance(&mut self, dt: SimTime) {
+        let target = self.now + dt;
+        debug_assert!(
+            self.peek_time().map(|t| t >= target).unwrap_or(true),
+            "advance() would skip over a pending event"
+        );
+        self.now = target;
+    }
+
+    /// Schedules `f` at absolute time `at` (clamped to now if in the past).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Engine) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        dt: SimTime,
+        f: impl FnOnce(&mut Engine) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + dt, f)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drain_cancelled();
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Fires the next event, advancing the clock to it. Returns false if
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.drain_cancelled();
+        match self.queue.pop() {
+            Some(s) => {
+                debug_assert!(s.at >= self.now, "event scheduled in the past");
+                self.now = s.at;
+                self.fired += 1;
+                (s.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock would pass `t`; events at exactly `t` fire.
+    /// The clock is left at `min(t, last event time)`... more precisely at
+    /// `t` if any event beyond `t` remains, so callers can continue from a
+    /// known instant.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            match self.peek_time() {
+                Some(at) if at <= t => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    fn drain_cancelled(&mut self) {
+        while let Some(s) = self.queue.peek() {
+            if self.cancelled.remove(&s.seq) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let o = order.clone();
+            e.schedule_at(SimTime::from_millis(ms), move |_| o.borrow_mut().push(i));
+        }
+        e.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(e.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut e = Engine::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let o = order.clone();
+            e.schedule_at(SimTime::from_millis(1), move |_| o.borrow_mut().push(i));
+        }
+        e.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        e.schedule_in(SimTime::from_millis(1), move |eng| {
+            let h2 = h.clone();
+            eng.schedule_in(SimTime::from_millis(2), move |eng| {
+                h2.borrow_mut().push(eng.now());
+            });
+        });
+        e.run();
+        assert_eq!(*hits.borrow(), vec![SimTime::from_millis(3)]);
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut e = Engine::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let id = e.schedule_in(SimTime::from_millis(1), move |_| *f.borrow_mut() = true);
+        e.cancel(id);
+        e.run();
+        assert!(!*fired.borrow());
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e = Engine::new();
+        let count = Rc::new(RefCell::new(0));
+        for ms in [5u64, 10, 15] {
+            let c = count.clone();
+            e.schedule_at(SimTime::from_millis(ms), move |_| *c.borrow_mut() += 1);
+        }
+        e.run_until(SimTime::from_millis(10));
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(e.now(), SimTime::from_millis(10));
+        e.run();
+        assert_eq!(*count.borrow(), 3);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut e = Engine::new();
+        e.advance(SimTime::from_millis(10));
+        let t = Rc::new(RefCell::new(SimTime::ZERO));
+        let tc = t.clone();
+        e.schedule_at(SimTime::from_millis(1), move |eng| {
+            *tc.borrow_mut() = eng.now();
+        });
+        e.run();
+        assert_eq!(*t.borrow(), SimTime::from_millis(10));
+    }
+}

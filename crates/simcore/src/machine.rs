@@ -1,0 +1,97 @@
+//! The paper's evaluation machines as presets.
+
+use crate::costs::CostModel;
+
+/// The three testbed machines used in the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachinePreset {
+    /// Intel Xeon E5-1630 v3 @ 3.7 GHz, 4 cores, 128 GiB DDR4 (§4.2, §6).
+    XeonE5_1630V3,
+    /// 4 × AMD Opteron 6376 @ 2.3 GHz, 64 cores, 128 GiB DDR3 (§6.1).
+    AmdOpteron4X6376,
+    /// Intel Xeon E5-2690 v4 @ 2.6 GHz, 14 cores, 64 GiB (§7.1, §7.3).
+    XeonE5_2690V4,
+}
+
+/// A host machine: core count, memory, per-core speed and calibrated costs.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Human-readable description.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Total RAM in bytes.
+    pub mem_bytes: u64,
+    /// Per-core speed relative to the Xeon E5-1630 v3 reference.
+    pub cpu_speed: f64,
+    /// Primitive-cost calibration for this machine.
+    pub cost: CostModel,
+}
+
+const GIB: u64 = 1 << 30;
+
+impl Machine {
+    /// Builds a machine from a preset.
+    pub fn preset(which: MachinePreset) -> Machine {
+        let base = CostModel::paper_defaults();
+        match which {
+            MachinePreset::XeonE5_1630V3 => Machine {
+                name: "Intel Xeon E5-1630 v3 (4 cores @ 3.7 GHz, 128 GiB DDR4)",
+                cores: 4,
+                mem_bytes: 128 * GIB,
+                cpu_speed: 1.0,
+                cost: base,
+            },
+            MachinePreset::AmdOpteron4X6376 => Machine {
+                // Opteron 6376 cores are markedly slower per-core than the
+                // Haswell Xeon; Dom0 control-plane work scales with that.
+                name: "4x AMD Opteron 6376 (64 cores @ 2.3 GHz, 128 GiB DDR3)",
+                cores: 64,
+                mem_bytes: 128 * GIB,
+                cpu_speed: 0.55,
+                cost: base.scaled(1.0 / 0.55),
+            },
+            MachinePreset::XeonE5_2690V4 => Machine {
+                name: "Intel Xeon E5-2690 v4 (14 cores @ 2.6 GHz, 64 GiB)",
+                cores: 14,
+                mem_bytes: 64 * GIB,
+                cpu_speed: 0.8,
+                cost: base.scaled(1.0 / 0.8),
+            },
+        }
+    }
+
+    /// A custom machine with reference-speed cores (useful in tests).
+    pub fn custom(cores: usize, mem_bytes: u64) -> Machine {
+        Machine {
+            name: "custom",
+            cores,
+            mem_bytes,
+            cpu_speed: 1.0,
+            cost: CostModel::paper_defaults(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let xeon = Machine::preset(MachinePreset::XeonE5_1630V3);
+        assert_eq!(xeon.cores, 4);
+        assert_eq!(xeon.mem_bytes, 128 * GIB);
+        assert_eq!(xeon.cpu_speed, 1.0);
+
+        let amd = Machine::preset(MachinePreset::AmdOpteron4X6376);
+        assert_eq!(amd.cores, 64);
+        assert!(amd.cpu_speed < 1.0);
+        // Slower cores -> higher control-plane costs.
+        assert!(amd.cost.hotplug_bash > xeon.cost.hotplug_bash);
+
+        let uc = Machine::preset(MachinePreset::XeonE5_2690V4);
+        assert_eq!(uc.cores, 14);
+        assert_eq!(uc.mem_bytes, 64 * GIB);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests for SimTime arithmetic.
+
+use proptest::prelude::*;
+use simcore::SimTime;
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (x, y) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn sub_saturates_never_panics(a in any::<u64>(), b in any::<u64>()) {
+        let d = SimTime::from_nanos(a) - SimTime::from_nanos(b);
+        prop_assert_eq!(d.as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn scale_is_monotone(ns in 0u64..1_000_000_000_000, f1 in 0.0f64..10.0, f2 in 0.0f64..10.0) {
+        let t = SimTime::from_nanos(ns);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(t.scale(lo) <= t.scale(hi));
+    }
+
+    #[test]
+    fn seconds_round_trip(ms in 0u64..10_000_000) {
+        let t = SimTime::from_millis(ms);
+        let back = SimTime::from_secs_f64(t.as_secs_f64());
+        // f64 keeps millisecond quantities exact in this range.
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn min_max_partition(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+        prop_assert_eq!(x.min(y) + x.max(y), x + y);
+        prop_assert!(x.min(y) <= x.max(y));
+    }
+}

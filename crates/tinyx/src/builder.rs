@@ -1,0 +1,239 @@
+//! The Tinyx image builder: overlay assembly over a BusyBox underlay.
+
+use std::collections::BTreeSet;
+
+use crate::kernel::{KernelBuilder, KernelImage, Platform};
+use crate::packages::{PackageDb, ResolveError};
+
+const KIB: u64 = 1 << 10;
+const MIB: u64 = 1 << 20;
+
+/// Fraction of installed bytes reclaimed by stripping caches, dpkg/apt
+/// state and documentation before unmounting the overlay.
+const CACHE_STRIP_FRACTION: f64 = 0.12;
+
+/// Size of the BusyBox init glue script.
+const INIT_GLUE: u64 = 4 * KIB;
+
+/// Userspace runtime working set beyond kernel + unpacked initramfs.
+const RUNTIME_OVERHEAD: u64 = 20 * MIB;
+
+/// A built Tinyx VM image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TinyxImage {
+    /// Application the image was built for.
+    pub app: String,
+    /// Kernel image bytes.
+    pub kernel_bytes: u64,
+    /// Initramfs (distribution) bytes.
+    pub initramfs_bytes: u64,
+    /// Runtime kernel memory bytes.
+    pub kernel_ram_bytes: u64,
+    /// RAM needed to boot and run, bytes.
+    pub boot_ram_bytes: u64,
+}
+
+impl TinyxImage {
+    /// Total on-disk size: the distribution is bundled into the kernel
+    /// image as an initramfs (paper §4.2).
+    pub fn total_bytes(&self) -> u64 {
+        self.kernel_bytes + self.initramfs_bytes
+    }
+}
+
+/// What the build did (for inspection and tests).
+#[derive(Clone, Debug)]
+pub struct BuildReport {
+    /// Packages installed into the overlay.
+    pub packages: Vec<String>,
+    /// Packages excluded by the blacklist.
+    pub blacklisted: Vec<String>,
+    /// The minimised kernel.
+    pub kernel: KernelImage,
+    /// Kernel options removed by the minimisation loop.
+    pub options_removed: usize,
+    /// Rebuild+boot tests the minimisation ran.
+    pub boot_tests: usize,
+}
+
+/// The Tinyx build system.
+pub struct TinyxBuilder {
+    db: PackageDb,
+    platform: Platform,
+    blacklist: BTreeSet<&'static str>,
+    whitelist: Vec<&'static str>,
+}
+
+impl TinyxBuilder {
+    /// Creates a builder for a platform with the default blacklist:
+    /// installation machinery that dependency analysis would drag in but
+    /// that is not needed at runtime (BusyBox stands in for the shell and
+    /// core utilities).
+    pub fn new(platform: Platform) -> TinyxBuilder {
+        TinyxBuilder {
+            db: PackageDb::standard(),
+            platform,
+            blacklist: [
+                "dpkg",
+                "apt",
+                "tar",
+                "perl-base",
+                "debconf",
+                "bash",
+                "coreutils",
+            ]
+            .into_iter()
+            .collect(),
+            whitelist: Vec::new(),
+        }
+    }
+
+    /// Adds a package the user wants regardless of dependency analysis.
+    pub fn whitelist(&mut self, pkg: &'static str) -> &mut TinyxBuilder {
+        self.whitelist.push(pkg);
+        self
+    }
+
+    /// Adds a package to the blacklist.
+    pub fn blacklist(&mut self, pkg: &'static str) -> &mut TinyxBuilder {
+        self.blacklist.insert(pkg);
+        self
+    }
+
+    /// Read-only package database access.
+    pub fn db(&self) -> &PackageDb {
+        &self.db
+    }
+
+    /// Builds a Tinyx image for `app_name`.
+    pub fn build(&self, app_name: &str) -> Result<(TinyxImage, BuildReport), ResolveError> {
+        let app = self.db.app(app_name)?;
+
+        // 1. Dependency discovery: objdump for libraries, plus the app's
+        //    own package when it is distributed as one.
+        let mut roots: BTreeSet<&'static str> = self.db.objdump_deps(app)?;
+        if self.db.package(app.name).is_some() {
+            roots.insert(app.name);
+        }
+        for w in &self.whitelist {
+            roots.insert(w);
+        }
+
+        // 2. Package-manager closure.
+        let closure = self.db.closure(roots.iter().copied())?;
+
+        // 3. Blacklist filter.
+        let (selected, blacklisted): (BTreeSet<&'static str>, BTreeSet<&'static str>) =
+            closure.into_iter().partition(|p| !self.blacklist.contains(p));
+
+        // 4. Overlay assembly: install into the overlay, strip caches,
+        //    merge onto the BusyBox underlay, add the init glue.
+        let installed = self.db.total_size(&selected);
+        let stripped = (installed as f64 * (1.0 - CACHE_STRIP_FRACTION)) as u64;
+        let busybox = self
+            .db
+            .package("busybox")
+            .expect("busybox is always in the repo")
+            .size;
+        let initramfs = stripped
+            + if selected.contains("busybox") { 0 } else { busybox }
+            + INIT_GLUE;
+
+        // 5. Kernel minimisation.
+        let mut kb = KernelBuilder::debian_default(self.platform);
+        let candidates: Vec<&'static str> =
+            kb.config().options().copied().collect();
+        let options_removed = kb.minimize(app, &candidates);
+        let kernel = kb.build();
+
+        let boot_ram = kernel.ram + 2 * initramfs + RUNTIME_OVERHEAD;
+        let image = TinyxImage {
+            app: app.name.to_string(),
+            kernel_bytes: kernel.size,
+            initramfs_bytes: initramfs,
+            kernel_ram_bytes: kernel.ram,
+            boot_ram_bytes: boot_ram,
+        };
+        let report = BuildReport {
+            packages: selected.iter().map(|s| s.to_string()).collect(),
+            blacklisted: blacklisted.iter().map(|s| s.to_string()).collect(),
+            kernel,
+            options_removed,
+            boot_tests: kb.boot_tests_run,
+        };
+        Ok((image, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nginx_image_is_a_few_tens_of_mb_at_most() {
+        let (img, report) = TinyxBuilder::new(Platform::Xen).build("nginx").unwrap();
+        // Paper: Tinyx images are ~10 MB, need ~30 MB of RAM.
+        assert!(
+            img.total_bytes() > 5 * MIB && img.total_bytes() < 20 * MIB,
+            "image size {}",
+            img.total_bytes()
+        );
+        assert!(
+            img.boot_ram_bytes > 20 * MIB && img.boot_ram_bytes < 60 * MIB,
+            "boot ram {}",
+            img.boot_ram_bytes
+        );
+        assert!(report.packages.contains(&"nginx".to_string()));
+        assert!(report.packages.contains(&"libssl1.0".to_string()));
+    }
+
+    #[test]
+    fn blacklist_excludes_install_machinery() {
+        let mut b = TinyxBuilder::new(Platform::Xen);
+        b.whitelist("python3-minimal"); // drags a big closure
+        let (_, report) = b.build("nginx").unwrap();
+        for banned in ["dpkg", "apt", "perl-base"] {
+            assert!(
+                !report.packages.contains(&banned.to_string()),
+                "{banned} must not be installed"
+            );
+        }
+    }
+
+    #[test]
+    fn whitelist_forces_inclusion() {
+        let mut b = TinyxBuilder::new(Platform::Xen);
+        b.whitelist("iperf");
+        let (_, report) = b.build("micropython").unwrap();
+        assert!(report.packages.contains(&"iperf".to_string()));
+        // And its closure came along.
+        assert!(report.packages.contains(&"libstdcpp6".to_string()));
+    }
+
+    #[test]
+    fn noop_image_is_nearly_just_busybox_and_kernel() {
+        let (img, report) = TinyxBuilder::new(Platform::Xen).build("noop").unwrap();
+        assert!(img.initramfs_bytes < 2 * MIB, "initramfs {}", img.initramfs_bytes);
+        assert!(report.packages.is_empty());
+        assert!(img.total_bytes() < 4 * MIB);
+    }
+
+    #[test]
+    fn kernel_minimisation_ran() {
+        let (_, report) = TinyxBuilder::new(Platform::Xen).build("nginx").unwrap();
+        assert!(report.options_removed >= 5);
+        assert!(report.boot_tests >= report.options_removed);
+    }
+
+    #[test]
+    fn images_are_deterministic() {
+        let a = TinyxBuilder::new(Platform::Xen).build("nginx").unwrap().0;
+        let b = TinyxBuilder::new(Platform::Xen).build("nginx").unwrap().0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        assert!(TinyxBuilder::new(Platform::Xen).build("emacs").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Tinyx: an automated build system for minimalistic Linux VM images
+//! (paper §3.2).
+//!
+//! Tinyx takes two inputs — an application and a target platform — and
+//! produces a tailor-made VM image: a minimal, BusyBox-based distribution
+//! containing just the application and its dependencies, plus a trimmed
+//! kernel derived from `tinyconfig`.
+//!
+//! The pipeline implemented here mirrors the paper's:
+//!
+//! 1. dependency discovery via `objdump` (shared libraries) and the
+//!    package manager (package closure);
+//! 2. a blacklist of packages required only for installation (dpkg, apt)
+//!    and a user whitelist;
+//! 3. overlay assembly: install the closure over a debootstrap base in an
+//!    OverlayFS mount, strip caches, merge onto a BusyBox underlay and
+//!    add an init glue;
+//! 4. kernel minimisation: start from `tinyconfig` + platform options,
+//!    then iteratively disable candidate options, rebuild with
+//!    `olddefconfig` (dependency re-closure) and boot-test, keeping every
+//!    disable that still boots and serves the app.
+//!
+//! The package database and kernel option set are synthetic but
+//! structurally faithful (dependency closure, `provides`, essential
+//! flags, option dependencies); see DESIGN.md for the substitution note.
+
+pub mod builder;
+pub mod kernel;
+pub mod packages;
+
+pub use builder::{BuildReport, TinyxBuilder, TinyxImage};
+pub use kernel::{KernelBuilder, KernelConfig, Platform};
+pub use packages::{App, Package, PackageDb};

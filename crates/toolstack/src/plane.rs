@@ -1,0 +1,893 @@
+//! The control plane: one struct owning Dom0's moving parts, driving VM
+//! creation through any of the paper's five toolstack configurations.
+//!
+//! | Mode            | Store    | Toolstack | Hotplug  | Pool |
+//! |-----------------|----------|-----------|----------|------|
+//! | `Xl`            | XenStore | xl/libxl  | bash     | no   |
+//! | `ChaosXs`       | XenStore | chaos     | xendevd  | no   |
+//! | `ChaosXsSplit`  | XenStore | chaos     | xendevd  | yes  |
+//! | `ChaosNoxs`     | noxs     | chaos     | xendevd  | no   |
+//! | `LightVm`       | noxs     | chaos     | xendevd  | yes  |
+
+use std::collections::BTreeMap;
+
+use devices::{xsdev, Backend, Hotplug, SoftwareSwitch};
+use guests::GuestImage;
+use hypervisor::{DeviceKind, DomId, DomainConfig, Hypervisor, HvError};
+use noxs::{driver as noxs_driver, SysctlBackend};
+use simcore::{Category, CostModel, CpuSim, Machine, Meter, SimRng, SimTime, TaskId};
+use xenstore::path::layout;
+use xenstore::{Flavor, XsError, Xenstored};
+
+use crate::config::VmConfig;
+use crate::split::{ChaosDaemon, VmShell};
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+/// The five control-plane configurations evaluated in Figure 9.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ToolstackMode {
+    /// Stock Xen: xl/libxl + XenStore + bash hotplug.
+    Xl,
+    /// chaos/libchaos over the XenStore.
+    ChaosXs,
+    /// chaos + XenStore + split toolstack (pre-created shells).
+    ChaosXsSplit,
+    /// chaos + noxs (no XenStore).
+    ChaosNoxs,
+    /// Everything on: chaos + noxs + split toolstack.
+    LightVm,
+}
+
+impl ToolstackMode {
+    /// True if this mode goes through the XenStore.
+    pub fn uses_xenstore(self) -> bool {
+        matches!(self, ToolstackMode::Xl | ToolstackMode::ChaosXs | ToolstackMode::ChaosXsSplit)
+    }
+
+    /// True if this mode uses the pre-created shell pool.
+    pub fn uses_split(self) -> bool {
+        matches!(self, ToolstackMode::ChaosXsSplit | ToolstackMode::LightVm)
+    }
+
+    /// The hotplug mechanism this mode uses.
+    pub fn hotplug(self) -> Hotplug {
+        match self {
+            ToolstackMode::Xl => Hotplug::BashScripts,
+            _ => Hotplug::Xendevd,
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ToolstackMode::Xl => "xl",
+            ToolstackMode::ChaosXs => "chaos [XS]",
+            ToolstackMode::ChaosXsSplit => "chaos [XS+split]",
+            ToolstackMode::ChaosNoxs => "chaos [NoXS]",
+            ToolstackMode::LightVm => "LightVM",
+        }
+    }
+}
+
+/// Control-plane errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlaneError {
+    /// The guest name is already taken (xl's uniqueness check).
+    NameTaken(String),
+    /// Unknown domain.
+    NoSuchVm,
+    /// Hypervisor failure (incl. host memory exhaustion).
+    Hv(HvError),
+    /// XenStore failure.
+    Xs(XsError),
+    /// Device failure.
+    Dev(String),
+}
+
+impl From<HvError> for PlaneError {
+    fn from(e: HvError) -> Self {
+        PlaneError::Hv(e)
+    }
+}
+impl From<XsError> for PlaneError {
+    fn from(e: XsError) -> Self {
+        PlaneError::Xs(e)
+    }
+}
+impl From<xsdev::XsDevError> for PlaneError {
+    fn from(e: xsdev::XsDevError) -> Self {
+        PlaneError::Dev(format!("{e:?}"))
+    }
+}
+impl From<noxs_driver::NoxsError> for PlaneError {
+    fn from(e: noxs_driver::NoxsError) -> Self {
+        PlaneError::Dev(format!("{e:?}"))
+    }
+}
+impl From<noxs::sysctl::SysctlError> for PlaneError {
+    fn from(e: noxs::sysctl::SysctlError) -> Self {
+        PlaneError::Dev(format!("{e:?}"))
+    }
+}
+impl From<noxs::checkpoint::CheckpointError> for PlaneError {
+    fn from(e: noxs::checkpoint::CheckpointError) -> Self {
+        PlaneError::Dev(format!("{e:?}"))
+    }
+}
+
+impl std::fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneError::NameTaken(n) => write!(f, "guest name {n} already in use"),
+            PlaneError::NoSuchVm => write!(f, "no such VM"),
+            PlaneError::Hv(e) => write!(f, "hypervisor: {e}"),
+            PlaneError::Xs(e) => write!(f, "xenstore: {e}"),
+            PlaneError::Dev(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+/// What a `create` did: the domain plus the per-category breakdown
+/// (Figure 5's instrumentation).
+#[derive(Clone, Debug)]
+pub struct CreateReport {
+    /// The new domain.
+    pub dom: DomId,
+    /// Per-category cost breakdown.
+    pub meter: Meter,
+    /// Whether a pre-created shell was used.
+    pub from_shell: bool,
+}
+
+impl CreateReport {
+    /// Total creation latency.
+    pub fn total(&self) -> SimTime {
+        self.meter.total()
+    }
+}
+
+/// A VM the control plane knows about.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    /// Guest name.
+    pub name: String,
+    /// The image it runs.
+    pub image: GuestImage,
+    /// Core its vCPU is pinned to.
+    pub core: usize,
+    /// Background CPU task once booted.
+    pub bg: Option<TaskId>,
+    /// Whether the guest finished booting.
+    pub booted: bool,
+    /// Net device ids.
+    pub net_devids: Vec<u32>,
+    /// Block device ids.
+    pub blk_devids: Vec<u32>,
+}
+
+/// Dom0 and everything in it.
+pub struct ControlPlane {
+    /// Which toolstack drives this host.
+    pub mode: ToolstackMode,
+    /// The machine this host runs on.
+    pub machine: Machine,
+    /// The XenStore daemon (present but idle in noxs modes).
+    pub xs: Xenstored,
+    /// The hypervisor.
+    pub hv: Hypervisor,
+    /// netback.
+    pub net: Backend,
+    /// blkback.
+    pub blk: Backend,
+    /// The console back-end (xenconsoled).
+    pub console: Backend,
+    /// The software switch.
+    pub switch: SoftwareSwitch,
+    /// The sysctl back-end (noxs power control).
+    pub sysctl: SysctlBackend,
+    /// The CPU contention model (all cores, Dom0's first).
+    pub cpu: CpuSim,
+    /// The split-toolstack daemon (pool used in split modes).
+    pub daemon: ChaosDaemon,
+    pub(crate) dom0_cores: usize,
+    pub(crate) vms: BTreeMap<DomId, Vm>,
+    pub(crate) rng: SimRng,
+    /// Work done off the critical path (pool refills).
+    pub background_meter: Meter,
+    pub(crate) dom0_load_total: f64,
+    pub(crate) created_total: u64,
+    /// Page-sharing fraction (§9 future work): when set, instances of an
+    /// already-running image share this fraction of their pages.
+    page_sharing: Option<f64>,
+    pub(crate) image_instances: std::collections::HashMap<String, usize>,
+}
+
+impl ControlPlane {
+    /// Creates a host: `dom0_cores` cores for Dom0, the rest for guests,
+    /// 4 GiB reserved for Dom0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom0_cores >= machine.cores`.
+    pub fn new(machine: Machine, dom0_cores: usize, mode: ToolstackMode, seed: u64) -> ControlPlane {
+        assert!(
+            dom0_cores >= 1 && dom0_cores < machine.cores,
+            "need at least one Dom0 core and one guest core"
+        );
+        let guest_cores: Vec<usize> = (dom0_cores..machine.cores).collect();
+        let hv = Hypervisor::new(machine.mem_bytes, 4 * GIB, guest_cores);
+        let cpu = CpuSim::new(machine.cores, machine.cpu_speed);
+        ControlPlane {
+            mode,
+            xs: Xenstored::new(Flavor::Oxenstored, seed ^ 0x5eed),
+            hv,
+            net: Backend::new(DeviceKind::Net),
+            blk: Backend::new(DeviceKind::Block),
+            console: Backend::new(DeviceKind::Console),
+            switch: SoftwareSwitch::new(),
+            sysctl: SysctlBackend::new(),
+            cpu,
+            daemon: ChaosDaemon::new(8),
+            dom0_cores,
+            vms: BTreeMap::new(),
+            rng: SimRng::new(seed),
+            background_meter: Meter::new(),
+            dom0_load_total: 0.0,
+            created_total: 0,
+            page_sharing: None,
+            image_instances: std::collections::HashMap::new(),
+            machine,
+        }
+        .finish_init()
+    }
+
+    fn finish_init(mut self) -> ControlPlane {
+        if self.mode.uses_xenstore() {
+            // Back-ends register their watches at start-up.
+            let cost = self.machine.cost.clone();
+            let mut m = Meter::new();
+            xsdev::register_backend_watch(&mut self.xs, &cost, &mut m, DeviceKind::Net);
+            xsdev::register_backend_watch(&mut self.xs, &cost, &mut m, DeviceKind::Block);
+            xsdev::register_backend_watch(&mut self.xs, &cost, &mut m, DeviceKind::Console);
+        }
+        self
+    }
+
+    /// The cost calibration in use.
+    pub fn cost(&self) -> CostModel {
+        self.machine.cost.clone()
+    }
+
+    /// Enables SnowFlock-style page sharing (paper §9): instances of an
+    /// image already running on the host share `fraction` of their pages
+    /// (read-only text and zero pages de-duplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1)`.
+    pub fn set_page_sharing(&mut self, fraction: Option<f64>) {
+        if let Some(f) = fraction {
+            assert!((0.0..1.0).contains(&f), "share fraction must be in [0, 1)");
+        }
+        self.page_sharing = fraction;
+    }
+
+    /// MiB to actually populate for an instance of `image`: the full
+    /// footprint for the first instance, de-duplicated for later ones.
+    fn effective_mem_mib(&self, image: &GuestImage) -> u64 {
+        match self.page_sharing {
+            Some(share) if self.image_instances.get(&image.name).copied().unwrap_or(0) > 0 => {
+                ((image.mem_mib as f64) * (1.0 - share)).ceil().max(1.0) as u64
+            }
+            _ => image.mem_mib,
+        }
+    }
+
+    /// Number of VMs the control plane tracks.
+    pub fn running_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// VM record access.
+    pub fn vm(&self, dom: DomId) -> Result<&Vm, PlaneError> {
+        self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)
+    }
+
+    /// Iterates over (domid, vm).
+    pub fn vms(&self) -> impl Iterator<Item = (&DomId, &Vm)> {
+        self.vms.iter()
+    }
+
+    /// Guest memory in use (bytes), the Figure 14 quantity.
+    pub fn guest_memory_used(&self) -> u64 {
+        self.vms
+            .values()
+            .map(|vm| vm.image.footprint_bytes())
+            .sum()
+    }
+
+    /// Whole-machine CPU utilisation (0..=1), the Figure 15 quantity.
+    pub fn cpu_utilization(&self) -> f64 {
+        let guest = self.cpu.total_utilization();
+        let dom0 = (self.dom0_load_total / self.dom0_cores as f64).min(1.0);
+        let cores = self.machine.cores as f64;
+        (guest * cores + dom0 * self.dom0_cores as f64).min(cores) / cores
+            - (self.cpu_dom0_double_count())
+    }
+
+    fn cpu_dom0_double_count(&self) -> f64 {
+        // Dom0 load lives outside the CpuSim (guests only), so nothing is
+        // double counted; kept as an explicit zero for clarity.
+        0.0
+    }
+
+    /// Dom0 contention multiplier on toolstack work: backends and
+    /// xenstored compete with per-guest housekeeping on Dom0's cores.
+    fn dom0_slowdown(&self) -> f64 {
+        let load = (self.dom0_load_total / self.dom0_cores as f64).min(0.85);
+        1.0 / (1.0 - load)
+    }
+
+    /// Updates the ambient-interference level from the registered
+    /// watch count (stand-in for the running guests' own xenbus traffic).
+    pub(crate) fn refresh_interference(&mut self) {
+        let watches: u32 = self.vms.values().filter(|v| v.booted).map(|v| v.image.watches).sum();
+        self.xs
+            .set_ambient_interference((watches as f64 * 1.2e-6).min(0.02));
+    }
+
+    // --- create ---------------------------------------------------------------
+
+    /// Creates (but does not boot) a VM, returning the Figure 5-style
+    /// breakdown.
+    pub fn create_vm(&mut self, name: &str, image: &GuestImage) -> Result<CreateReport, PlaneError> {
+        let cost = self.cost();
+        let mut meter = Meter::new();
+        let config = VmConfig::for_image(name, image);
+
+        // Config parsing (all modes; chaos parses the same format).
+        meter.charge(
+            Category::Config,
+            cost.config_parse_base + cost.config_parse_per_byte * config.text_len() as u64,
+        );
+
+        // Toolstack-internal state keeping.
+        meter.charge(
+            Category::Toolstack,
+            match self.mode {
+                ToolstackMode::Xl => cost.xl_internal,
+                _ => cost.chaos_internal,
+            },
+        );
+
+        let (dom, from_shell) = if self.mode.uses_split() {
+            match self.daemon.take(image.mem_mib, image.needs_net) {
+                Some(shell) => (self.finish_from_shell(&cost, &mut meter, shell, name, image)?, true),
+                None => (self.full_create(&cost, &mut meter, name, image)?, false),
+            }
+        } else {
+            (self.full_create(&cost, &mut meter, name, image)?, false)
+        };
+
+        // Image build: parse the kernel image and lay it out in memory;
+        // Linux kernels (Tinyx/Debian) additionally pay decompression and
+        // initramfs unpacking.
+        let pressure = self.hv.memory.factor().min(64.0);
+        let mib = image.loaded_bytes().div_ceil(MIB);
+        let mut load = cost.image_parse_base + (cost.image_load_per_mib * mib).scale(pressure);
+        if image.kind != guests::GuestKind::Unikernel {
+            load += cost.kernel_decompress_per_mib * mib;
+        }
+        meter.charge(Category::Load, load);
+
+        // Boot it last: the domain is left paused; `boot_vm` unpauses.
+        let slow = self.dom0_slowdown();
+        if slow > 1.0 {
+            let extra = meter.total().scale(slow - 1.0);
+            meter.charge(Category::Toolstack, extra);
+        }
+
+        // Jitter the total a little so repeated runs show measurement
+        // noise rather than perfectly smooth curves.
+        let noise = self
+            .rng
+            .jitter(meter.total(), 0.03)
+            .saturating_sub(meter.total());
+        if !noise.is_zero() {
+            meter.charge(Category::Toolstack, noise);
+        }
+
+        let core = self.hv.domain(dom)?.vcpu_cores[0];
+        *self
+            .image_instances
+            .entry(image.name.clone())
+            .or_insert(0) += 1;
+        self.vms.insert(
+            dom,
+            Vm {
+                name: name.to_string(),
+                image: image.clone(),
+                core,
+                bg: None,
+                booted: false,
+                net_devids: if image.needs_net { vec![0] } else { vec![] },
+                blk_devids: if image.needs_block { vec![0] } else { vec![] },
+            },
+        );
+        self.created_total += 1;
+
+        // The split daemon replenishes the pool off the critical path.
+        if self.mode.uses_split() {
+            self.daemon_refill(image);
+        }
+        Ok(CreateReport { dom, meter, from_shell })
+    }
+
+    /// The non-pooled create path: hypervisor work, registration and
+    /// device creation.
+    fn full_create(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<DomId, PlaneError> {
+        if self.mode == ToolstackMode::Xl {
+            self.xl_name_check(cost, meter, name)?;
+        }
+
+        // Hypervisor reservation + memory preparation + vCPUs. Under
+        // page sharing, repeat instances only populate their unique
+        // pages.
+        let mem = self.effective_mem_mib(image);
+        let dom = self.hv.create_domain(
+            cost,
+            meter,
+            &DomainConfig {
+                max_mem_mib: image.mem_mib,
+                vcpus: 1,
+            },
+        )?;
+        self.hv.populate_physmap(cost, meter, dom, mem)?;
+
+        if self.mode.uses_xenstore() {
+            self.xs.connect(dom.0);
+            self.xs_register_domain(cost, meter, dom, name)?;
+            for devid in net_ids(image) {
+                let mac = Backend::mac_for(dom, devid);
+                xsdev::toolstack_announce_device(
+                    &mut self.xs, cost, meter, DeviceKind::Net, dom, devid, &mac,
+                )?;
+                self.process_backend_events(cost, meter, DeviceKind::Net)?;
+            }
+            for devid in blk_ids(image) {
+                let mac = String::new();
+                xsdev::toolstack_announce_device(
+                    &mut self.xs, cost, meter, DeviceKind::Block, dom, devid, &mac,
+                )?;
+                self.process_backend_events(cost, meter, DeviceKind::Block)?;
+            }
+            if image.needs_console {
+                xsdev::toolstack_announce_device(
+                    &mut self.xs, cost, meter, DeviceKind::Console, dom, 0, "",
+                )?;
+                self.process_backend_events(cost, meter, DeviceKind::Console)?;
+            }
+            if self.mode == ToolstackMode::Xl {
+                // xl spawns a qemu device model per guest (PV console and
+                // qdisk backend).
+                meter.charge(Category::Devices, cost.xl_qemu_spawn);
+            }
+        } else {
+            noxs_driver::setup_device_page(&mut self.hv, cost, meter, dom)?;
+            self.sysctl.setup(&mut self.hv, cost, meter, dom)?;
+            for devid in net_ids(image) {
+                noxs_driver::create_device(
+                    &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
+                    cost, meter, dom, devid,
+                )?;
+            }
+            for devid in blk_ids(image) {
+                meter.charge(Category::Devices, cost.noxs_ioctl);
+                let (evtchn, grant) = self
+                    .blk
+                    .alloc_device(&mut self.hv, cost, meter, dom, devid)
+                    .map_err(|e| PlaneError::Dev(format!("{e:?}")))?;
+                self.hv.devpage_write(
+                    cost,
+                    meter,
+                    DomId::DOM0,
+                    dom,
+                    hypervisor::DevicePageEntry {
+                        kind: DeviceKind::Block,
+                        devid,
+                        backend: DomId::DOM0,
+                        evtchn,
+                        grant,
+                    },
+                )?;
+            }
+            if image.needs_console {
+                meter.charge(Category::Devices, cost.noxs_ioctl);
+                let (evtchn, grant) = self
+                    .console
+                    .alloc_device(&mut self.hv, cost, meter, dom, 0)
+                    .map_err(|e| PlaneError::Dev(format!("{e:?}")))?;
+                self.hv.devpage_write(
+                    cost,
+                    meter,
+                    DomId::DOM0,
+                    dom,
+                    hypervisor::DevicePageEntry {
+                        kind: DeviceKind::Console,
+                        devid: 0,
+                        backend: DomId::DOM0,
+                        evtchn,
+                        grant,
+                    },
+                )?;
+            }
+        }
+        Ok(dom)
+    }
+
+    /// Execute-phase completion when a shell is available: only the
+    /// VM-specific work remains.
+    fn finish_from_shell(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        shell: VmShell,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<DomId, PlaneError> {
+        let dom = shell.dom;
+        if self.mode.uses_xenstore() {
+            self.xs.connect(dom.0);
+            // Finalise naming and device initialisation in a transaction:
+            // the split toolstack still pays the store for VM-specific
+            // records (why chaos [XS+split] grows to ~25 ms at 1,000
+            // guests while chaos [NoXS] does not).
+            let d = layout::domain_dir(dom.0);
+            let name_owned = name.to_string();
+            self.xs
+                .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
+                    xs.txn_write(cost, meter, 0, id, &d.child("name").expect("ok"), name_owned.as_bytes())?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("image").expect("ok"), b"kernel")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("target").expect("ok"), b"mem")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("ring-ref").expect("ok"), b"1")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("device-init").expect("ok"), b"done")
+                })?;
+        } else {
+            // Finalise device initialisation over the control pages.
+            meter.charge(
+                Category::Devices,
+                cost.ctrl_page_exchange * (image.device_count().max(1)) as u64,
+            );
+        }
+        Ok(dom)
+    }
+
+    /// xl's unique-name check: list every domain and read its name.
+    fn xl_name_check(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        name: &str,
+    ) -> Result<(), PlaneError> {
+        let dir = xenstore::XsPath::parse("/local/domain").expect("static");
+        let entries = match self.xs.directory(cost, meter, 0, &dir) {
+            Ok(e) => e,
+            Err(XsError::NotFound) => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            if let Ok(domid) = entry.parse::<u32>() {
+                if let Ok(existing) = self.xs.read(cost, meter, 0, &layout::domain_name(domid)) {
+                    if existing == name.as_bytes() {
+                        return Err(PlaneError::NameTaken(name.to_string()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the domain's registration records (name, memory, console,
+    /// /vm bookkeeping) in a transaction. xl writes the full set; chaos
+    /// a lean subset.
+    pub(crate) fn xs_register_domain(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        name: &str,
+    ) -> Result<(), PlaneError> {
+        let full = self.mode == ToolstackMode::Xl;
+        let d = layout::domain_dir(dom.0);
+        let vm = layout::vm_dir(dom.0);
+        let name = name.to_string();
+        self.xs
+            .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
+                xs.txn_write(cost, meter, 0, id, &d.child("name").expect("ok"), name.as_bytes())?;
+                xs.txn_write(cost, meter, 0, id, &d.child("domid").expect("ok"), dom.0.to_string().as_bytes())?;
+                xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("target").expect("ok"), b"mem")?;
+                xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("ring-ref").expect("ok"), b"0")?;
+                xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("port").expect("ok"), b"0")?;
+                xs.txn_write(cost, meter, 0, id, &d.child("control").expect("ok").child("shutdown").expect("ok"), b"")?;
+                if full {
+                    xs.txn_write(cost, meter, 0, id, &vm.child("uuid").expect("ok"), b"0000-0000")?;
+                    xs.txn_write(cost, meter, 0, id, &vm.child("name").expect("ok"), name.as_bytes())?;
+                    xs.txn_write(cost, meter, 0, id, &vm.child("image").expect("ok").child("ostype").expect("ok"), b"linux")?;
+                    xs.txn_write(cost, meter, 0, id, &vm.child("start_time").expect("ok"), b"0")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("static-max").expect("ok"), b"max")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("cpu").expect("ok").child("0").expect("ok"), b"online")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("store").expect("ok").child("ring-ref").expect("ok"), b"1")?;
+                    xs.txn_write(cost, meter, 0, id, &d.child("store").expect("ok").child("port").expect("ok"), b"1")?;
+                }
+                Ok(())
+            })?;
+        Ok(())
+    }
+
+    /// Lets the back-ends drain their shared watch queue (device
+    /// allocation + hotplug). The `kind` argument documents what the
+    /// caller just announced; dispatch is by event path.
+    pub(crate) fn process_backend_events(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        kind: DeviceKind,
+    ) -> Result<(), PlaneError> {
+        let _ = kind;
+        xsdev::backend_process_events(
+            &mut self.xs, &mut self.hv,
+            &mut [&mut self.net, &mut self.blk, &mut self.console],
+            &mut self.switch, self.mode.hotplug(), cost, meter,
+        )?;
+        Ok(())
+    }
+
+    /// Pre-fills the shell pool for an image flavor (what the chaos
+    /// daemon does in the background before any create arrives).
+    pub fn prewarm(&mut self, image: &GuestImage) {
+        if self.mode.uses_split() {
+            self.daemon_refill(image);
+        }
+    }
+
+    /// Refills the shell pool (background work, not on the create path).
+    fn daemon_refill(&mut self, image: &GuestImage) {
+        let cost = self.cost();
+        while self.daemon.len() < self.daemon.target {
+            let mut m = Meter::new();
+            match self.prepare_shell(&cost, &mut m, image) {
+                Ok(shell) => {
+                    self.daemon.put(shell);
+                    // Background (daemon) work.
+                    for (cat, dt) in m.iter() {
+                        self.background_meter.charge(cat, dt);
+                    }
+                }
+                Err(_) => break, // e.g. out of memory: stop refilling
+            }
+        }
+    }
+
+    /// Prepare phase (paper Figure 8, steps 1-5): hypervisor
+    /// reservation, compute allocation, memory reservation and
+    /// preparation, device pre-creation.
+    fn prepare_shell(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        image: &GuestImage,
+    ) -> Result<VmShell, PlaneError> {
+        let mem = self.effective_mem_mib(image);
+        let dom = self.hv.create_domain(
+            cost,
+            meter,
+            &DomainConfig {
+                max_mem_mib: image.mem_mib,
+                vcpus: 1,
+            },
+        )?;
+        self.hv.populate_physmap(cost, meter, dom, mem)?;
+        if self.mode.uses_xenstore() {
+            self.xs.connect(dom.0);
+            self.xs_register_domain(cost, meter, dom, &format!("shell-{}", dom.0))?;
+            for devid in net_ids(image) {
+                let mac = Backend::mac_for(dom, devid);
+                xsdev::toolstack_announce_device(
+                    &mut self.xs, cost, meter, DeviceKind::Net, dom, devid, &mac,
+                )?;
+                self.process_backend_events(cost, meter, DeviceKind::Net)?;
+            }
+            if image.needs_console {
+                xsdev::toolstack_announce_device(
+                    &mut self.xs, cost, meter, DeviceKind::Console, dom, 0, "",
+                )?;
+                self.process_backend_events(cost, meter, DeviceKind::Console)?;
+            }
+        } else {
+            noxs_driver::setup_device_page(&mut self.hv, cost, meter, dom)?;
+            self.sysctl.setup(&mut self.hv, cost, meter, dom)?;
+            for devid in net_ids(image) {
+                noxs_driver::create_device(
+                    &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
+                    cost, meter, dom, devid,
+                )?;
+            }
+            if image.needs_console {
+                noxs_driver::create_device(
+                    &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
+                    cost, meter, dom, 0,
+                )?;
+            }
+        }
+        Ok(VmShell {
+            dom,
+            mem_mib: image.mem_mib,
+            has_net: image.needs_net,
+        })
+    }
+
+    // --- boot -----------------------------------------------------------------
+
+    /// Boots a created VM: unpause, guest-side device connection, guest
+    /// boot work under CPU contention. Returns the boot latency.
+    pub fn boot_vm(&mut self, dom: DomId) -> Result<SimTime, PlaneError> {
+        let cost = self.cost();
+        let mut meter = Meter::new();
+        let (image, core, net_devids, blk_devids) = {
+            let vm = self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)?;
+            (
+                vm.image.clone(),
+                vm.core,
+                vm.net_devids.clone(),
+                vm.blk_devids.clone(),
+            )
+        };
+        self.hv.unpause(&cost, &mut meter, dom)?;
+
+        if self.mode.uses_xenstore() {
+            // The guest registers its watches, then retrieves what the
+            // back-end published and connects.
+            for w in 0..image.watches {
+                let path = layout::domain_dir(dom.0);
+                self.xs
+                    .watch(&cost, &mut meter, dom.0, &path, &format!("fe-{w}"));
+            }
+            let _ = self.xs.take_events(&cost, &mut meter, dom.0);
+            for devid in net_devids {
+                xsdev::frontend_connect_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.net, &cost, &mut meter, dom, devid,
+                )?;
+            }
+            for devid in blk_devids {
+                xsdev::frontend_connect_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.blk, &cost, &mut meter, dom, devid,
+                )?;
+            }
+            if image.needs_console {
+                xsdev::frontend_connect_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.console, &cost, &mut meter, dom, 0,
+                )?;
+            }
+        } else {
+            noxs_driver::guest_connect_devices(
+                &mut self.hv,
+                &mut [&mut self.net, &mut self.blk, &mut self.console],
+                &cost,
+                &mut meter,
+                dom,
+            )?;
+        }
+
+        // Guest boot work under processor sharing on its core.
+        let probe = self.cpu.add_finite(core, image.boot_work.max(1e-9));
+        let rate = self.cpu.rate_of(probe).expect("finite task has a rate");
+        self.cpu.remove(probe);
+        let peers = self.cpu.tasks_on_core(core);
+        meter.charge(Category::Other, image.boot_latency(&cost, rate, peers));
+
+        // The guest is now resident: register its idle churn.
+        let bg = self.cpu.add_background(core, image.idle_demand);
+        self.dom0_load_total += image.dom0_load;
+        let vm = self.vms.get_mut(&dom).expect("checked above");
+        vm.bg = Some(bg);
+        vm.booted = true;
+        self.refresh_interference();
+        Ok(meter.total())
+    }
+
+    /// `create_vm` + `boot_vm`.
+    pub fn create_and_boot(
+        &mut self,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<(DomId, SimTime, SimTime), PlaneError> {
+        let report = self.create_vm(name, image)?;
+        let boot = self.boot_vm(report.dom)?;
+        Ok((report.dom, report.total(), boot))
+    }
+
+    // --- destroy --------------------------------------------------------------
+
+    /// Destroys a VM, releasing everything. Returns the teardown latency.
+    pub fn destroy_vm(&mut self, dom: DomId) -> Result<SimTime, PlaneError> {
+        let cost = self.cost();
+        let mut meter = Meter::new();
+        let vm = self.vms.remove(&dom).ok_or(PlaneError::NoSuchVm)?;
+        if let Some(n) = self.image_instances.get_mut(&vm.image.name) {
+            *n = n.saturating_sub(1);
+        }
+        if let Some(bg) = vm.bg {
+            self.cpu.remove(bg);
+        }
+        if vm.booted {
+            self.dom0_load_total = (self.dom0_load_total - vm.image.dom0_load).max(0.0);
+        }
+        if self.mode.uses_xenstore() {
+            for devid in &vm.net_devids {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.net, &mut self.switch,
+                    self.mode.hotplug(), &cost, &mut meter, dom, *devid,
+                );
+            }
+            for devid in &vm.blk_devids {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.blk, &mut self.switch,
+                    self.mode.hotplug(), &cost, &mut meter, dom, *devid,
+                );
+            }
+            if vm.image.needs_console {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.console, &mut self.switch,
+                    self.mode.hotplug(), &cost, &mut meter, dom, 0,
+                );
+            }
+            let _ = self.xs.rm(&cost, &mut meter, 0, &layout::domain_dir(dom.0));
+            let _ = self.xs.rm(&cost, &mut meter, 0, &layout::vm_dir(dom.0));
+            self.xs.disconnect(dom.0);
+        } else {
+            for devid in &vm.net_devids {
+                let _ = noxs_driver::destroy_device(
+                    &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
+                    &cost, &mut meter, dom, *devid,
+                );
+            }
+            if vm.image.needs_console {
+                let _ = noxs_driver::destroy_device(
+                    &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
+                    &cost, &mut meter, dom, 0,
+                );
+            }
+            self.blk.drop_domain(dom);
+            self.sysctl.drop_domain(dom);
+        }
+        self.hv.destroy(&cost, &mut meter, dom)?;
+        self.refresh_interference();
+        Ok(meter.total())
+    }
+}
+
+fn net_ids(image: &GuestImage) -> Vec<u32> {
+    if image.needs_net {
+        vec![0]
+    } else {
+        Vec::new()
+    }
+}
+
+fn blk_ids(image: &GuestImage) -> Vec<u32> {
+    if image.needs_block {
+        vec![0]
+    } else {
+        Vec::new()
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests: the xl config parser round-trips every config the
+//! serialiser can produce and never panics on arbitrary input.
+
+use proptest::prelude::*;
+use toolstack::VmConfig;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,24}"
+}
+
+fn arb_config() -> impl Strategy<Value = VmConfig> {
+    (
+        arb_name(),
+        "[a-zA-Z0-9/._-]{1,40}",
+        1u64..65536,
+        1u32..8,
+        prop::collection::vec("[a-z0-9=.:/]{1,30}", 0..3),
+        prop::collection::vec("[a-z0-9=.:/,]{1,30}", 0..3),
+    )
+        .prop_map(|(name, kernel, memory_mib, vcpus, vifs, disks)| VmConfig {
+            name,
+            kernel,
+            memory_mib,
+            vcpus,
+            vifs,
+            disks,
+        })
+}
+
+proptest! {
+    #[test]
+    fn round_trip(cfg in arb_config()) {
+        let text = cfg.to_text();
+        let parsed = VmConfig::parse(&text).unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,400}") {
+        let _ = VmConfig::parse(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_liney(lines in prop::collection::vec("[a-z]{0,8} ?=? ?[\"\\[\\]a-z0-9 ,]{0,20}", 0..10)) {
+        let _ = VmConfig::parse(&lines.join("\n"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The xenstored access log and its rotation spikes.
+//!
+//! The paper (§4.2) observes that the XenStore "logs every access to log
+//! files (20 of them), and rotates them when a certain maximum number of
+//! lines is reached (13,215 lines by default); the spikes happen when this
+//! rotation takes place". This module reproduces exactly that: every
+//! access appends a line; when the live file reaches the threshold, all
+//! files are rotated at a cost proportional to their number.
+
+/// Number of rotated log files xenstored keeps.
+pub const NUM_LOG_FILES: usize = 20;
+
+/// Lines after which rotation triggers (xenstored default).
+pub const ROTATE_LINES: u64 = 13_215;
+
+/// Access-log state: a line counter plus rotation bookkeeping.
+#[derive(Clone, Debug)]
+pub struct AccessLog {
+    enabled: bool,
+    lines_in_current: u64,
+    rotations: u64,
+    total_lines: u64,
+}
+
+/// What a single append did (for cost charging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogOutcome {
+    /// Logging disabled; nothing written.
+    Disabled,
+    /// One line appended.
+    Line,
+    /// One line appended and a rotation of all files triggered.
+    LineAndRotation {
+        /// Number of files rotated.
+        files: usize,
+    },
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl AccessLog {
+    /// Creates a log, enabled or not.
+    pub fn new(enabled: bool) -> AccessLog {
+        AccessLog {
+            enabled,
+            lines_in_current: 0,
+            rotations: 0,
+            total_lines: 0,
+        }
+    }
+
+    /// Enables/disables logging (the ablation the paper mentions trying).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if logging is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one access.
+    pub fn append(&mut self) -> LogOutcome {
+        if !self.enabled {
+            return LogOutcome::Disabled;
+        }
+        self.total_lines += 1;
+        self.lines_in_current += 1;
+        if self.lines_in_current >= ROTATE_LINES {
+            self.lines_in_current = 0;
+            self.rotations += 1;
+            LogOutcome::LineAndRotation {
+                files: NUM_LOG_FILES,
+            }
+        } else {
+            LogOutcome::Line
+        }
+    }
+
+    /// Rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Total lines written.
+    pub fn total_lines(&self) -> u64 {
+        self.total_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_triggers_at_threshold() {
+        let mut log = AccessLog::new(true);
+        for i in 1..ROTATE_LINES {
+            assert_eq!(log.append(), LogOutcome::Line, "line {i}");
+        }
+        assert_eq!(
+            log.append(),
+            LogOutcome::LineAndRotation {
+                files: NUM_LOG_FILES
+            }
+        );
+        assert_eq!(log.rotations(), 1);
+        // Counter resets.
+        assert_eq!(log.append(), LogOutcome::Line);
+    }
+
+    #[test]
+    fn disabled_log_writes_nothing() {
+        let mut log = AccessLog::new(false);
+        for _ in 0..(2 * ROTATE_LINES) {
+            assert_eq!(log.append(), LogOutcome::Disabled);
+        }
+        assert_eq!(log.rotations(), 0);
+        assert_eq!(log.total_lines(), 0);
+    }
+
+    #[test]
+    fn rotations_repeat_periodically() {
+        let mut log = AccessLog::new(true);
+        for _ in 0..(3 * ROTATE_LINES) {
+            log.append();
+        }
+        assert_eq!(log.rotations(), 3);
+        assert_eq!(log.total_lines(), 3 * ROTATE_LINES);
+    }
+}

@@ -1,0 +1,221 @@
+//! XenStore path handling.
+
+use std::fmt;
+
+use crate::store::XsError;
+
+/// A validated, absolute XenStore path (e.g. `/local/domain/3/name`).
+///
+/// Paths are `/`-separated; components may contain alphanumerics and
+/// `-_@:.`, matching what xenstored accepts in practice.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XsPath {
+    // Stored without a trailing slash; root is "/".
+    raw: String,
+}
+
+impl XsPath {
+    /// The root path `/`.
+    pub fn root() -> XsPath {
+        XsPath { raw: "/".into() }
+    }
+
+    /// Parses and validates a path.
+    pub fn parse(s: &str) -> Result<XsPath, XsError> {
+        if s.is_empty() || !s.starts_with('/') {
+            return Err(XsError::Invalid);
+        }
+        if s == "/" {
+            return Ok(XsPath::root());
+        }
+        if s.ends_with('/') {
+            return Err(XsError::Invalid);
+        }
+        for comp in s[1..].split('/') {
+            if comp.is_empty() || !comp.bytes().all(valid_byte) {
+                return Err(XsError::Invalid);
+            }
+        }
+        Ok(XsPath { raw: s.to_string() })
+    }
+
+    /// The path string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Path components (empty for root).
+    pub fn components(&self) -> Vec<&str> {
+        if self.raw == "/" {
+            Vec::new()
+        } else {
+            self.raw[1..].split('/').collect()
+        }
+    }
+
+    /// Number of components (depth); root is 0.
+    pub fn depth(&self) -> usize {
+        self.components().len()
+    }
+
+    /// Appends a child component.
+    pub fn child(&self, comp: &str) -> Result<XsPath, XsError> {
+        if comp.is_empty() || !comp.bytes().all(valid_byte) {
+            return Err(XsError::Invalid);
+        }
+        let raw = if self.raw == "/" {
+            format!("/{comp}")
+        } else {
+            format!("{}/{comp}", self.raw)
+        };
+        Ok(XsPath { raw })
+    }
+
+    /// The parent path; root's parent is root.
+    pub fn parent(&self) -> XsPath {
+        match self.raw.rfind('/') {
+            Some(0) | None => XsPath::root(),
+            Some(idx) => XsPath {
+                raw: self.raw[..idx].to_string(),
+            },
+        }
+    }
+
+    /// True if `self` equals `other` or is a descendant of it.
+    pub fn is_self_or_descendant_of(&self, other: &XsPath) -> bool {
+        if other.raw == "/" {
+            return true;
+        }
+        self.raw == other.raw
+            || (self.raw.starts_with(&other.raw)
+                && self.raw.as_bytes().get(other.raw.len()) == Some(&b'/'))
+    }
+
+    /// Length in bytes (used for payload costing).
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Paths are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+fn valid_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'@' | b':' | b'.')
+}
+
+impl fmt::Display for XsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl fmt::Debug for XsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XsPath({})", self.raw)
+    }
+}
+
+/// Conventional Xen store layout helpers (paths used by the toolstack).
+pub mod layout {
+    use super::XsPath;
+
+    /// `/local/domain/<domid>`.
+    pub fn domain_dir(domid: u32) -> XsPath {
+        XsPath::parse(&format!("/local/domain/{domid}")).expect("static path is valid")
+    }
+
+    /// `/local/domain/<domid>/name`.
+    pub fn domain_name(domid: u32) -> XsPath {
+        XsPath::parse(&format!("/local/domain/{domid}/name")).expect("static path is valid")
+    }
+
+    /// `/local/domain/<backend_domid>/backend/<kind>/<domid>/<devid>`.
+    pub fn backend_dir(backend: u32, kind: &str, domid: u32, devid: u32) -> XsPath {
+        XsPath::parse(&format!(
+            "/local/domain/{backend}/backend/{kind}/{domid}/{devid}"
+        ))
+        .expect("static path is valid")
+    }
+
+    /// `/local/domain/<domid>/device/<kind>/<devid>`.
+    pub fn frontend_dir(domid: u32, kind: &str, devid: u32) -> XsPath {
+        XsPath::parse(&format!("/local/domain/{domid}/device/{kind}/{devid}"))
+            .expect("static path is valid")
+    }
+
+    /// `/local/domain/<domid>/control/shutdown`.
+    pub fn control_shutdown(domid: u32) -> XsPath {
+        XsPath::parse(&format!("/local/domain/{domid}/control/shutdown"))
+            .expect("static path is valid")
+    }
+
+    /// `/vm/<uuid-ish>` bookkeeping directory.
+    pub fn vm_dir(domid: u32) -> XsPath {
+        XsPath::parse(&format!("/vm/{domid}")).expect("static path is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_paths() {
+        for p in ["/", "/local", "/local/domain/0", "/a/b-c/d_e/f@1:2.3"] {
+            assert!(XsPath::parse(p).is_ok(), "{p} should parse");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid_paths() {
+        for p in ["", "a/b", "/a/", "/a//b", "/a b", "/a\n", "/ä"] {
+            assert_eq!(XsPath::parse(p).unwrap_err(), XsError::Invalid, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn parent_and_child_are_inverse() {
+        let p = XsPath::parse("/local/domain/7").unwrap();
+        assert_eq!(p.parent().as_str(), "/local/domain");
+        assert_eq!(p.parent().child("7").unwrap(), p);
+        assert_eq!(XsPath::parse("/a").unwrap().parent(), XsPath::root());
+        assert_eq!(XsPath::root().parent(), XsPath::root());
+    }
+
+    #[test]
+    fn descendant_checks() {
+        let root = XsPath::root();
+        let a = XsPath::parse("/a").unwrap();
+        let ab = XsPath::parse("/a/b").unwrap();
+        let axb = XsPath::parse("/ax/b").unwrap();
+        assert!(ab.is_self_or_descendant_of(&a));
+        assert!(ab.is_self_or_descendant_of(&root));
+        assert!(a.is_self_or_descendant_of(&a));
+        assert!(!a.is_self_or_descendant_of(&ab));
+        assert!(!axb.is_self_or_descendant_of(&a), "prefix must respect separators");
+    }
+
+    #[test]
+    fn components_and_depth() {
+        assert_eq!(XsPath::root().depth(), 0);
+        let p = XsPath::parse("/local/domain/3/name").unwrap();
+        assert_eq!(p.components(), vec!["local", "domain", "3", "name"]);
+        assert_eq!(p.depth(), 4);
+    }
+
+    #[test]
+    fn layout_paths_parse() {
+        assert_eq!(layout::domain_dir(3).as_str(), "/local/domain/3");
+        assert_eq!(
+            layout::backend_dir(0, "vif", 5, 0).as_str(),
+            "/local/domain/0/backend/vif/5/0"
+        );
+        assert_eq!(
+            layout::frontend_dir(5, "vif", 0).as_str(),
+            "/local/domain/5/device/vif/0"
+        );
+    }
+}

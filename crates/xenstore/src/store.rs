@@ -1,0 +1,547 @@
+//! The hierarchical store tree.
+//!
+//! This is the pure data structure: a tree of nodes with values, owners
+//! and per-node modification generations (used by transaction conflict
+//! detection). All protocol and cost concerns live in
+//! [`crate::xenstored`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::path::XsPath;
+
+/// Errors mirroring the errno values xenstored returns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum XsError {
+    /// `ENOENT`: path does not exist.
+    NotFound,
+    /// `EEXIST`: node already exists (mkdir of existing path).
+    AlreadyExists,
+    /// `EINVAL`: malformed path or argument.
+    Invalid,
+    /// `EACCES`: permission denied.
+    PermissionDenied,
+    /// `EAGAIN`: transaction conflict, caller must retry.
+    Again,
+    /// Unknown transaction id.
+    NoSuchTxn,
+    /// `ENOSPC`: the domain exceeded its node quota (xenstored's
+    /// `quota-max-entity`; protects the store from guest DoS).
+    QuotaExceeded,
+}
+
+impl fmt::Display for XsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            XsError::NotFound => "ENOENT",
+            XsError::AlreadyExists => "EEXIST",
+            XsError::Invalid => "EINVAL",
+            XsError::PermissionDenied => "EACCES",
+            XsError::Again => "EAGAIN",
+            XsError::NoSuchTxn => "no such transaction",
+            XsError::QuotaExceeded => "ENOSPC (node quota)",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for XsError {}
+
+/// Node permissions: an owning domain plus world access bits.
+///
+/// This is a simplification of Xen's ACL lists that preserves what the
+/// control plane relies on: Dom0 can do anything, a guest can touch its
+/// own subtree, and backends can share selected nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Perms {
+    /// Owning domain (full access).
+    pub owner: u32,
+    /// Whether any domain may read.
+    pub others_read: bool,
+    /// Whether any domain may write.
+    pub others_write: bool,
+}
+
+impl Perms {
+    /// Dom0-owned, world-readable (the default for toolstack entries).
+    pub fn dom0() -> Perms {
+        Perms {
+            owner: 0,
+            others_read: true,
+            others_write: false,
+        }
+    }
+
+    /// Owned by `dom`, private.
+    pub fn private(dom: u32) -> Perms {
+        Perms {
+            owner: dom,
+            others_read: false,
+            others_write: false,
+        }
+    }
+
+    /// True if `dom` may read under these permissions.
+    pub fn may_read(&self, dom: u32) -> bool {
+        dom == 0 || dom == self.owner || self.others_read
+    }
+
+    /// True if `dom` may write under these permissions.
+    pub fn may_write(&self, dom: u32) -> bool {
+        dom == 0 || dom == self.owner || self.others_write
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    value: Vec<u8>,
+    perms: Perms,
+    generation: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn new(perms: Perms, generation: u64) -> Node {
+        Node {
+            value: Vec::new(),
+            perms,
+            generation,
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn count(&self) -> usize {
+        1 + self.children.values().map(Node::count).sum::<usize>()
+    }
+}
+
+/// The store tree.
+#[derive(Clone, Debug)]
+pub struct Store {
+    root: Node,
+    node_count: usize,
+    generation: u64,
+    /// Nodes owned per domain (Dom0 exempt from quota).
+    owned: BTreeMap<u32, usize>,
+    /// Per-domain node quota (None = unlimited).
+    quota: Option<usize>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Creates a store containing only the root node.
+    pub fn new() -> Store {
+        Store {
+            root: Node::new(Perms::dom0(), 0),
+            node_count: 1,
+            generation: 0,
+            owned: BTreeMap::new(),
+            quota: None,
+        }
+    }
+
+    /// Sets the per-domain node quota (xenstored's `quota-max-entity`,
+    /// default 1000 in real deployments). Dom0 is exempt.
+    pub fn set_quota(&mut self, quota: Option<usize>) {
+        self.quota = quota;
+    }
+
+    /// Nodes currently owned by a domain.
+    pub fn owned_by(&self, dom: u32) -> usize {
+        self.owned.get(&dom).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes including the root.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Global modification generation (bumped on every mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn lookup(&self, path: &XsPath) -> Option<&Node> {
+        let mut node = &self.root;
+        for comp in path.components() {
+            node = node.children.get(comp)?;
+        }
+        Some(node)
+    }
+
+    fn lookup_mut(&mut self, path: &XsPath) -> Option<&mut Node> {
+        let mut node = &mut self.root;
+        for comp in path.components() {
+            node = node.children.get_mut(comp)?;
+        }
+        Some(node)
+    }
+
+    /// True if the path exists.
+    pub fn exists(&self, path: &XsPath) -> bool {
+        self.lookup(path).is_some()
+    }
+
+    /// Modification generation of a node, `None` if absent.
+    pub fn node_generation(&self, path: &XsPath) -> Option<u64> {
+        self.lookup(path).map(|n| n.generation)
+    }
+
+    /// Reads a node's value as bytes.
+    pub fn read(&self, dom: u32, path: &XsPath) -> Result<&[u8], XsError> {
+        let node = self.lookup(path).ok_or(XsError::NotFound)?;
+        if !node.perms.may_read(dom) {
+            return Err(XsError::PermissionDenied);
+        }
+        Ok(&node.value)
+    }
+
+    /// Reads a node's value as UTF-8 (lossy values are an error).
+    pub fn read_str(&self, dom: u32, path: &XsPath) -> Result<&str, XsError> {
+        std::str::from_utf8(self.read(dom, path)?).map_err(|_| XsError::Invalid)
+    }
+
+    /// Writes `value` to `path`, creating the node and any missing parents
+    /// (xenstored semantics). New nodes are owned by `dom`.
+    pub fn write(&mut self, dom: u32, path: &XsPath, value: &[u8]) -> Result<(), XsError> {
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        // Quota pre-check: creating up to `depth` nodes must fit.
+        if dom != 0 {
+            if let Some(q) = self.quota {
+                let have = self.owned.get(&dom).copied().unwrap_or(0);
+                let worst_case = path.depth();
+                if have + worst_case > q && !self.exists(path) {
+                    // Cheap conservative check first; exact check below.
+                    let missing = self.missing_nodes_on(path);
+                    if have + missing > q {
+                        return Err(XsError::QuotaExceeded);
+                    }
+                }
+            }
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        let mut created = 0usize;
+        let mut node = &mut self.root;
+        let comps = path.components();
+        for (i, comp) in comps.iter().enumerate() {
+            let is_last = i + 1 == comps.len();
+            let exists = node.children.contains_key(*comp);
+            if !exists {
+                if !node.perms.may_write(dom) {
+                    self.node_count += created;
+                    return Err(XsError::PermissionDenied);
+                }
+                let perms = Perms {
+                    owner: dom,
+                    others_read: node.perms.others_read,
+                    others_write: false,
+                };
+                node.children
+                    .insert((*comp).to_string(), Node::new(perms, generation));
+                created += 1;
+            }
+            node = node.children.get_mut(*comp).expect("just ensured");
+            if is_last {
+                if !node.perms.may_write(dom) {
+                    // A permission failure on the final node can only
+                    // happen when it already existed; implicitly created
+                    // parents stay, as in xenstored.
+                    self.node_count += created;
+                    return Err(XsError::PermissionDenied);
+                }
+                node.value = value.to_vec();
+                node.generation = generation;
+            }
+        }
+        self.node_count += created;
+        if dom != 0 && created > 0 {
+            *self.owned.entry(dom).or_insert(0) += created;
+        }
+        Ok(())
+    }
+
+    /// Number of nodes `write(path)` would have to create.
+    fn missing_nodes_on(&self, path: &XsPath) -> usize {
+        let mut missing = 0;
+        let mut p = path.clone();
+        loop {
+            if self.exists(&p) {
+                break;
+            }
+            missing += 1;
+            if p.depth() <= 1 {
+                break;
+            }
+            p = p.parent();
+        }
+        missing
+    }
+
+    /// Creates an empty directory node.
+    pub fn mkdir(&mut self, dom: u32, path: &XsPath) -> Result<(), XsError> {
+        if self.exists(path) {
+            return Err(XsError::AlreadyExists);
+        }
+        self.write(dom, path, b"")
+    }
+
+    /// Removes a node and its subtree.
+    pub fn rm(&mut self, dom: u32, path: &XsPath) -> Result<(), XsError> {
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        let parent = path.parent();
+        let last = *path.components().last().expect("depth > 0");
+        let parent_node = self.lookup_mut(&parent).ok_or(XsError::NotFound)?;
+        let target = parent_node.children.get(last).ok_or(XsError::NotFound)?;
+        if !target.perms.may_write(dom) {
+            return Err(XsError::PermissionDenied);
+        }
+        let removed = target.count();
+        // Credit per-owner node counts for the removed subtree.
+        let mut credits: BTreeMap<u32, usize> = BTreeMap::new();
+        count_owners(target, &mut credits);
+        parent_node.children.remove(last);
+        for (owner, n) in credits {
+            if owner != 0 {
+                if let Some(c) = self.owned.get_mut(&owner) {
+                    *c = c.saturating_sub(n);
+                }
+            }
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        // The parent's generation changes: its child list was modified.
+        self.lookup_mut(&parent).expect("parent exists").generation = generation;
+        self.node_count -= removed;
+        Ok(())
+    }
+
+    /// Lists the child names of a node.
+    pub fn directory(&self, dom: u32, path: &XsPath) -> Result<Vec<String>, XsError> {
+        let node = self.lookup(path).ok_or(XsError::NotFound)?;
+        if !node.perms.may_read(dom) {
+            return Err(XsError::PermissionDenied);
+        }
+        Ok(node.children.keys().cloned().collect())
+    }
+
+    /// Reads a node's permissions.
+    pub fn get_perms(&self, path: &XsPath) -> Result<Perms, XsError> {
+        self.lookup(path).map(|n| n.perms).ok_or(XsError::NotFound)
+    }
+
+    /// Sets a node's permissions. Only Dom0 or the owner may do this.
+    pub fn set_perms(&mut self, dom: u32, path: &XsPath, perms: Perms) -> Result<(), XsError> {
+        self.generation += 1;
+        let generation = self.generation;
+        let node = match self.lookup_mut(path) {
+            Some(n) => n,
+            None => return Err(XsError::NotFound),
+        };
+        if dom != 0 && dom != node.perms.owner {
+            return Err(XsError::PermissionDenied);
+        }
+        node.perms = perms;
+        node.generation = generation;
+        Ok(())
+    }
+}
+
+/// Tallies node ownership across a subtree.
+fn count_owners(node: &Node, credits: &mut BTreeMap<u32, usize>) {
+    *credits.entry(node.perms.owner).or_insert(0) += 1;
+    for child in node.children.values() {
+        count_owners(child, credits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> XsPath {
+        XsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn write_creates_parents() {
+        let mut s = Store::new();
+        s.write(0, &p("/a/b/c"), b"v").unwrap();
+        assert_eq!(s.read(0, &p("/a/b/c")).unwrap(), b"v");
+        assert!(s.exists(&p("/a")));
+        assert!(s.exists(&p("/a/b")));
+        assert_eq!(s.node_count(), 4); // root + a + b + c
+    }
+
+    #[test]
+    fn read_missing_is_enoent() {
+        let s = Store::new();
+        assert_eq!(s.read(0, &p("/nope")).unwrap_err(), XsError::NotFound);
+    }
+
+    #[test]
+    fn rm_removes_subtree_and_counts() {
+        let mut s = Store::new();
+        s.write(0, &p("/a/b/c"), b"1").unwrap();
+        s.write(0, &p("/a/b/d"), b"2").unwrap();
+        assert_eq!(s.node_count(), 5);
+        s.rm(0, &p("/a/b")).unwrap();
+        assert_eq!(s.node_count(), 2);
+        assert!(!s.exists(&p("/a/b/c")));
+        assert!(s.exists(&p("/a")));
+    }
+
+    #[test]
+    fn rm_root_is_invalid() {
+        let mut s = Store::new();
+        assert_eq!(s.rm(0, &XsPath::root()).unwrap_err(), XsError::Invalid);
+    }
+
+    #[test]
+    fn mkdir_twice_is_eexist() {
+        let mut s = Store::new();
+        s.mkdir(0, &p("/a")).unwrap();
+        assert_eq!(s.mkdir(0, &p("/a")).unwrap_err(), XsError::AlreadyExists);
+    }
+
+    #[test]
+    fn directory_lists_children_sorted() {
+        let mut s = Store::new();
+        for name in ["zeta", "alpha", "mid"] {
+            s.write(0, &p(&format!("/dir/{name}")), b"").unwrap();
+        }
+        assert_eq!(s.directory(0, &p("/dir")).unwrap(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn generations_bump_on_mutation() {
+        let mut s = Store::new();
+        s.write(0, &p("/a"), b"1").unwrap();
+        let g1 = s.node_generation(&p("/a")).unwrap();
+        s.write(0, &p("/a"), b"2").unwrap();
+        let g2 = s.node_generation(&p("/a")).unwrap();
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn rm_bumps_parent_generation() {
+        let mut s = Store::new();
+        s.write(0, &p("/a/b"), b"").unwrap();
+        let g_parent = s.node_generation(&p("/a")).unwrap();
+        s.rm(0, &p("/a/b")).unwrap();
+        assert!(s.node_generation(&p("/a")).unwrap() > g_parent);
+    }
+
+    #[test]
+    fn guest_cannot_write_dom0_private_node() {
+        let mut s = Store::new();
+        s.write(0, &p("/secure"), b"x").unwrap();
+        s.set_perms(
+            0,
+            &p("/secure"),
+            Perms {
+                owner: 0,
+                others_read: false,
+                others_write: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.read(7, &p("/secure")).unwrap_err(), XsError::PermissionDenied);
+        assert_eq!(
+            s.write(7, &p("/secure"), b"y").unwrap_err(),
+            XsError::PermissionDenied
+        );
+        // Dom0 always can.
+        assert_eq!(s.read(0, &p("/secure")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn guest_owns_its_subtree() {
+        let mut s = Store::new();
+        s.write(0, &p("/local/domain/7"), b"").unwrap();
+        s.set_perms(0, &p("/local/domain/7"), Perms::private(7)).unwrap();
+        s.write(7, &p("/local/domain/7/data"), b"mine").unwrap();
+        assert_eq!(s.read(7, &p("/local/domain/7/data")).unwrap(), b"mine");
+        // Another guest cannot read it.
+        assert_eq!(
+            s.read(8, &p("/local/domain/7/data")).unwrap_err(),
+            XsError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn set_perms_requires_ownership() {
+        let mut s = Store::new();
+        s.write(0, &p("/n"), b"").unwrap();
+        assert_eq!(
+            s.set_perms(5, &p("/n"), Perms::private(5)).unwrap_err(),
+            XsError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn read_str_rejects_non_utf8() {
+        let mut s = Store::new();
+        s.write(0, &p("/bin"), &[0xff, 0xfe]).unwrap();
+        assert_eq!(s.read_str(0, &p("/bin")).unwrap_err(), XsError::Invalid);
+    }
+
+    #[test]
+    fn quota_limits_guest_nodes_but_not_dom0() {
+        let mut s = Store::new();
+        s.set_quota(Some(3));
+        // Guest 7 owns its subtree.
+        s.write(0, &p("/g"), b"").unwrap();
+        s.set_perms(0, &p("/g"), Perms { owner: 7, others_read: true, others_write: true }).unwrap();
+        s.write(7, &p("/g/a"), b"").unwrap();
+        s.write(7, &p("/g/b"), b"").unwrap();
+        s.write(7, &p("/g/c"), b"").unwrap();
+        assert_eq!(s.owned_by(7), 3);
+        assert_eq!(s.write(7, &p("/g/d"), b"").unwrap_err(), XsError::QuotaExceeded);
+        // Rewriting an existing node is fine (no new nodes).
+        s.write(7, &p("/g/a"), b"update").unwrap();
+        // Dom0 is exempt.
+        for i in 0..10 {
+            s.write(0, &p(&format!("/dom0-{i}")), b"").unwrap();
+        }
+    }
+
+    #[test]
+    fn quota_credits_back_on_rm() {
+        let mut s = Store::new();
+        s.set_quota(Some(2));
+        s.write(0, &p("/g"), b"").unwrap();
+        s.set_perms(0, &p("/g"), Perms { owner: 5, others_read: true, others_write: true }).unwrap();
+        s.write(5, &p("/g/a"), b"").unwrap();
+        s.write(5, &p("/g/b"), b"").unwrap();
+        assert_eq!(s.write(5, &p("/g/c"), b"").unwrap_err(), XsError::QuotaExceeded);
+        s.rm(5, &p("/g/a")).unwrap();
+        assert_eq!(s.owned_by(5), 1);
+        s.write(5, &p("/g/c"), b"").unwrap();
+    }
+
+    #[test]
+    fn quota_counts_implicit_parents() {
+        let mut s = Store::new();
+        s.set_quota(Some(2));
+        s.write(0, &p("/g"), b"").unwrap();
+        s.set_perms(0, &p("/g"), Perms { owner: 9, others_read: true, others_write: true }).unwrap();
+        // /g/x/y/z would create three nodes: over the quota of 2.
+        assert_eq!(
+            s.write(9, &p("/g/x/y/z"), b"").unwrap_err(),
+            XsError::QuotaExceeded
+        );
+        // Two levels fit.
+        s.write(9, &p("/g/x/y"), b"").unwrap();
+        assert_eq!(s.owned_by(9), 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! Transactions with optimistic concurrency (oxenstored-style).
+//!
+//! A transaction conceptually snapshots the store at start (oxenstored
+//! copies the tree — a cost that grows with store size and is charged by
+//! the daemon), executes reads and writes against that snapshot, and on
+//! commit validates that no node it touched changed in the main store in
+//! the meantime. A failed validation returns [`XsError::Again`] and the
+//! client retries the whole transaction, exactly as libxl does.
+//!
+//! Implementation note: rather than physically cloning the tree (which
+//! would make large-density simulations quadratic), the transaction
+//! keeps a write *overlay* over the live store plus the generation of
+//! every touched node. Because conflict detection already invalidates
+//! any interleaved change to touched nodes, overlay reads are
+//! indistinguishable from snapshot reads for committed transactions.
+//! The daemon still charges the snapshot cost via
+//! [`Txn::snapshot_nodes`].
+
+use std::collections::BTreeMap;
+
+use crate::path::XsPath;
+use crate::store::{Perms, Store, XsError};
+
+/// Transaction identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+#[derive(Clone, Debug)]
+enum WriteOp {
+    Write(XsPath, Vec<u8>),
+    Rm(XsPath),
+    SetPerms(XsPath, Perms),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Overlay {
+    /// Value written in this transaction over a visible path: the main
+    /// store's children below it remain visible.
+    Value(Vec<u8>),
+    /// Value written over a path that this transaction had removed (or
+    /// that lies under a removed ancestor): it exists, but the main
+    /// store's children below it stay hidden — they were deleted.
+    Recreated(Vec<u8>),
+    /// Subtree removed in this transaction.
+    Removed,
+}
+
+/// An in-flight transaction.
+#[derive(Debug)]
+pub struct Txn {
+    /// Id handed to the client.
+    pub id: TxnId,
+    /// Owning connection (domain id).
+    pub conn: u32,
+    overlay: BTreeMap<XsPath, Overlay>,
+    /// Main-store generation of each touched node at first touch
+    /// (`None` = the node did not exist then).
+    touched: BTreeMap<XsPath, Option<u64>>,
+    write_log: Vec<WriteOp>,
+    /// Number of nodes the oxenstored snapshot would copy (cost model).
+    pub snapshot_nodes: usize,
+}
+
+impl Txn {
+    /// Starts a transaction against the current store state.
+    pub fn start(id: TxnId, conn: u32, store: &Store) -> Txn {
+        Txn {
+            id,
+            conn,
+            overlay: BTreeMap::new(),
+            touched: BTreeMap::new(),
+            write_log: Vec::new(),
+            snapshot_nodes: store.node_count(),
+        }
+    }
+
+    /// Number of nodes touched so far (validation cost on commit).
+    pub fn touched_nodes(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Number of buffered write operations.
+    pub fn write_ops(&self) -> usize {
+        self.write_log.len()
+    }
+
+    /// Iterates over the paths this transaction has touched.
+    pub fn touched_paths(&self) -> impl Iterator<Item = &XsPath> {
+        self.touched.keys()
+    }
+
+    fn touch(&mut self, main: &Store, path: &XsPath) {
+        self.touched
+            .entry(path.clone())
+            .or_insert_with(|| main.node_generation(path));
+    }
+
+    /// Whether `path` exists from the transaction's point of view.
+    ///
+    /// The *nearest* ancestor-or-self overlay entry decides: an exact
+    /// entry answers directly; a `Removed` or `Recreated` ancestor hides
+    /// whatever the main store has below it (the subtree was deleted); a
+    /// plain `Value` ancestor or no entry at all defers to the main
+    /// store.
+    fn exists_view(&self, main: &Store, path: &XsPath) -> bool {
+        let mut p = path.clone();
+        let mut dist = 0usize;
+        loop {
+            if let Some(e) = self.overlay.get(&p) {
+                return match (e, dist) {
+                    (Overlay::Value(_) | Overlay::Recreated(_), 0) => true,
+                    (Overlay::Removed, _) => false,
+                    (Overlay::Recreated(_), _) => false, // hidden main child
+                    (Overlay::Value(_), _) => main.exists(path),
+                };
+            }
+            if p.depth() == 0 {
+                return main.exists(path);
+            }
+            p = p.parent();
+            dist += 1;
+        }
+    }
+
+    /// Whether main-store content below `path` is hidden by a removal in
+    /// this transaction (the "cut" test for write markers).
+    fn is_cut(&self, path: &XsPath) -> bool {
+        let mut p = path.clone();
+        loop {
+            if let Some(e) = self.overlay.get(&p) {
+                return matches!(e, Overlay::Removed | Overlay::Recreated(_));
+            }
+            if p.depth() == 0 {
+                return false;
+            }
+            p = p.parent();
+        }
+    }
+
+    /// Transactional read: sees the transaction's own writes.
+    pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Vec<u8>, XsError> {
+        self.touch(main, path);
+        match self.overlay.get(path) {
+            Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(v.clone()),
+            Some(Overlay::Removed) => Err(XsError::NotFound),
+            None => {
+                if self.exists_view(main, path) {
+                    main.read(self.conn, path).map(|v| v.to_vec())
+                } else {
+                    Err(XsError::NotFound)
+                }
+            }
+        }
+    }
+
+    /// Transactional existence check.
+    pub fn exists(&mut self, main: &Store, path: &XsPath) -> bool {
+        self.touch(main, path);
+        self.exists_view(main, path)
+    }
+
+    /// Transactional directory listing: main-store children (unless
+    /// hidden by a removal) merged with children created in the overlay.
+    pub fn directory(&mut self, main: &Store, path: &XsPath) -> Result<Vec<String>, XsError> {
+        self.touch(main, path);
+        if !self.exists_view(main, path) {
+            return Err(XsError::NotFound);
+        }
+        let mut names: Vec<String> = match main.directory(self.conn, path) {
+            Ok(v) => v,
+            Err(XsError::NotFound) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        // Add children created in this txn.
+        for (p, o) in &self.overlay {
+            if matches!(o, Overlay::Value(_) | Overlay::Recreated(_)) && p.parent() == *path {
+                let name = p.components().last().expect("non-root").to_string();
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        // Keep only children visible through the overlay.
+        names.retain(|n| {
+            let child = path.child(n).expect("child of valid dir");
+            self.exists_view(main, &child)
+        });
+        names.sort();
+        Ok(names)
+    }
+
+    /// Transactional write (buffered until commit).
+    pub fn write(&mut self, main: &Store, path: &XsPath, value: &[u8]) -> Result<(), XsError> {
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        self.touch(main, path);
+        // Parents that do not exist in the txn's view get implicit
+        // entries (top-down, so cut detection sees fresh markers).
+        let mut chain = Vec::new();
+        let mut p = path.parent();
+        while p.depth() > 0 && !self.exists_view(main, &p) {
+            chain.push(p.clone());
+            p = p.parent();
+        }
+        for q in chain.into_iter().rev() {
+            let marker = if self.is_cut(&q) {
+                Overlay::Recreated(Vec::new())
+            } else {
+                Overlay::Value(Vec::new())
+            };
+            self.overlay.insert(q, marker);
+        }
+        let marker = if self.is_cut(path) {
+            Overlay::Recreated(value.to_vec())
+        } else {
+            Overlay::Value(value.to_vec())
+        };
+        self.overlay.insert(path.clone(), marker);
+        self.write_log.push(WriteOp::Write(path.clone(), value.to_vec()));
+        Ok(())
+    }
+
+    /// Transactional mkdir.
+    pub fn mkdir(&mut self, main: &Store, path: &XsPath) -> Result<(), XsError> {
+        if self.exists(main, path) {
+            return Err(XsError::AlreadyExists);
+        }
+        self.write(main, path, b"")
+    }
+
+    /// Transactional remove.
+    pub fn rm(&mut self, main: &Store, path: &XsPath) -> Result<(), XsError> {
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        if !self.exists(main, path) {
+            return Err(XsError::NotFound);
+        }
+        // Drop any overlay entries underneath.
+        let doomed: Vec<XsPath> = self
+            .overlay
+            .keys()
+            .filter(|p| p.is_self_or_descendant_of(path))
+            .cloned()
+            .collect();
+        for p in doomed {
+            self.overlay.remove(&p);
+        }
+        self.overlay.insert(path.clone(), Overlay::Removed);
+        self.write_log.push(WriteOp::Rm(path.clone()));
+        Ok(())
+    }
+
+    /// Transactional permission change.
+    pub fn set_perms(&mut self, main: &Store, path: &XsPath, perms: Perms) -> Result<(), XsError> {
+        if !self.exists(main, path) {
+            return Err(XsError::NotFound);
+        }
+        self.write_log.push(WriteOp::SetPerms(path.clone(), perms));
+        Ok(())
+    }
+
+    /// Validates against the main store and, if clean, replays the write
+    /// log onto it. Returns the written paths (for watch firing).
+    ///
+    /// On conflict the transaction is consumed and the caller receives
+    /// [`XsError::Again`]; clients restart the transaction from scratch.
+    pub fn commit(self, main: &mut Store) -> Result<Vec<XsPath>, XsError> {
+        for (path, gen0) in &self.touched {
+            if main.node_generation(path) != *gen0 {
+                return Err(XsError::Again);
+            }
+        }
+        let mut fired = Vec::new();
+        for op in self.write_log {
+            match op {
+                WriteOp::Write(p, v) => {
+                    main.write(self.conn, &p, &v)?;
+                    fired.push(p);
+                }
+                WriteOp::Rm(p) => {
+                    // The subtree may already be gone if an earlier Rm in
+                    // this same log removed an ancestor.
+                    match main.rm(self.conn, &p) {
+                        Ok(()) | Err(XsError::NotFound) => fired.push(p),
+                        Err(e) => return Err(e),
+                    }
+                }
+                WriteOp::SetPerms(p, perms) => {
+                    main.set_perms(self.conn, &p, perms)?;
+                }
+            }
+        }
+        Ok(fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> XsPath {
+        XsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn txn_reads_see_own_writes_but_store_does_not() {
+        let mut store = Store::new();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/x"), b"1").unwrap();
+        assert_eq!(t.read(&store, &p("/x")).unwrap(), b"1");
+        assert!(!store.exists(&p("/x")));
+        t.commit(&mut store).unwrap();
+        assert_eq!(store.read(0, &p("/x")).unwrap(), b"1");
+    }
+
+    #[test]
+    fn outside_write_to_touched_node_conflicts() {
+        let mut store = Store::new();
+        store.write(0, &p("/x"), b"0").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        let _ = t.read(&store, &p("/x")).unwrap();
+        // Another client writes /x while the txn is open.
+        store.write(0, &p("/x"), b"interfering").unwrap();
+        assert_eq!(t.commit(&mut store).unwrap_err(), XsError::Again);
+        assert_eq!(store.read(0, &p("/x")).unwrap(), b"interfering");
+    }
+
+    #[test]
+    fn outside_write_to_untouched_node_is_fine() {
+        let mut store = Store::new();
+        store.write(0, &p("/x"), b"0").unwrap();
+        store.write(0, &p("/y"), b"0").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/x"), b"1").unwrap();
+        store.write(0, &p("/y"), b"other").unwrap();
+        t.commit(&mut store).unwrap();
+        assert_eq!(store.read(0, &p("/x")).unwrap(), b"1");
+        assert_eq!(store.read(0, &p("/y")).unwrap(), b"other");
+    }
+
+    #[test]
+    fn creation_race_conflicts() {
+        let mut store = Store::new();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        // Txn observes /new as absent...
+        assert!(!t.exists(&store, &p("/new")));
+        // ...then someone else creates it.
+        store.write(0, &p("/new"), b"raced").unwrap();
+        t.write(&store, &p("/new"), b"mine").unwrap();
+        assert_eq!(t.commit(&mut store).unwrap_err(), XsError::Again);
+    }
+
+    #[test]
+    fn dropped_txn_changes_nothing() {
+        let mut store = Store::new();
+        {
+            let mut t = Txn::start(TxnId(1), 0, &store);
+            t.write(&store, &p("/gone"), b"x").unwrap();
+            // Dropped without commit (abort).
+        }
+        assert!(!store.exists(&p("/gone")));
+    }
+
+    #[test]
+    fn rm_in_txn_applies_on_commit() {
+        let mut store = Store::new();
+        store.write(0, &p("/a/b"), b"x").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.rm(&store, &p("/a/b")).unwrap();
+        assert!(!t.exists(&store, &p("/a/b")));
+        assert!(store.exists(&p("/a/b")));
+        t.commit(&mut store).unwrap();
+        assert!(!store.exists(&p("/a/b")));
+    }
+
+    #[test]
+    fn rm_hides_descendants_within_txn() {
+        let mut store = Store::new();
+        store.write(0, &p("/a/b/c"), b"x").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.rm(&store, &p("/a")).unwrap();
+        assert!(!t.exists(&store, &p("/a/b/c")));
+        assert_eq!(t.read(&store, &p("/a/b/c")).unwrap_err(), XsError::NotFound);
+    }
+
+    #[test]
+    fn directory_merges_overlay_and_main() {
+        let mut store = Store::new();
+        store.write(0, &p("/d/from-main"), b"").unwrap();
+        store.write(0, &p("/d/doomed"), b"").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/d/from-txn"), b"").unwrap();
+        t.rm(&store, &p("/d/doomed")).unwrap();
+        let names = t.directory(&store, &p("/d")).unwrap();
+        assert_eq!(names, vec!["from-main", "from-txn"]);
+    }
+
+    #[test]
+    fn commit_reports_written_paths_for_watches() {
+        let mut store = Store::new();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/a"), b"1").unwrap();
+        t.write(&store, &p("/b"), b"2").unwrap();
+        let fired = t.commit(&mut store).unwrap();
+        assert_eq!(fired, vec![p("/a"), p("/b")]);
+    }
+
+    #[test]
+    fn snapshot_node_count_tracks_store_size() {
+        let mut store = Store::new();
+        for i in 0..10 {
+            store.write(0, &p(&format!("/n{i}")), b"").unwrap();
+        }
+        let t = Txn::start(TxnId(1), 0, &store);
+        assert_eq!(t.snapshot_nodes, 11);
+    }
+
+    #[test]
+    fn mkdir_of_existing_is_eexist() {
+        let mut store = Store::new();
+        store.write(0, &p("/a"), b"").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        assert_eq!(t.mkdir(&store, &p("/a")).unwrap_err(), XsError::AlreadyExists);
+        t.mkdir(&store, &p("/b")).unwrap();
+        assert_eq!(t.mkdir(&store, &p("/b")).unwrap_err(), XsError::AlreadyExists);
+    }
+
+    #[test]
+    fn implicit_parents_visible_within_txn() {
+        let mut store = Store::new();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/a/b/c"), b"v").unwrap();
+        assert!(t.exists(&store, &p("/a")));
+        assert!(t.exists(&store, &p("/a/b")));
+        t.commit(&mut store).unwrap();
+        assert!(store.exists(&p("/a/b")));
+    }
+}

@@ -1,0 +1,222 @@
+//! Watches: subtree-change notifications.
+//!
+//! A client registers a watch on a path with a token; whenever that path
+//! or anything below it is modified, the client receives an event carrying
+//! the modified path and the token. xenstored checks *every* registered
+//! watch against every write — a per-write cost that grows with the
+//! number of devices and guests in the system.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::path::XsPath;
+
+/// A delivered watch notification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The path that changed (or the watch path itself for the initial
+    /// registration event).
+    pub path: XsPath,
+    /// The token supplied at registration.
+    pub token: String,
+}
+
+/// The registry of watches plus per-connection pending event queues.
+///
+/// Watches are indexed by watch path so a mutation only walks the
+/// mutated path's ancestor chain; the *charged* cost still counts every
+/// registered watch (what xenstored pays), reported via
+/// [`FireStats::checked`].
+#[derive(Default, Debug)]
+pub struct WatchTable {
+    by_path: BTreeMap<XsPath, Vec<(u32, String)>>,
+    count: usize,
+    pending: BTreeMap<u32, VecDeque<WatchEvent>>,
+}
+
+/// Outcome of checking a mutation against the table (for cost charging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FireStats {
+    /// Watches examined (every registered watch).
+    pub checked: usize,
+    /// Events queued.
+    pub fired: usize,
+}
+
+impl WatchTable {
+    /// Creates an empty table.
+    pub fn new() -> WatchTable {
+        WatchTable::default()
+    }
+
+    /// Number of registered watches.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Registers a watch. As in xenstored, an initial event for the watch
+    /// path itself is queued immediately so the client can synchronise.
+    pub fn register(&mut self, conn: u32, path: XsPath, token: impl Into<String>) {
+        let token = token.into();
+        self.pending.entry(conn).or_default().push_back(WatchEvent {
+            path: path.clone(),
+            token: token.clone(),
+        });
+        self.by_path.entry(path).or_default().push((conn, token));
+        self.count += 1;
+    }
+
+    /// Unregisters a watch by (connection, path, token). Returns true if
+    /// one was removed.
+    pub fn unregister(&mut self, conn: u32, path: &XsPath, token: &str) -> bool {
+        let Some(list) = self.by_path.get_mut(path) else {
+            return false;
+        };
+        let before = list.len();
+        list.retain(|(c, t)| !(*c == conn && t == token));
+        let removed = before - list.len();
+        if list.is_empty() {
+            self.by_path.remove(path);
+        }
+        self.count -= removed;
+        removed > 0
+    }
+
+    /// Drops all watches and pending events of a connection (domain
+    /// death).
+    pub fn drop_conn(&mut self, conn: u32) {
+        let mut removed = 0;
+        self.by_path.retain(|_, list| {
+            let before = list.len();
+            list.retain(|(c, _)| *c != conn);
+            removed += before - list.len();
+            !list.is_empty()
+        });
+        self.count -= removed;
+        self.pending.remove(&conn);
+    }
+
+    /// Records that `path` was mutated, queueing events for every watch
+    /// on the path or one of its ancestors.
+    pub fn note_mutation(&mut self, path: &XsPath) -> FireStats {
+        let mut fired = 0;
+        let mut p = path.clone();
+        loop {
+            if let Some(list) = self.by_path.get(&p) {
+                for (conn, token) in list {
+                    self.pending
+                        .entry(*conn)
+                        .or_default()
+                        .push_back(WatchEvent {
+                            path: path.clone(),
+                            token: token.clone(),
+                        });
+                    fired += 1;
+                }
+            }
+            if p.depth() == 0 {
+                break;
+            }
+            p = p.parent();
+        }
+        FireStats {
+            checked: self.count,
+            fired,
+        }
+    }
+
+    /// Takes all pending events for a connection, in FIFO order.
+    pub fn take_events(&mut self, conn: u32) -> Vec<WatchEvent> {
+        self.pending
+            .get_mut(&conn)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of events pending for a connection.
+    pub fn pending_count(&self, conn: u32) -> usize {
+        self.pending.get(&conn).map(VecDeque::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> XsPath {
+        XsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn registration_fires_initial_event() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a"), "tok");
+        assert_eq!(
+            t.take_events(1),
+            vec![WatchEvent {
+                path: p("/a"),
+                token: "tok".into()
+            }]
+        );
+        assert!(t.take_events(1).is_empty());
+    }
+
+    #[test]
+    fn mutation_fires_matching_watches_only() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a"), "a");
+        t.register(2, p("/b"), "b");
+        t.take_events(1);
+        t.take_events(2);
+        let stats = t.note_mutation(&p("/a/x"));
+        assert_eq!(stats.checked, 2);
+        assert_eq!(stats.fired, 1);
+        assert_eq!(t.pending_count(1), 1);
+        assert_eq!(t.pending_count(2), 0);
+        let ev = t.take_events(1);
+        assert_eq!(ev[0].path, p("/a/x"));
+        assert_eq!(ev[0].token, "a");
+    }
+
+    #[test]
+    fn watch_on_exact_path_fires() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a/b"), "t");
+        t.take_events(1);
+        assert_eq!(t.note_mutation(&p("/a/b")).fired, 1);
+        assert_eq!(t.note_mutation(&p("/a")).fired, 0);
+    }
+
+    #[test]
+    fn unregister_removes_watch() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a"), "t");
+        t.take_events(1);
+        assert!(t.unregister(1, &p("/a"), "t"));
+        assert!(!t.unregister(1, &p("/a"), "t"));
+        assert_eq!(t.note_mutation(&p("/a/x")).fired, 0);
+    }
+
+    #[test]
+    fn drop_conn_clears_everything() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a"), "t");
+        t.register(2, p("/a"), "u");
+        t.note_mutation(&p("/a"));
+        t.drop_conn(1);
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.pending_count(1), 0);
+        assert!(t.pending_count(2) > 0);
+    }
+
+    #[test]
+    fn multiple_watches_same_conn_all_fire() {
+        let mut t = WatchTable::new();
+        t.register(1, p("/a"), "t1");
+        t.register(1, p("/a/b"), "t2");
+        t.take_events(1);
+        let stats = t.note_mutation(&p("/a/b/c"));
+        assert_eq!(stats.fired, 2);
+        let evs = t.take_events(1);
+        assert_eq!(evs.len(), 2);
+    }
+}

@@ -1,0 +1,701 @@
+//! The xenstored daemon façade: connections, protocol costs, dispatch.
+//!
+//! Every request pays the paper's protocol tax (§4.2): "each operation
+//! requires sending a message and receiving an acknowledgment, each
+//! triggering a software interrupt: a single read or write thus triggers
+//! at least two, and most often four, software interrupts and multiple
+//! domain changes". On top of that we charge store-side processing,
+//! payload marshalling, a poll cost per open connection, watch checking
+//! per mutation, access-log lines, and rotation spikes.
+//!
+//! The optional *ambient interference* models the xenbus traffic of the
+//! already-running guests (they keep their own connections busy), which
+//! is what makes transaction commits increasingly likely to fail with
+//! `EAGAIN` as density grows. Interference is applied as genuine writes
+//! to the main store, so conflicts and retries are real, not sampled
+//! outcomes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simcore::{Category, CostModel, Meter, SimRng, SimTime};
+
+use crate::log::{AccessLog, LogOutcome};
+use crate::path::XsPath;
+use crate::store::{Perms, Store, XsError};
+use crate::txn::{Txn, TxnId};
+use crate::watch::{WatchEvent, WatchTable};
+
+/// A connection identifier (the domain id of the client).
+pub type ConnId = u32;
+
+/// Which xenstored implementation's cost profile to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Flavor {
+    /// The OCaml daemon: the faster of the two (paper footnote 3).
+    Oxenstored,
+    /// The C daemon: noticeably higher per-op and transaction costs.
+    Cxenstored,
+}
+
+impl Flavor {
+    fn process_mult(self) -> f64 {
+        match self {
+            Flavor::Oxenstored => 1.0,
+            Flavor::Cxenstored => 2.6,
+        }
+    }
+
+    fn txn_mult(self) -> f64 {
+        match self {
+            Flavor::Oxenstored => 1.0,
+            Flavor::Cxenstored => 2.0,
+        }
+    }
+}
+
+/// Aggregate daemon statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XsStats {
+    /// Requests processed (transactional ops included).
+    pub requests: u64,
+    /// Transactions committed successfully.
+    pub txn_commits: u64,
+    /// Transactions failed with `EAGAIN`.
+    pub txn_conflicts: u64,
+    /// Watch events queued.
+    pub watch_events: u64,
+}
+
+/// The simulated xenstored daemon.
+pub struct Xenstored {
+    store: Store,
+    txns: HashMap<TxnId, Txn>,
+    watches: WatchTable,
+    conns: BTreeSet<ConnId>,
+    log: AccessLog,
+    flavor: Flavor,
+    next_txn: u64,
+    /// Probability that a touched node was dirtied by ambient guest
+    /// xenbus traffic while a transaction was open.
+    ambient_interference: f64,
+    rng: SimRng,
+    stats: XsStats,
+}
+
+impl Xenstored {
+    /// Creates a daemon with Dom0 connected.
+    pub fn new(flavor: Flavor, seed: u64) -> Xenstored {
+        let mut conns = BTreeSet::new();
+        conns.insert(0);
+        Xenstored {
+            store: Store::new(),
+            txns: HashMap::new(),
+            watches: WatchTable::new(),
+            conns,
+            log: AccessLog::default(),
+            flavor,
+            next_txn: 1,
+            ambient_interference: 0.0,
+            rng: SimRng::new(seed),
+            stats: XsStats::default(),
+        }
+    }
+
+    /// Read-only access to the underlying store (assertions, tooling).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable store access for configuration (quotas) and tests.
+    pub fn store_mut_for_tests(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Daemon statistics.
+    pub fn stats(&self) -> XsStats {
+        self.stats
+    }
+
+    /// Number of registered watches.
+    pub fn watch_count(&self) -> usize {
+        self.watches.count()
+    }
+
+    /// Number of open connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Enables/disables access logging (spike ablation).
+    pub fn set_logging(&mut self, enabled: bool) {
+        self.log.set_enabled(enabled);
+    }
+
+    /// Rotations performed so far (spike provenance check).
+    pub fn log_rotations(&self) -> u64 {
+        self.log.rotations()
+    }
+
+    /// Sets the per-touched-node probability of ambient interference.
+    /// The control plane raises this with guest density.
+    pub fn set_ambient_interference(&mut self, p: f64) {
+        self.ambient_interference = p.clamp(0.0, 1.0);
+    }
+
+    /// Opens a connection for a domain.
+    pub fn connect(&mut self, conn: ConnId) {
+        self.conns.insert(conn);
+    }
+
+    /// Closes a connection, dropping its watches, events and open
+    /// transactions.
+    pub fn disconnect(&mut self, conn: ConnId) {
+        self.conns.remove(&conn);
+        self.watches.drop_conn(conn);
+        self.txns.retain(|_, t| t.conn != conn);
+    }
+
+    /// Charges the fixed protocol cost of one request/ack exchange.
+    fn charge_protocol(&mut self, cost: &CostModel, meter: &mut Meter, payload: usize) {
+        self.stats.requests += 1;
+        // Request + ack, each an interrupt plus two privilege crossings.
+        let mut dt = cost.xs_soft_interrupt * 4 + cost.xs_domain_crossing * 4;
+        dt += cost
+            .xs_process_base
+            .scale(self.flavor.process_mult());
+        dt += cost.xs_payload_per_byte * payload as u64;
+        dt += cost.xs_poll_per_conn * self.conns.len() as u64;
+        match self.log.append() {
+            LogOutcome::Disabled => {}
+            LogOutcome::Line => dt += cost.xs_log_line,
+            LogOutcome::LineAndRotation { files } => {
+                dt += cost.xs_log_line + cost.xs_log_rotate_per_file * files as u64;
+            }
+        }
+        meter.charge(Category::Xenstore, dt);
+    }
+
+    fn charge(&self, meter: &mut Meter, dt: SimTime) {
+        let _ = self; // parallel to charge_protocol's signature
+        meter.charge(Category::Xenstore, dt);
+    }
+
+    fn note_mutation(&mut self, cost: &CostModel, meter: &mut Meter, path: &XsPath) {
+        let stats = self.watches.note_mutation(path);
+        self.stats.watch_events += stats.fired as u64;
+        let dt = cost.xs_watch_check * stats.checked as u64
+            + cost.xs_watch_fire * stats.fired as u64;
+        meter.charge(Category::Xenstore, dt);
+    }
+
+    // --- direct (non-transactional) operations ---------------------------
+
+    /// Reads a value.
+    pub fn read(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+    ) -> Result<Vec<u8>, XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        let v = self.store.read(conn, path)?.to_vec();
+        self.charge(meter, cost.xs_payload_per_byte * v.len() as u64);
+        Ok(v)
+    }
+
+    /// Writes a value, firing watches.
+    pub fn write(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+        value: &[u8],
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len() + value.len());
+        self.store.write(conn, path, value)?;
+        self.note_mutation(cost, meter, path);
+        Ok(())
+    }
+
+    /// Creates a directory node, firing watches.
+    pub fn mkdir(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.store.mkdir(conn, path)?;
+        self.note_mutation(cost, meter, path);
+        Ok(())
+    }
+
+    /// Removes a subtree, firing watches.
+    pub fn rm(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.store.rm(conn, path)?;
+        self.note_mutation(cost, meter, path);
+        Ok(())
+    }
+
+    /// Lists children; cost grows with the directory size (one of the
+    /// paper's linear terms: the unique-name check lists all domains).
+    pub fn directory(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+    ) -> Result<Vec<String>, XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        let entries = self.store.directory(conn, path)?;
+        self.charge(meter, cost.xs_dir_per_entry * entries.len() as u64);
+        Ok(entries)
+    }
+
+    /// Changes permissions on a node.
+    pub fn set_perms(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+        perms: Perms,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.store.set_perms(conn, path, perms)?;
+        self.note_mutation(cost, meter, path);
+        Ok(())
+    }
+
+    // --- watches ------------------------------------------------------------
+
+    /// Registers a watch.
+    pub fn watch(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+        token: &str,
+    ) {
+        self.charge_protocol(cost, meter, path.len() + token.len());
+        self.watches.register(conn, path.clone(), token);
+        self.stats.watch_events += 1; // the initial synchronisation event
+    }
+
+    /// Unregisters a watch.
+    pub fn unwatch(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        path: &XsPath,
+        token: &str,
+    ) -> bool {
+        self.charge_protocol(cost, meter, path.len() + token.len());
+        self.watches.unregister(conn, path, token)
+    }
+
+    /// Takes pending watch events for a connection, charging delivery.
+    pub fn take_events(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+    ) -> Vec<WatchEvent> {
+        let evs = self.watches.take_events(conn);
+        self.charge(meter, cost.xs_watch_fire * evs.len() as u64);
+        evs
+    }
+
+    // --- transactions ----------------------------------------------------------
+
+    /// Starts a transaction; the snapshot cost grows with store size.
+    pub fn txn_start(&mut self, cost: &CostModel, meter: &mut Meter, conn: ConnId) -> TxnId {
+        self.charge_protocol(cost, meter, 0);
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let txn = Txn::start(id, conn, &self.store);
+        self.charge(
+            meter,
+            cost.xs_txn_snapshot_per_node
+                .scale(self.flavor.txn_mult())
+                * txn.snapshot_nodes as u64,
+        );
+        self.txns.insert(id, txn);
+        id
+    }
+
+    /// Runs `f` with the transaction and an immutable view of the main
+    /// store. The transaction is temporarily removed from the table so no
+    /// aliasing is needed.
+    fn with_txn<T>(
+        &mut self,
+        conn: ConnId,
+        id: TxnId,
+        f: impl FnOnce(&mut Txn, &Store) -> T,
+    ) -> Result<T, XsError> {
+        let mut txn = self.txns.remove(&id).ok_or(XsError::NoSuchTxn)?;
+        if txn.conn != conn {
+            self.txns.insert(id, txn);
+            return Err(XsError::PermissionDenied);
+        }
+        let out = f(&mut txn, &self.store);
+        self.txns.insert(id, txn);
+        Ok(out)
+    }
+
+    /// Transactional read.
+    pub fn txn_read(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        path: &XsPath,
+    ) -> Result<Vec<u8>, XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.with_txn(conn, id, |txn, main| txn.read(main, path))?
+    }
+
+    /// Transactional write.
+    pub fn txn_write(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        path: &XsPath,
+        value: &[u8],
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len() + value.len());
+        self.with_txn(conn, id, |txn, main| txn.write(main, path, value))?
+    }
+
+    /// Transactional mkdir.
+    pub fn txn_mkdir(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        path: &XsPath,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.with_txn(conn, id, |txn, main| txn.mkdir(main, path))?
+    }
+
+    /// Transactional directory listing.
+    pub fn txn_directory(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        path: &XsPath,
+    ) -> Result<Vec<String>, XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        let entries = self.with_txn(conn, id, |txn, main| txn.directory(main, path))??;
+        self.charge(meter, cost.xs_dir_per_entry * entries.len() as u64);
+        Ok(entries)
+    }
+
+    /// Transactional remove.
+    pub fn txn_rm(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        path: &XsPath,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, path.len());
+        self.with_txn(conn, id, |txn, main| txn.rm(main, path))?
+    }
+
+    /// Ends a transaction. With `commit = true` this validates and applies
+    /// it; `Err(Again)` means the caller must retry from `txn_start`.
+    pub fn txn_end(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        commit: bool,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, 0);
+        let txn = match self.txns.remove(&id) {
+            Some(t) if t.conn == conn => t,
+            Some(t) => {
+                self.txns.insert(id, t);
+                return Err(XsError::PermissionDenied);
+            }
+            None => return Err(XsError::NoSuchTxn),
+        };
+        if !commit {
+            return Ok(());
+        }
+        // Ambient interference: guests' own xenbus traffic may have
+        // touched nodes this transaction read. Interference is a real
+        // re-write of one of the touched nodes (generation bump), so the
+        // conflict detection below is genuine, not a sampled outcome.
+        if self.ambient_interference > 0.0 && txn.touched_nodes() > 0 {
+            let p_any =
+                1.0 - (1.0 - self.ambient_interference).powi(txn.touched_nodes() as i32);
+            if self.rng.chance(p_any) {
+                let candidates: Vec<XsPath> = txn
+                    .touched_paths()
+                    .filter(|p| self.store.exists(p))
+                    .cloned()
+                    .collect();
+                if !candidates.is_empty() {
+                    let victim = candidates[self.rng.index(candidates.len())].clone();
+                    let value = self
+                        .store
+                        .read(0, &victim)
+                        .map(|v| v.to_vec())
+                        .unwrap_or_default();
+                    let _ = self.store.write(0, &victim, &value);
+                }
+            }
+        }
+        // Validation cost per touched node.
+        self.charge(
+            meter,
+            cost.xs_txn_validate_per_node
+                .scale(self.flavor.txn_mult())
+                * txn.touched_nodes() as u64,
+        );
+        match txn.commit(&mut self.store) {
+            Ok(written) => {
+                self.stats.txn_commits += 1;
+                for path in &written {
+                    self.note_mutation(cost, meter, path);
+                }
+                Ok(())
+            }
+            Err(XsError::Again) => {
+                self.stats.txn_conflicts += 1;
+                Err(XsError::Again)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs `body` inside a transaction, retrying on `EAGAIN` up to
+    /// `max_retries` times (libxl behaviour). The body re-executes fully
+    /// on every retry, which is exactly why conflicts are so expensive.
+    pub fn transaction<T>(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        max_retries: usize,
+        mut body: impl FnMut(&mut Xenstored, &CostModel, &mut Meter, TxnId) -> Result<T, XsError>,
+    ) -> Result<T, XsError> {
+        let mut attempts = 0;
+        loop {
+            let id = self.txn_start(cost, meter, conn);
+            let out = body(self, cost, meter, id);
+            match out {
+                Ok(v) => match self.txn_end(cost, meter, conn, id, true) {
+                    Ok(()) => return Ok(v),
+                    Err(XsError::Again) if attempts < max_retries => {
+                        attempts += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) => {
+                    let _ = self.txn_end(cost, meter, conn, id, false);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> XsPath {
+        XsPath::parse(s).unwrap()
+    }
+
+    fn setup() -> (Xenstored, CostModel, Meter) {
+        (
+            Xenstored::new(Flavor::Oxenstored, 42),
+            CostModel::paper_defaults(),
+            Meter::new(),
+        )
+    }
+
+    #[test]
+    fn read_write_round_trip_charges_xenstore_category() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.write(&cost, &mut meter, 0, &p("/a"), b"v").unwrap();
+        assert_eq!(xs.read(&cost, &mut meter, 0, &p("/a")).unwrap(), b"v");
+        assert!(meter.of(Category::Xenstore) > SimTime::ZERO);
+        assert_eq!(meter.total(), meter.of(Category::Xenstore));
+    }
+
+    #[test]
+    fn per_conn_poll_cost_grows_with_connections() {
+        let (mut xs, cost, _) = setup();
+        let mut m_few = Meter::new();
+        xs.write(&cost, &mut m_few, 0, &p("/t"), b"x").unwrap();
+        for d in 1..=500 {
+            xs.connect(d);
+        }
+        let mut m_many = Meter::new();
+        xs.write(&cost, &mut m_many, 0, &p("/t"), b"x").unwrap();
+        assert!(m_many.total() > m_few.total());
+    }
+
+    #[test]
+    fn txn_commit_applies_and_fires_watches() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.connect(5);
+        xs.watch(&cost, &mut meter, 5, &p("/local"), "tok");
+        let _ = xs.take_events(&cost, &mut meter, 5);
+        let id = xs.txn_start(&cost, &mut meter, 0);
+        xs.txn_write(&cost, &mut meter, 0, id, &p("/local/domain/5"), b"")
+            .unwrap();
+        xs.txn_end(&cost, &mut meter, 0, id, true).unwrap();
+        let evs = xs.take_events(&cost, &mut meter, 5);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path, p("/local/domain/5"));
+    }
+
+    #[test]
+    fn txn_abort_discards() {
+        let (mut xs, cost, mut meter) = setup();
+        let id = xs.txn_start(&cost, &mut meter, 0);
+        xs.txn_write(&cost, &mut meter, 0, id, &p("/x"), b"1").unwrap();
+        xs.txn_end(&cost, &mut meter, 0, id, false).unwrap();
+        assert!(!xs.store().exists(&p("/x")));
+    }
+
+    #[test]
+    fn conflicting_txns_get_eagain() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.write(&cost, &mut meter, 0, &p("/n"), b"0").unwrap();
+        let id = xs.txn_start(&cost, &mut meter, 0);
+        let _ = xs.txn_read(&cost, &mut meter, 0, id, &p("/n")).unwrap();
+        // Outside write to the same node while the txn is open.
+        xs.write(&cost, &mut meter, 0, &p("/n"), b"clash").unwrap();
+        assert_eq!(
+            xs.txn_end(&cost, &mut meter, 0, id, true).unwrap_err(),
+            XsError::Again
+        );
+        assert_eq!(xs.stats().txn_conflicts, 1);
+    }
+
+    #[test]
+    fn transaction_helper_retries_on_ambient_interference() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.write(&cost, &mut meter, 0, &p("/shared"), b"s").unwrap();
+        // Moderate rate: high enough to conflict within a few attempts,
+        // low enough that the retry loop converges.
+        xs.set_ambient_interference(0.3);
+        let out = xs.transaction(&cost, &mut meter, 0, 50, |xs, cost, meter, id| {
+            // Read an existing node so interference has a victim.
+            let _ = xs.txn_read(cost, meter, 0, id, &p("/shared"));
+            xs.txn_write(cost, meter, 0, id, &p("/v"), b"1")
+        });
+        out.unwrap();
+        assert!(xs.stats().txn_conflicts > 0, "interference should conflict");
+        assert_eq!(xs.store().read(0, &p("/v")).unwrap(), b"1");
+    }
+
+    #[test]
+    fn snapshot_cost_grows_with_store_size() {
+        let (mut xs, cost, _) = setup();
+        let mut m = Meter::new();
+        for i in 0..200 {
+            xs.write(&cost, &mut m, 0, &p(&format!("/d/n{i}")), b"x").unwrap();
+        }
+        let mut m_small_store = Meter::new();
+        let id = xs.txn_start(&cost, &mut m_small_store, 0);
+        xs.txn_end(&cost, &mut m_small_store, 0, id, false).unwrap();
+
+        for i in 200..2000 {
+            xs.write(&cost, &mut m, 0, &p(&format!("/d/n{i}")), b"x").unwrap();
+        }
+        let mut m_big_store = Meter::new();
+        let id = xs.txn_start(&cost, &mut m_big_store, 0);
+        xs.txn_end(&cost, &mut m_big_store, 0, id, false).unwrap();
+        assert!(m_big_store.total() > m_small_store.total());
+    }
+
+    #[test]
+    fn log_rotation_spikes_request_cost() {
+        let (mut xs, cost, _) = setup();
+        let mut baseline = Meter::new();
+        xs.read(&cost, &mut baseline, 0, &XsPath::root()).unwrap();
+        // Drive the log to just below the threshold.
+        let remaining = crate::log::ROTATE_LINES - xs.log.total_lines() % crate::log::ROTATE_LINES;
+        for _ in 0..remaining - 1 {
+            let mut m = Meter::new();
+            let _ = xs.read(&cost, &mut m, 0, &XsPath::root());
+        }
+        let mut spike = Meter::new();
+        let _ = xs.read(&cost, &mut spike, 0, &XsPath::root());
+        assert!(
+            spike.total() > baseline.total() * 10,
+            "rotation should spike: {} vs {}",
+            spike.total(),
+            baseline.total()
+        );
+        assert_eq!(xs.log_rotations(), 1);
+    }
+
+    #[test]
+    fn disconnect_drops_watches_and_txns() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.connect(9);
+        xs.watch(&cost, &mut meter, 9, &p("/w"), "t");
+        let id = xs.txn_start(&cost, &mut meter, 9);
+        xs.disconnect(9);
+        assert_eq!(xs.watch_count(), 0);
+        assert_eq!(
+            xs.txn_end(&cost, &mut meter, 9, id, true).unwrap_err(),
+            XsError::NoSuchTxn
+        );
+    }
+
+    #[test]
+    fn foreign_txn_is_rejected() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.connect(3);
+        let id = xs.txn_start(&cost, &mut meter, 3);
+        assert_eq!(
+            xs.txn_write(&cost, &mut meter, 0, id, &p("/x"), b"1")
+                .unwrap_err(),
+            XsError::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn cxenstored_costs_more_per_op() {
+        let cost = CostModel::paper_defaults();
+        let mut ox = Xenstored::new(Flavor::Oxenstored, 1);
+        let mut cx = Xenstored::new(Flavor::Cxenstored, 1);
+        let mut mo = Meter::new();
+        let mut mc = Meter::new();
+        ox.write(&cost, &mut mo, 0, &p("/a"), b"v").unwrap();
+        cx.write(&cost, &mut mc, 0, &p("/a"), b"v").unwrap();
+        assert!(mc.total() > mo.total());
+    }
+}

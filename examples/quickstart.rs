@@ -1,0 +1,62 @@
+//! Quickstart: boot a unikernel VM in milliseconds, checkpoint it,
+//! restore it, and migrate it to a second host.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lightvm::guests::GuestImage;
+use lightvm::net::Link;
+use lightvm::{Host, ToolstackMode};
+use simcore::MachinePreset;
+
+fn main() {
+    // A 4-core host driven by the full LightVM control plane
+    // (chaos + noxs + split toolstack).
+    let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 42);
+
+    // The daytime unikernel: a 480 KB Mini-OS image that runs in ~4 MB.
+    let image = GuestImage::unikernel_daytime();
+    host.prewarm(&image); // let the chaos daemon pre-create VM shells
+
+    let vm = host.launch("hello-lightvm", &image).expect("launch");
+    println!(
+        "launched {} in {:.2} ms (create {:.2} ms + boot {:.2} ms)",
+        image.name,
+        (vm.create_time + vm.boot_time).as_millis_f64(),
+        vm.create_time.as_millis_f64(),
+        vm.boot_time.as_millis_f64(),
+    );
+    println!(
+        "host now runs {} VM(s), using {:.1} MB of guest memory",
+        host.running(),
+        host.memory_used() as f64 / 1e6
+    );
+
+    // Checkpoint to the ramdisk and bring it back.
+    let (saved, t_save) = host.save(vm.dom).expect("save");
+    let (dom, t_restore) = host.restore(&saved).expect("restore");
+    println!(
+        "checkpointed in {:.1} ms, restored in {:.1} ms",
+        t_save.as_millis_f64(),
+        t_restore.as_millis_f64()
+    );
+
+    // Migrate it to another host over a 1 Gbps LAN.
+    let mut other = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 43);
+    let (_, t_mig) = host.migrate_to(&mut other, &Link::lan(), dom).expect("migrate");
+    println!(
+        "migrated to the second host in {:.1} ms; source now has {} VMs, target {}",
+        t_mig.as_millis_f64(),
+        host.running(),
+        other.running()
+    );
+
+    // Compare against stock Xen for contrast.
+    let mut stock = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::Xl, 44);
+    let xl = stock.launch("hello-xl", &image).expect("xl launch");
+    println!(
+        "the same VM under stock xl: {:.1} ms ({}x slower)",
+        (xl.create_time + xl.boot_time).as_millis_f64(),
+        ((xl.create_time + xl.boot_time).as_nanos()
+            / (vm.create_time + vm.boot_time).as_nanos().max(1))
+    );
+}

@@ -1,0 +1,37 @@
+//! The Tinyx build system (§3.2): build a minimal Linux VM image around
+//! a single application.
+//!
+//! Run with: `cargo run --release --example tinyx_build`
+
+use lightvm::tinyx::{KernelBuilder, Platform, TinyxBuilder};
+
+fn main() {
+    let builder = TinyxBuilder::new(Platform::Xen);
+    for app in ["nginx", "micropython", "redis-server", "noop"] {
+        let (img, report) = builder.build(app).expect("registered app");
+        println!("== tinyx-{app} ==");
+        println!(
+            "  image: {:.1} MB (kernel {:.1} MB + initramfs {:.1} MB), boots in {:.0} MB RAM",
+            img.total_bytes() as f64 / 1e6,
+            img.kernel_bytes as f64 / 1e6,
+            img.initramfs_bytes as f64 / 1e6,
+            img.boot_ram_bytes as f64 / 1e6
+        );
+        println!("  packages: {}", report.packages.join(", "));
+        println!(
+            "  blacklisted install machinery: {}",
+            report.blacklisted.join(", ")
+        );
+        println!(
+            "  kernel: {} options removed by {} rebuild+boot tests, {} compiled in",
+            report.options_removed, report.boot_tests, report.kernel.option_count
+        );
+    }
+    // Compare against a Debian-default kernel.
+    let debian = KernelBuilder::debian_default(Platform::Xen).build();
+    println!(
+        "\nDebian-default kernel for contrast: {:.1} MB on disk, {:.1} MB runtime",
+        debian.size as f64 / 1e6,
+        debian.ram as f64 / 1e6
+    );
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests across the whole stack: hosts, fleets,
+//! checkpoints and migrations chained together.
+
+use lightvm::guests::GuestImage;
+use lightvm::net::Link;
+use lightvm::{Host, ToolstackMode};
+use simcore::{MachinePreset, SimTime};
+
+#[test]
+fn boot_a_mixed_fleet() {
+    let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 1);
+    let images = [
+        GuestImage::unikernel_daytime(),
+        GuestImage::unikernel_minipython(),
+        GuestImage::tinyx_noop(),
+        GuestImage::debian(),
+        GuestImage::clickos_firewall(),
+    ];
+    let mut mem_expected = 0;
+    for img in &images {
+        for _ in 0..3 {
+            host.launch_auto(img).expect("boots");
+            mem_expected += img.footprint_bytes();
+        }
+    }
+    assert_eq!(host.running(), 15);
+    assert_eq!(host.memory_used(), mem_expected);
+    assert!(host.cpu_utilization() > 0.0);
+}
+
+#[test]
+fn checkpoint_chain_preserves_the_guest() {
+    let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::LightVm, 2);
+    let img = GuestImage::unikernel_daytime();
+    let vm = host.launch("chained", &img).expect("boots");
+    let mut dom = vm.dom;
+    // Save/restore the same guest five times.
+    for round in 0..5 {
+        let (saved, _) = host.save(dom).expect("saves");
+        assert_eq!(host.running(), 0, "round {round}");
+        let (new_dom, _) = host.restore(&saved).expect("restores");
+        assert_ne!(new_dom, dom);
+        dom = new_dom;
+    }
+    assert_eq!(host.running(), 1);
+    assert_eq!(host.plane.vm(dom).unwrap().name, "chained");
+}
+
+#[test]
+fn migration_ring_across_three_hosts() {
+    let mut hosts: Vec<Host> = (0..3)
+        .map(|i| Host::new(MachinePreset::XeonE5_1630V3, 2, ToolstackMode::LightVm, 10 + i))
+        .collect();
+    let img = GuestImage::unikernel_daytime();
+    let vm = hosts[0].launch("nomad", &img).expect("boots");
+    let link = Link::lan();
+    let mut dom = vm.dom;
+    for hop in 0..3 {
+        let (src, dst) = (hop % 3, (hop + 1) % 3);
+        let (a, b) = if src < dst {
+            let (l, r) = hosts.split_at_mut(dst);
+            (&mut l[src], &mut r[0])
+        } else {
+            let (l, r) = hosts.split_at_mut(src);
+            (&mut r[0], &mut l[dst])
+        };
+        let (new_dom, t) = a.migrate_to(b, &link, dom).expect("migrates");
+        assert!(t < SimTime::from_millis(150), "hop {hop} took {t}");
+        dom = new_dom;
+    }
+    // After three hops the guest is back on host 0.
+    assert_eq!(hosts[0].running(), 1);
+    assert_eq!(hosts[1].running(), 0);
+    assert_eq!(hosts[2].running(), 0);
+    assert_eq!(hosts[0].plane.vm(dom).unwrap().name, "nomad");
+}
+
+#[test]
+fn all_five_modes_run_the_same_workload() {
+    for mode in [
+        ToolstackMode::Xl,
+        ToolstackMode::ChaosXs,
+        ToolstackMode::ChaosXsSplit,
+        ToolstackMode::ChaosNoxs,
+        ToolstackMode::LightVm,
+    ] {
+        let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, mode, 3);
+        let img = GuestImage::unikernel_daytime();
+        host.prewarm(&img);
+        let mut doms = Vec::new();
+        for _ in 0..10 {
+            doms.push(host.launch_auto(&img).expect("boots").dom);
+        }
+        assert_eq!(host.running(), 10, "{mode:?}");
+        for dom in doms {
+            host.destroy(dom).expect("destroys");
+        }
+        assert_eq!(host.running(), 0, "{mode:?}");
+        assert_eq!(host.plane.switch.port_count(), host.plane.daemon.len(), "{mode:?}: only pooled shells may keep ports");
+    }
+}
+
+#[test]
+fn interleaved_lifecycle_operations() {
+    let mut host = Host::new(MachinePreset::XeonE5_1630V3, 2, ToolstackMode::LightVm, 4);
+    let img = GuestImage::unikernel_minipython();
+    let a = host.launch_auto(&img).unwrap();
+    let b = host.launch_auto(&img).unwrap();
+    let (saved_a, _) = host.save(a.dom).unwrap();
+    let c = host.launch_auto(&img).unwrap();
+    host.destroy(b.dom).unwrap();
+    let (restored_a, _) = host.restore(&saved_a).unwrap();
+    assert_eq!(host.running(), 2);
+    assert!(host.plane.vm(restored_a).is_ok());
+    assert!(host.plane.vm(c.dom).is_ok());
+    assert!(host.plane.vm(b.dom).is_err());
+}
+
+#[test]
+fn xenstore_state_is_clean_after_teardown() {
+    let mut host = Host::new(MachinePreset::XeonE5_1630V3, 1, ToolstackMode::Xl, 5);
+    let img = GuestImage::unikernel_daytime();
+    let before_nodes = host.plane.xs.store().node_count();
+    let mut doms = Vec::new();
+    for _ in 0..8 {
+        doms.push(host.launch_auto(&img).unwrap().dom);
+    }
+    assert!(host.plane.xs.store().node_count() > before_nodes);
+    for dom in doms {
+        host.destroy(dom).unwrap();
+    }
+    // Domain and device directories are gone; only backend roots and
+    // bookkeeping remain.
+    let after = host.plane.xs.store().node_count();
+    assert!(
+        after <= before_nodes + 16,
+        "store leaked nodes: {before_nodes} -> {after}"
+    );
+}
