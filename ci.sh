@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate: build everything, run the whole test suite, then regenerate
+# all figures at quick scale through the parallel runner and fail if
+# any expected artefact is missing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== figures (runall, quick scale) =="
+FIG_DIR="${LIGHTVM_FIG_DIR:-target/ci-figures}"
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR" \
+  cargo run --release -p bench --bin runall -- --report "$FIG_DIR/bench_runner.json"
+
+echo "== artefact check =="
+missing=0
+for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18; do
+  for ext in json csv; do
+    if [ ! -s "$FIG_DIR/$id.$ext" ]; then
+      echo "MISSING: $FIG_DIR/$id.$ext" >&2
+      missing=1
+    fi
+  done
+done
+if [ ! -s "$FIG_DIR/bench_runner.json" ]; then
+  echo "MISSING: $FIG_DIR/bench_runner.json" >&2
+  missing=1
+fi
+if [ "$missing" -ne 0 ]; then
+  echo "ci: figure artefacts missing" >&2
+  exit 1
+fi
+echo "ci: OK"

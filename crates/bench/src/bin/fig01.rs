@@ -1,22 +1,8 @@
 //! Figure 1: the unrelenting growth of the Linux syscall API.
-
-use container::syscall_history;
-use metrics::{Figure, Series};
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let mut fig = Figure::new(
-        "fig01",
-        "Linux syscall count by release year (x86_32)",
-        "year",
-        "no. of syscalls",
-    );
-    fig.push_series(Series::from_points(
-        "syscalls",
-        syscall_history()
-            .iter()
-            .map(|r| (r.year as f64, r.syscalls as f64)),
-    ));
-    fig.set_meta("source", "curated x86_32 syscall-table history");
-    let xs: Vec<f64> = syscall_history().iter().map(|r| r.year as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig01");
 }

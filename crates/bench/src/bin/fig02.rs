@@ -1,39 +1,8 @@
 //! Figure 2: boot times grow linearly with VM image size.
 //!
-//! The daytime unikernel image is padded with binary objects from 0 to
-//! 1000 MB (all images on a ramdisk) and instantiated; the linear growth
-//! is the read-parse-lay-out cost of the image.
-
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{Machine, MachinePreset};
-use toolstack::{ControlPlane, ToolstackMode};
-
-const MIB: u64 = 1 << 20;
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let mut series = Series::new("daytime unikernel (padded)");
-    let sizes_mb: Vec<u64> = (0..=10).map(|i| i * 100).collect();
-    for &mb in &sizes_mb {
-        let mut cp = ControlPlane::new(
-            Machine::preset(MachinePreset::XeonE5_1630V3),
-            1,
-            ToolstackMode::ChaosNoxs,
-            42,
-        );
-        let image = GuestImage::unikernel_daytime().padded(mb * MIB);
-        let (_, create, boot) = cp.create_and_boot("padded", &image).expect("boots");
-        series.push(mb as f64, (create + boot).as_millis_f64());
-    }
-    let mut fig = Figure::new(
-        "fig02",
-        "Instantiation time vs image size (ramdisk-backed)",
-        "VM image size (MB)",
-        "boot time (ms)",
-    );
-    fig.push_series(series);
-    fig.set_meta("machine", "Xeon E5-1630 v3");
-    fig.set_meta("toolstack", "chaos [NoXS]");
-    let xs: Vec<f64> = sizes_mb.iter().map(|&s| s as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig02");
 }

@@ -1,60 +1,8 @@
-//! Figure 4: domain instantiation and boot times for several guest
-//! types, 1,000 sequential guests on the 4-core machine, vs Docker
-//! containers and processes.
-
-use bench::{series_ms, sweep_create_boot};
-use container::{ContainerImage, DockerRuntime, ProcessRuntime};
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{CostModel, Machine, MachinePreset};
-use toolstack::ToolstackMode;
+//! Figure 4: instantiation and boot times for several guest types vs Docker and processes.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let machine = || Machine::preset(MachinePreset::XeonE5_1630V3);
-    let mut fig = Figure::new(
-        "fig04",
-        "Creation and boot times vs number of running guests (xl toolstack)",
-        "number of running guests",
-        "time (ms)",
-    );
-
-    for (img, label) in [
-        (GuestImage::debian(), "Debian"),
-        (GuestImage::tinyx_noop(), "Tinyx"),
-        (GuestImage::unikernel_daytime(), "MiniOS"),
-    ] {
-        let pts = sweep_create_boot(machine(), 1, ToolstackMode::Xl, &img, n, 42);
-        fig.push_series(series_ms(&format!("{label} Create"), &pts, |p| p.create));
-        fig.push_series(series_ms(&format!("{label} Boot"), &pts, |p| p.boot));
-        eprintln!("# swept {label}");
-    }
-
-    // Docker: create (prep) and run (create+start) latencies.
-    let cost = CostModel::paper_defaults();
-    let mut docker = DockerRuntime::new(ContainerImage::noop(), machine().mem_bytes, 42);
-    let mut create_s = Series::new("Docker Boot");
-    let mut run_s = Series::new("Docker Run");
-    for i in 0..n {
-        let create = docker.create_time(&cost);
-        let (_, run) = docker.run(&cost).expect("docker fits at this scale");
-        create_s.push(i as f64 + 1.0, create.as_millis_f64());
-        run_s.push(i as f64 + 1.0, run.as_millis_f64());
-    }
-    fig.push_series(create_s);
-    fig.push_series(run_s);
-
-    // Plain processes.
-    let mut procs = ProcessRuntime::new(42);
-    let mut proc_s = Series::new("Process Create");
-    for i in 0..n {
-        let (_, dt) = procs.spawn(&cost);
-        proc_s.push(i as f64 + 1.0, dt.as_millis_f64());
-    }
-    fig.push_series(proc_s);
-
-    fig.set_meta("machine", "Xeon E5-1630 v3, 1 Dom0 core + 3 guest cores");
-    fig.set_meta("guests", n);
-    let xs: Vec<f64> = bench::density_steps(n).iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig04");
 }

@@ -1,49 +1,8 @@
-//! Figure 5: breakdown of xl VM-creation overheads by category, showing
-//! the XenStore interaction growing superlinearly (with log-rotation
-//! spikes) while device creation stays constant.
-
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{Category, Machine, MachinePreset};
-use toolstack::{ControlPlane, ToolstackMode};
+//! Figure 5: breakdown of xl VM-creation overheads by category.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let mut cp = ControlPlane::new(
-        Machine::preset(MachinePreset::XeonE5_1630V3),
-        1,
-        ToolstackMode::Xl,
-        42,
-    );
-    let image = GuestImage::unikernel_daytime();
-    let cats = [
-        Category::Toolstack,
-        Category::Load,
-        Category::Devices,
-        Category::Xenstore,
-        Category::Hypervisor,
-        Category::Config,
-    ];
-    let mut series: Vec<Series> = cats.iter().map(|c| Series::new(c.label())).collect();
-    for i in 0..n {
-        let report = cp.create_vm(&format!("vm-{i}"), &image).expect("creates");
-        cp.boot_vm(report.dom).expect("boots");
-        for (s, c) in series.iter_mut().zip(cats.iter()) {
-            s.push(i as f64 + 1.0, report.meter.of(*c).as_millis_f64());
-        }
-    }
-    let mut fig = Figure::new(
-        "fig05",
-        "xl creation-overhead breakdown (daytime unikernel)",
-        "number of running guests",
-        "time (ms)",
-    );
-    for s in series {
-        fig.push_series(s);
-    }
-    fig.set_meta("machine", "Xeon E5-1630 v3");
-    fig.set_meta("log_rotations", cp.xs.log_rotations());
-    fig.set_meta("txn_conflicts", cp.xs.stats().txn_conflicts);
-    let xs: Vec<f64> = bench::density_steps(n).iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig05");
 }

@@ -1,40 +1,8 @@
-//! Figure 9: creation times for 1,000 daytime unikernels under every
-//! combination of the LightVM mechanisms.
-
-use bench::{series_ms, sweep_create_boot};
-use guests::GuestImage;
-use metrics::Figure;
-use simcore::{Machine, MachinePreset};
-use toolstack::ToolstackMode;
+//! Figure 9: creation times under every combination of the LightVM mechanisms.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let image = GuestImage::unikernel_daytime();
-    let mut fig = Figure::new(
-        "fig09",
-        "Creation time under each mechanism combination (daytime unikernel)",
-        "number of running VMs",
-        "creation time (ms)",
-    );
-    for mode in [
-        ToolstackMode::Xl,
-        ToolstackMode::ChaosXs,
-        ToolstackMode::ChaosXsSplit,
-        ToolstackMode::ChaosNoxs,
-        ToolstackMode::LightVm,
-    ] {
-        let pts = sweep_create_boot(
-            Machine::preset(MachinePreset::XeonE5_1630V3),
-            1,
-            mode,
-            &image,
-            n,
-            42,
-        );
-        fig.push_series(series_ms(mode.label(), &pts, |p| p.create));
-        eprintln!("# swept {}", mode.label());
-    }
-    fig.set_meta("machine", "Xeon E5-1630 v3, 1 Dom0 core + 3 guest cores");
-    let xs: Vec<f64> = bench::density_steps(n).iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig09");
 }

@@ -1,53 +1,8 @@
-//! Figure 10: LightVM vs Docker at high density on the 64-core AMD
-//! machine — LightVM boots 8,000 noop unikernels with near-constant
-//! instantiation time; Docker hits the memory wall around 3,000.
-
-use bench::{series_ms, sweep_create_boot};
-use container::{ContainerError, ContainerImage, DockerRuntime};
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{CostModel, Machine, MachinePreset};
-use toolstack::ToolstackMode;
+//! Figure 10: LightVM vs Docker at high density on the 64-core AMD machine.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n_vms = bench::scaled(8000);
-    let image = GuestImage::unikernel_noop();
-    let machine = Machine::preset(MachinePreset::AmdOpteron4X6376);
-    let pts = sweep_create_boot(machine.clone(), 4, ToolstackMode::LightVm, &image, n_vms, 42);
-    let mut fig = Figure::new(
-        "fig10",
-        "LightVM instantiation vs Docker at high density (64-core AMD)",
-        "number of running VMs/containers",
-        "time (ms)",
-    );
-    fig.push_series(series_ms("LightVM", &pts, |p| p.create + p.boot));
-    eprintln!("# swept LightVM to {n_vms}");
-
-    let cost = machine.cost.clone();
-    let mut docker = DockerRuntime::new(ContainerImage::noop(), machine.mem_bytes, 42);
-    let mut docker_s = Series::new("Docker");
-    let mut i = 0usize;
-    loop {
-        match docker.run(&cost) {
-            Ok((_, dt)) => {
-                i += 1;
-                docker_s.push(i as f64, dt.as_millis_f64());
-            }
-            Err(ContainerError::OutOfMemory(_)) => break,
-            Err(e) => panic!("docker failed unexpectedly: {e}"),
-        }
-        if i >= n_vms {
-            break;
-        }
-    }
-    let docker_max = i;
-    fig.push_series(docker_s);
-    fig.set_meta("machine", machine.name);
-    fig.set_meta("docker_stopped_at", docker_max);
-    let xs: Vec<f64> = [1, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000]
-        .iter()
-        .map(|&v| v as f64)
-        .filter(|&v| v <= n_vms as f64)
-        .collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig10");
 }

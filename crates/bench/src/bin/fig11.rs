@@ -1,43 +1,8 @@
-//! Figure 11: boot times for unikernel and Tinyx guests vs Docker
-//! containers — idle Linux guests' background tasks make Tinyx boots
-//! grow with density; unikernels and containers stay flat.
-
-use bench::{series_ms, sweep_create_boot};
-use container::{ContainerImage, DockerRuntime};
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{CostModel, Machine, MachinePreset};
-use toolstack::ToolstackMode;
+//! Figure 11: boot times for unikernel and Tinyx guests vs Docker containers.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let machine = || Machine::preset(MachinePreset::XeonE5_1630V3);
-    let mut fig = Figure::new(
-        "fig11",
-        "Boot times: unikernel vs Tinyx vs Docker",
-        "number of running VMs/containers",
-        "boot time (ms)",
-    );
-    let tinyx = sweep_create_boot(
-        machine(), 1, ToolstackMode::LightVm, &GuestImage::tinyx_noop(), n, 42,
-    );
-    fig.push_series(series_ms("Tinyx over LightVM", &tinyx, |p| p.boot));
-    eprintln!("# swept Tinyx");
-    let uk = sweep_create_boot(
-        machine(), 1, ToolstackMode::LightVm, &GuestImage::unikernel_daytime(), n, 43,
-    );
-    fig.push_series(series_ms("Unikernel over LightVM", &uk, |p| p.boot));
-    eprintln!("# swept unikernel");
-
-    let cost = CostModel::paper_defaults();
-    let mut docker = DockerRuntime::new(ContainerImage::noop(), machine().mem_bytes, 42);
-    let mut docker_s = Series::new("Docker");
-    for i in 0..n {
-        let (_, dt) = docker.run(&cost).expect("fits");
-        docker_s.push(i as f64 + 1.0, dt.as_millis_f64());
-    }
-    fig.push_series(docker_s);
-    fig.set_meta("machine", machine().name);
-    let xs: Vec<f64> = bench::density_steps(n).iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig11");
 }

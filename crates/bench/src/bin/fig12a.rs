@@ -1,7 +1,8 @@
 //! Figure 12a: save (checkpoint) times vs density.
-
-use bench::checkpoint_sweep;
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    checkpoint_sweep("fig12a", "Save times (daytime unikernel)", true);
+    bench::runner::figure_main("fig12a");
 }

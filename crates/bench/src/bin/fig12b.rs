@@ -1,7 +1,8 @@
 //! Figure 12b: restore times vs density.
-
-use bench::checkpoint_sweep;
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    checkpoint_sweep("fig12b", "Restore times (daytime unikernel)", false);
+    bench::runner::figure_main("fig12b");
 }

@@ -1,64 +1,8 @@
 //! Figure 13: migration times for the daytime unikernel vs density.
 //!
-//! Procedure (paper §6.2): with N guests running at the source, migrate
-//! 10 randomly chosen ones to the destination, then create 10 fresh
-//! guests at the source to restore the density for the next round.
-
-use guests::GuestImage;
-use lvnet::Link;
-use metrics::{Figure, Series};
-use simcore::{Machine, MachinePreset, SimRng};
-use toolstack::{ControlPlane, ToolstackMode};
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let max = bench::scaled(1000);
-    let steps = bench::density_steps(max);
-    let image = GuestImage::unikernel_daytime();
-    let link = Link::lan();
-    let mut fig = Figure::new(
-        "fig13",
-        "Migration times (daytime unikernel, 1 Gbps LAN)",
-        "number of running VMs",
-        "time (ms)",
-    );
-    for mode in [
-        ToolstackMode::Xl,
-        ToolstackMode::ChaosXs,
-        ToolstackMode::ChaosNoxs,
-        ToolstackMode::LightVm,
-    ] {
-        let machine = Machine::preset(MachinePreset::XeonE5_1630V3);
-        let mut src = ControlPlane::new(machine.clone(), 2, mode, 42);
-        let mut dst = ControlPlane::new(machine, 2, mode, 43);
-        src.prewarm(&image);
-        let mut rng = SimRng::new(7);
-        let mut s = Series::new(mode.label());
-        let mut made = 0usize;
-        for &n in &steps {
-            while src.running_count() < n {
-                src.create_and_boot(&format!("vm-{made}"), &image)
-                    .expect("creates");
-                made += 1;
-            }
-            let doms: Vec<_> = src.vms().map(|(d, _)| *d).collect();
-            let k = 10.min(doms.len());
-            let picks = rng.sample_distinct(doms.len(), k);
-            let mut total_ms = 0.0;
-            for idx in picks {
-                let (new_dom, t) = src
-                    .migrate_vm_to(&mut dst, &link, doms[idx])
-                    .expect("migrates");
-                total_ms += t.as_millis_f64();
-                // Keep the destination empty for the next round.
-                dst.destroy_vm(new_dom).expect("destroys");
-            }
-            s.push(n as f64, total_ms / k as f64);
-        }
-        fig.push_series(s);
-        eprintln!("# swept {}", mode.label());
-    }
-    fig.set_meta("machine", "Xeon E5-1630 v3, 2 Dom0 cores");
-    fig.set_meta("link", "1 Gbps / 0.1 ms");
-    let xs: Vec<f64> = steps.iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig13");
 }

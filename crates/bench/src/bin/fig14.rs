@@ -1,55 +1,8 @@
-//! Figure 14: memory-usage scalability of VMs vs containers vs
-//! processes (Micropython workload).
-
-use container::{ContainerImage, DockerRuntime, ProcessRuntime};
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{CostModel, Machine, MachinePreset};
-
-const MB: f64 = 1e6;
+//! Figure 14: memory-usage scalability of VMs vs containers vs processes.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let steps = bench::density_steps(n);
-    let mut fig = Figure::new(
-        "fig14",
-        "Memory usage vs instance count (Micropython workload)",
-        "instances",
-        "memory usage (MB)",
-    );
-    // VM families: linear in their footprints.
-    for (img, label) in [
-        (GuestImage::debian(), "Debian"),
-        (GuestImage::tinyx_micropython(), "Tinyx"),
-        (GuestImage::unikernel_minipython(), "Minipython"),
-    ] {
-        let per = img.footprint_bytes() as f64;
-        fig.push_series(Series::from_points(
-            label,
-            steps.iter().map(|&k| (k as f64, k as f64 * per / MB)),
-        ));
-    }
-    // Docker and processes measured through their runtimes.
-    let cost = CostModel::paper_defaults();
-    let machine = Machine::preset(MachinePreset::XeonE5_1630V3);
-    let mut docker = DockerRuntime::new(ContainerImage::micropython(), machine.mem_bytes, 42);
-    let mut s = Series::new("Docker Micropython");
-    for i in 1..=n {
-        docker.run(&cost).expect("fits");
-        if steps.contains(&i) {
-            s.push(i as f64, docker.container_memory() as f64 / MB);
-        }
-    }
-    fig.push_series(s);
-    let mut procs = ProcessRuntime::new(42);
-    let mut s = Series::new("Micropython Process");
-    for i in 1..=n {
-        procs.spawn(&cost);
-        if steps.contains(&i) {
-            s.push(i as f64, procs.total_memory() as f64 / MB);
-        }
-    }
-    fig.push_series(s);
-    let xs: Vec<f64> = steps.iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig14");
 }

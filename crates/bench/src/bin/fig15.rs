@@ -1,56 +1,8 @@
-//! Figure 15: CPU usage for idle guests — Debian's out-of-the-box
-//! services cost ~25% of the machine at 1,000 VMs; Tinyx ~1%;
-//! unikernels and Docker are negligible.
-
-use container::{ContainerImage, DockerRuntime};
-use guests::GuestImage;
-use metrics::{Figure, Series};
-use simcore::{CostModel, Machine, MachinePreset};
-use toolstack::{ControlPlane, ToolstackMode};
+//! Figure 15: CPU usage for idle guests.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let n = bench::scaled(1000);
-    let steps = bench::density_steps(n);
-    let mut fig = Figure::new(
-        "fig15",
-        "CPU utilisation vs number of idle guests",
-        "number of running VMs/containers",
-        "CPU utilisation (%)",
-    );
-    for (img, label) in [
-        (GuestImage::debian(), "Debian"),
-        (GuestImage::tinyx_noop(), "Tinyx"),
-        (GuestImage::unikernel_noop(), "Unikernel"),
-    ] {
-        let mut cp = ControlPlane::new(
-            Machine::preset(MachinePreset::XeonE5_1630V3),
-            1,
-            ToolstackMode::LightVm,
-            42,
-        );
-        cp.prewarm(&img);
-        let mut s = Series::new(label);
-        for i in 1..=n {
-            cp.create_and_boot(&format!("{label}-{i}"), &img).expect("boots");
-            if steps.contains(&i) {
-                s.push(i as f64, cp.cpu_utilization() * 100.0);
-            }
-        }
-        fig.push_series(s);
-        eprintln!("# swept {label}");
-    }
-    let cost = CostModel::paper_defaults();
-    let machine = Machine::preset(MachinePreset::XeonE5_1630V3);
-    let mut docker = DockerRuntime::new(ContainerImage::noop(), machine.mem_bytes, 42);
-    let mut s = Series::new("Docker");
-    for i in 1..=n {
-        docker.run(&cost).expect("fits");
-        if steps.contains(&i) {
-            s.push(i as f64, docker.idle_cpu_demand() / machine.cores as f64 * 100.0);
-        }
-    }
-    fig.push_series(s);
-    fig.set_meta("machine", machine.name);
-    let xs: Vec<f64> = steps.iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig15");
 }

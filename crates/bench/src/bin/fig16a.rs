@@ -1,33 +1,8 @@
-//! Figure 16a: personal firewalls — aggregate throughput and RTT vs
-//! number of active users.
-
-use lightvm::usecases::firewall;
-use metrics::{Figure, Series};
+//! Figure 16a: personal firewalls — throughput and RTT vs number of active users.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let sizes = [1, 100, 250, 500, 750, 1000];
-    let r = firewall::run(42, &sizes);
-    let mut fig = Figure::new(
-        "fig16a",
-        "Personal firewalls: throughput and RTT vs active users (ClickOS)",
-        "# running VMs",
-        "Gbps / ms",
-    );
-    fig.push_series(Series::from_points(
-        "Throughput (Gbps)",
-        r.points.iter().map(|p| (p.users as f64, p.total_gbps)),
-    ));
-    fig.push_series(Series::from_points(
-        "RTT (ms)",
-        r.points.iter().map(|p| (p.users as f64, p.rtt_ms)),
-    ));
-    fig.push_series(Series::from_points(
-        "Per-user (Mbps)",
-        r.points.iter().map(|p| (p.users as f64, p.per_user_mbps)),
-    ));
-    fig.set_meta("machine", "Xeon E5-2690 v4 (14 cores)");
-    fig.set_meta("vms_booted", r.booted);
-    fig.set_meta("last_boot_ms", format!("{:.2}", r.last_boot_ms));
-    let xs: Vec<f64> = sizes.iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig16a");
 }

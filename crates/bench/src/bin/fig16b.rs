@@ -1,28 +1,8 @@
-//! Figure 16b: just-in-time service instantiation — CDFs of the
-//! client-perceived ping RTT at four client inter-arrival times.
-
-use lightvm::usecases::jit::{self, JitConfig};
-use metrics::{Cdf, Figure, Series};
+//! Figure 16b: just-in-time service instantiation — ping RTT CDFs.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let mut fig = Figure::new(
-        "fig16b",
-        "JIT instantiation: ping RTT CDFs by inter-arrival time",
-        "percentile",
-        "ping RTT (ms)",
-    );
-    for (ms, seed) in [(10u64, 1u64), (25, 2), (50, 3), (100, 4)] {
-        let r = jit::run(&JitConfig::paper(ms, seed));
-        let samples: Vec<f64> = r.rtts.iter().map(|t| t.as_millis_f64()).collect();
-        let cdf = Cdf::of(&samples).expect("has samples");
-        let pcts = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
-        fig.push_series(Series::from_points(
-            format!("{ms} ms"),
-            pcts.iter().map(|&p| (p, cdf.percentile(p))),
-        ));
-        fig.set_meta(format!("drops_{ms}ms"), r.drops);
-    }
-    fig.set_meta("clients", 1000);
-    let xs = [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig16b");
 }

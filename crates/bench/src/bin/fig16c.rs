@@ -1,33 +1,8 @@
 //! Figure 16c: TLS termination throughput for up to 1,000 endpoints.
-
-use lightvm::usecases::tls;
-use metrics::{Figure, Series};
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let counts = [1, 10, 50, 100, 250, 500, 750, 1000];
-    let series = tls::run(42, &counts);
-    let mut fig = Figure::new(
-        "fig16c",
-        "TLS termination throughput vs number of endpoints",
-        "# of instances",
-        "throughput (req/s)",
-    );
-    for s in &series {
-        let label = match s.kind {
-            lightvm::net::TlsEndpointKind::BareMetal => "bare metal",
-            lightvm::net::TlsEndpointKind::Tinyx => "Tinyx",
-            lightvm::net::TlsEndpointKind::Unikernel => "unikernel",
-        };
-        fig.push_series(Series::from_points(
-            label,
-            s.points.iter().map(|p| (p.endpoints as f64, p.rps)),
-        ));
-        fig.set_meta(
-            format!("{label}_boot_ms"),
-            format!("{:.1}", s.endpoint_boot_ms),
-        );
-    }
-    fig.set_meta("machine", "Xeon E5-2690 v4 (14 cores), RSA-1024");
-    let xs: Vec<f64> = counts.iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig16c");
 }

@@ -1,39 +1,8 @@
-//! Figure 17: compute-service completion time on an overloaded machine,
-//! chaos [XS] vs LightVM.
-
-use lightvm::usecases::compute::{self, ComputeConfig};
-use lightvm::ToolstackMode;
-use metrics::{Figure, Series};
+//! Figure 17: compute-service completion time on an overloaded machine.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let mut fig = Figure::new(
-        "fig17",
-        "Compute-service completion time under overload (Minipython)",
-        "VM #",
-        "service time (s)",
-    );
-    for (mode, seed) in [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)] {
-        let mut cfg = ComputeConfig::paper(mode, seed);
-        cfg.requests = bench::scaled(1000);
-        let r = compute::run(&cfg);
-        fig.push_series(Series::from_points(
-            mode.label(),
-            r.service_times
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (i as f64 + 1.0, t.as_secs_f64())),
-        ));
-        let first = r.create_times[0].as_millis_f64();
-        let last = r.create_times.last().unwrap().as_millis_f64();
-        fig.set_meta(
-            format!("create_ms_{}", mode.label()),
-            format!("{first:.2} -> {last:.2}"),
-        );
-        eprintln!("# ran {}", mode.label());
-    }
-    fig.set_meta("inter_arrival_ms", 250);
-    fig.set_meta("job_cpu_s", 0.75);
-    let n = bench::scaled(1000);
-    let xs: Vec<f64> = bench::density_steps(n).iter().map(|&v| v as f64).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig17");
 }

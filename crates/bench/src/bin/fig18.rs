@@ -1,30 +1,8 @@
-//! Figure 18: number of concurrently running Minipython unikernels over
-//! time for the compute-service workload.
-
-use lightvm::usecases::compute::{self, ComputeConfig};
-use lightvm::ToolstackMode;
-use metrics::{Figure, Series};
+//! Figure 18: concurrently running Minipython unikernels over time.
+//!
+//! Thin wrapper: the actual workload lives in the figure registry
+//! (`bench::figures`), shared with the parallel `runall` runner.
 
 fn main() {
-    let mut fig = Figure::new(
-        "fig18",
-        "Concurrent compute-service VMs over time",
-        "time (s)",
-        "# of concurrent VMs",
-    );
-    for (mode, seed) in [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)] {
-        let mut cfg = ComputeConfig::paper(mode, seed);
-        cfg.requests = bench::scaled(1000);
-        let r = compute::run(&cfg);
-        fig.push_series(Series::from_points(
-            mode.label(),
-            r.concurrency
-                .iter()
-                .map(|(t, n)| (t.as_secs_f64(), *n as f64)),
-        ));
-        eprintln!("# ran {}", mode.label());
-    }
-    fig.set_meta("inter_arrival_ms", 250);
-    let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 30.0).collect();
-    bench::finish(&fig, &xs);
+    bench::runner::figure_main("fig18");
 }

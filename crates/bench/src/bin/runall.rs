@@ -1,0 +1,156 @@
+//! Regenerates every paper figure in one invocation, fanning the
+//! registry's work units out over a thread pool.
+//!
+//! ```text
+//! runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq]
+//!        [--report PATH]
+//! ```
+//!
+//! * `--jobs N`   worker threads (default: available parallelism)
+//! * `--filter`   only figures whose id contains one of the substrings
+//! * `--list`     print figure ids and unit counts, run nothing
+//! * `--seq`      force a single worker (equivalent to `--jobs 1`)
+//! * `--report`   perf-report path (default `results/bench_runner.json`)
+//!
+//! Figure artefacts go to `LIGHTVM_FIG_DIR` (default `target/figures`)
+//! exactly as the individual `figNN` binaries write them; the merged
+//! output is byte-identical to a sequential run regardless of `--jobs`.
+//! `LIGHTVM_QUICK=1` runs the reduced-scale profile.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use bench::figures::{all_specs, Scale};
+use bench::runner;
+
+/// `println!` panics if stdout closes early (`runall --list | head`);
+/// progress lines are best-effort, so swallow the broken pipe instead.
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+struct Args {
+    jobs: usize,
+    filters: Vec<String>,
+    list: bool,
+    report: std::path::PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq] [--report PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        filters: Vec::new(),
+        list: false,
+        report: std::path::PathBuf::from("results/bench_runner.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.jobs = v.parse().unwrap_or_else(|_| usage());
+                if args.jobs == 0 {
+                    usage();
+                }
+            }
+            "--filter" | "-f" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.filters
+                    .extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--list" => args.list = true,
+            "--seq" => args.jobs = 1,
+            "--report" => {
+                args.report = std::path::PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let scale = Scale::from_env();
+
+    let mut specs = all_specs(scale);
+    if !args.filters.is_empty() {
+        specs.retain(|s| args.filters.iter().any(|f| s.id.contains(f.as_str())));
+        if specs.is_empty() {
+            eprintln!("runall: no figure matches the filter");
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.list {
+        for s in &specs {
+            say!(
+                "{:7} {:2} unit(s)  {}",
+                s.id,
+                s.units.len(),
+                s.title
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let n_figs = specs.len();
+    let n_units: usize = specs.iter().map(|s| s.units.len()).sum();
+    eprintln!(
+        "# runall: {n_figs} figure(s), {n_units} unit(s), {} worker(s){}",
+        args.jobs,
+        if scale.quick { ", quick profile" } else { "" }
+    );
+
+    let (figures, report) = runner::run(specs, args.jobs, scale.quick);
+
+    let dir = bench::out_dir();
+    let mut failed = false;
+    for run in &figures {
+        match run.figure.write_files(&dir) {
+            Ok(()) => {
+                let id = &run.figure.id;
+                say!(
+                    "# {id}: {} series -> {}/{id}.{{json,csv}}",
+                    run.figure.series.len(),
+                    dir.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("# ERROR: could not write {}: {e}", run.figure.id);
+                failed = true;
+            }
+        }
+    }
+
+    match report.write(&args.report) {
+        Ok(()) => say!("# perf report -> {}", args.report.display()),
+        Err(e) => {
+            eprintln!("# ERROR: could not write perf report: {e}");
+            failed = true;
+        }
+    }
+    say!(
+        "# wall {:.1} ms, unit wall {:.1} ms, speedup {:.2}x, {} events, {:.0} events/sec aggregate",
+        report.wall_ms,
+        report.total_unit_wall_ms(),
+        report.speedup(),
+        report.total_events(),
+        report.aggregate_events_per_sec()
+    );
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,966 @@
+//! The figure registry: every paper figure decomposed into independent
+//! work units for the parallel runner.
+//!
+//! A *unit* is the smallest independently computable slice of a figure —
+//! typically one toolstack mode × guest image × machine sweep. Units
+//! share nothing (each builds its own `ControlPlane`), so they can run
+//! on any thread in any order; the runner merges their series back into
+//! the figure in declared order, which makes the merged artefacts
+//! byte-identical regardless of scheduling.
+
+use container::{ContainerError, ContainerImage, DockerRuntime, ProcessRuntime, syscall_history};
+use guests::GuestImage;
+use lightvm::usecases::{compute, firewall, jit, tls};
+use lightvm::usecases::compute::ComputeConfig;
+use lightvm::usecases::jit::JitConfig;
+use metrics::{Cdf, Series};
+use simcore::{Category, CostModel, Machine, MachinePreset, SimRng};
+use toolstack::{ControlPlane, ToolstackMode};
+
+use crate::{density_steps, series_ms, SweepPoint};
+
+/// Run-size profile, passed explicitly so tests can pin it without
+/// mutating the environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Reduced-scale run (1/10 sizes, min 10) — `LIGHTVM_QUICK`.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Reads the profile from `LIGHTVM_QUICK`.
+    pub fn from_env() -> Scale {
+        Scale {
+            quick: std::env::var_os("LIGHTVM_QUICK").is_some(),
+        }
+    }
+
+    /// Full scale.
+    pub fn full() -> Scale {
+        Scale { quick: false }
+    }
+
+    /// Quick scale.
+    pub fn quick() -> Scale {
+        Scale { quick: true }
+    }
+
+    /// Applies the profile to a run size.
+    pub fn scaled(&self, n: usize) -> usize {
+        if self.quick {
+            (n / 10).max(10)
+        } else {
+            n
+        }
+    }
+}
+
+/// What a unit hands back to the runner.
+pub struct UnitOutput {
+    /// Series to merge into the figure, in order.
+    pub series: Vec<Series>,
+    /// Figure metadata contributed by this unit.
+    pub meta: Vec<(String, String)>,
+    /// Simulated virtual time covered, in milliseconds.
+    pub virtual_ms: f64,
+    /// Simulation events processed (xenstored requests + watch events
+    /// for toolstack units; operation counts for container units).
+    pub events: u64,
+}
+
+impl UnitOutput {
+    fn new() -> UnitOutput {
+        UnitOutput {
+            series: Vec::new(),
+            meta: Vec::new(),
+            virtual_ms: 0.0,
+            events: 0,
+        }
+    }
+
+    fn from_plane(cp: &ControlPlane) -> UnitOutput {
+        // Count discrete simulation events: XenStore protocol requests
+        // and watch deliveries, plus CPU-model task registrations so
+        // that noxs-mode units (which bypass the store) report their
+        // real work instead of zero.
+        let stats = cp.xs.stats();
+        UnitOutput {
+            series: Vec::new(),
+            meta: Vec::new(),
+            virtual_ms: cp.cpu.now().as_millis_f64(),
+            events: stats.requests + stats.watch_events + cp.cpu.tasks_started(),
+        }
+    }
+}
+
+/// One independently runnable slice of a figure.
+pub struct UnitSpec {
+    /// Label, unique within the figure (e.g. the mode or image name).
+    pub label: String,
+    /// The computation. Runs on an arbitrary worker thread.
+    pub run: Box<dyn FnOnce() -> UnitOutput + Send>,
+}
+
+impl UnitSpec {
+    fn new(label: impl Into<String>, run: impl FnOnce() -> UnitOutput + Send + 'static) -> UnitSpec {
+        UnitSpec {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A figure: header fields plus its ordered unit list.
+pub struct FigureSpec {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub xlabel: &'static str,
+    pub ylabel: &'static str,
+    /// x positions at which `render_table` samples the series.
+    pub sample_xs: Vec<f64>,
+    /// Figure-level metadata independent of any unit.
+    pub meta: Vec<(String, String)>,
+    pub units: Vec<UnitSpec>,
+}
+
+impl FigureSpec {
+    /// Assembles the final figure from this spec's header and the unit
+    /// outputs, which must be in declared unit order.
+    pub fn merge(&self, outputs: Vec<UnitOutput>) -> metrics::Figure {
+        let mut fig = metrics::Figure::new(self.id, self.title, self.xlabel, self.ylabel);
+        for out in outputs {
+            for s in out.series {
+                fig.push_series(s);
+            }
+            for (k, v) in out.meta {
+                fig.set_meta(k, v);
+            }
+        }
+        for (k, v) in &self.meta {
+            fig.set_meta(k, v);
+        }
+        fig
+    }
+}
+
+fn meta(k: &str, v: impl ToString) -> (String, String) {
+    (k.to_string(), v.to_string())
+}
+
+fn xeon() -> Machine {
+    Machine::preset(MachinePreset::XeonE5_1630V3)
+}
+
+/// A create/boot density sweep as a unit: one mode × image × machine.
+fn sweep_unit(
+    label: impl Into<String>,
+    machine: Machine,
+    dom0_cores: usize,
+    mode: ToolstackMode,
+    image: GuestImage,
+    n: usize,
+    seed: u64,
+    series_of: impl Fn(&str, &[SweepPoint]) -> Vec<Series> + Send + 'static,
+) -> UnitSpec {
+    let label = label.into();
+    let unit_label = label.clone();
+    UnitSpec::new(unit_label, move || {
+        let mut cp = ControlPlane::new(machine, dom0_cores, mode, seed);
+        cp.prewarm(&image);
+        let mut points = Vec::with_capacity(n);
+        for i in 0..n {
+            let n_before = cp.running_count();
+            let (_, create, boot) = cp
+                .create_and_boot(&format!("{}-{i}", image.name), &image)
+                .expect("density sweep create");
+            points.push(SweepPoint {
+                n_before,
+                create,
+                boot,
+            });
+        }
+        let mut out = UnitOutput::from_plane(&cp);
+        // Creates don't advance the CPU model's clock, so the simulated
+        // time of a density sweep is the sum of its create+boot spans.
+        out.virtual_ms = points
+            .iter()
+            .map(|p| p.create.as_millis_f64() + p.boot.as_millis_f64())
+            .sum();
+        out.series = series_of(&label, &points);
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// Individual figures
+// ---------------------------------------------------------------------
+
+fn fig01(_scale: Scale) -> FigureSpec {
+    FigureSpec {
+        id: "fig01",
+        title: "Linux syscall count by release year (x86_32)",
+        xlabel: "year",
+        ylabel: "no. of syscalls",
+        sample_xs: syscall_history().iter().map(|r| r.year as f64).collect(),
+        meta: vec![meta("source", "curated x86_32 syscall-table history")],
+        units: vec![UnitSpec::new("syscalls", || {
+            let hist = syscall_history();
+            let mut out = UnitOutput::new();
+            out.series.push(Series::from_points(
+                "syscalls",
+                hist.iter().map(|r| (r.year as f64, r.syscalls as f64)),
+            ));
+            out.events = hist.len() as u64;
+            out
+        })],
+    }
+}
+
+const MIB: u64 = 1 << 20;
+
+fn fig02(_scale: Scale) -> FigureSpec {
+    let sizes_mb: Vec<u64> = (0..=10).map(|i| i * 100).collect();
+    let sample_xs: Vec<f64> = sizes_mb.iter().map(|&s| s as f64).collect();
+    FigureSpec {
+        id: "fig02",
+        title: "Instantiation time vs image size (ramdisk-backed)",
+        xlabel: "VM image size (MB)",
+        ylabel: "boot time (ms)",
+        sample_xs,
+        meta: vec![
+            meta("machine", "Xeon E5-1630 v3"),
+            meta("toolstack", "chaos [NoXS]"),
+        ],
+        units: vec![UnitSpec::new("padded-image", move || {
+            let mut series = Series::new("daytime unikernel (padded)");
+            let mut out = UnitOutput::new();
+            for &mb in &sizes_mb {
+                let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::ChaosNoxs, 42);
+                let image = GuestImage::unikernel_daytime().padded(mb * MIB);
+                let (_, create, boot) = cp.create_and_boot("padded", &image).expect("boots");
+                series.push(mb as f64, (create + boot).as_millis_f64());
+                let per = UnitOutput::from_plane(&cp);
+                out.virtual_ms += (create + boot).as_millis_f64();
+                out.events += per.events;
+            }
+            out.series.push(series);
+            out
+        })],
+    }
+}
+
+fn fig04(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let mut units = Vec::new();
+    for (img, label) in [
+        (GuestImage::debian(), "Debian"),
+        (GuestImage::tinyx_noop(), "Tinyx"),
+        (GuestImage::unikernel_daytime(), "MiniOS"),
+    ] {
+        units.push(sweep_unit(
+            label,
+            xeon(),
+            1,
+            ToolstackMode::Xl,
+            img,
+            n,
+            42,
+            |label, pts| {
+                vec![
+                    series_ms(&format!("{label} Create"), pts, |p| p.create),
+                    series_ms(&format!("{label} Boot"), pts, |p| p.boot),
+                ]
+            },
+        ));
+    }
+    units.push(UnitSpec::new("docker", move || {
+        let cost = CostModel::paper_defaults();
+        let mut docker = DockerRuntime::new(ContainerImage::noop(), xeon().mem_bytes, 42);
+        let mut create_s = Series::new("Docker Boot");
+        let mut run_s = Series::new("Docker Run");
+        let mut out = UnitOutput::new();
+        for i in 0..n {
+            let create = docker.create_time(&cost);
+            let (_, run) = docker.run(&cost).expect("docker fits at this scale");
+            create_s.push(i as f64 + 1.0, create.as_millis_f64());
+            run_s.push(i as f64 + 1.0, run.as_millis_f64());
+            out.virtual_ms += (create + run).as_millis_f64();
+        }
+        out.events = 2 * n as u64;
+        out.series = vec![create_s, run_s];
+        out
+    }));
+    units.push(UnitSpec::new("process", move || {
+        let cost = CostModel::paper_defaults();
+        let mut procs = ProcessRuntime::new(42);
+        let mut proc_s = Series::new("Process Create");
+        let mut out = UnitOutput::new();
+        for i in 0..n {
+            let (_, dt) = procs.spawn(&cost);
+            proc_s.push(i as f64 + 1.0, dt.as_millis_f64());
+            out.virtual_ms += dt.as_millis_f64();
+        }
+        out.events = n as u64;
+        out.series = vec![proc_s];
+        out
+    }));
+    FigureSpec {
+        id: "fig04",
+        title: "Creation and boot times vs number of running guests (xl toolstack)",
+        xlabel: "number of running guests",
+        ylabel: "time (ms)",
+        sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
+        meta: vec![
+            meta("machine", "Xeon E5-1630 v3, 1 Dom0 core + 3 guest cores"),
+            meta("guests", n),
+        ],
+        units,
+    }
+}
+
+fn fig05(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    FigureSpec {
+        id: "fig05",
+        title: "xl creation-overhead breakdown (daytime unikernel)",
+        xlabel: "number of running guests",
+        ylabel: "time (ms)",
+        sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", "Xeon E5-1630 v3")],
+        units: vec![UnitSpec::new("xl-breakdown", move || {
+            let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::Xl, 42);
+            let image = GuestImage::unikernel_daytime();
+            let cats = [
+                Category::Toolstack,
+                Category::Load,
+                Category::Devices,
+                Category::Xenstore,
+                Category::Hypervisor,
+                Category::Config,
+            ];
+            let mut series: Vec<Series> = cats.iter().map(|c| Series::new(c.label())).collect();
+            let mut sim_ms = 0.0;
+            for i in 0..n {
+                let report = cp.create_vm(&format!("vm-{i}"), &image).expect("creates");
+                cp.boot_vm(report.dom).expect("boots");
+                sim_ms += report.meter.total().as_millis_f64();
+                for (s, c) in series.iter_mut().zip(cats.iter()) {
+                    s.push(i as f64 + 1.0, report.meter.of(*c).as_millis_f64());
+                }
+            }
+            let mut out = UnitOutput::from_plane(&cp);
+            out.virtual_ms = sim_ms;
+            out.meta = vec![
+                meta("log_rotations", cp.xs.log_rotations()),
+                meta("txn_conflicts", cp.xs.stats().txn_conflicts),
+            ];
+            out.series = series;
+            out
+        })],
+    }
+}
+
+fn fig09(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let units = [
+        ToolstackMode::Xl,
+        ToolstackMode::ChaosXs,
+        ToolstackMode::ChaosXsSplit,
+        ToolstackMode::ChaosNoxs,
+        ToolstackMode::LightVm,
+    ]
+    .into_iter()
+    .map(|mode| {
+        sweep_unit(
+            mode.label(),
+            xeon(),
+            1,
+            mode,
+            GuestImage::unikernel_daytime(),
+            n,
+            42,
+            |label, pts| vec![series_ms(label, pts, |p| p.create)],
+        )
+    })
+    .collect();
+    FigureSpec {
+        id: "fig09",
+        title: "Creation time under each mechanism combination (daytime unikernel)",
+        xlabel: "number of running VMs",
+        ylabel: "creation time (ms)",
+        sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", "Xeon E5-1630 v3, 1 Dom0 core + 3 guest cores")],
+        units,
+    }
+}
+
+fn fig10(scale: Scale) -> FigureSpec {
+    let n_vms = scale.scaled(8000);
+    let machine = Machine::preset(MachinePreset::AmdOpteron4X6376);
+    let machine_name = machine.name;
+    let mut units = vec![sweep_unit(
+        "LightVM",
+        machine.clone(),
+        4,
+        ToolstackMode::LightVm,
+        GuestImage::unikernel_noop(),
+        n_vms,
+        42,
+        |label, pts| vec![series_ms(label, pts, |p| p.create + p.boot)],
+    )];
+    units.push(UnitSpec::new("docker", move || {
+        let cost = machine.cost.clone();
+        let mut docker = DockerRuntime::new(ContainerImage::noop(), machine.mem_bytes, 42);
+        let mut docker_s = Series::new("Docker");
+        let mut out = UnitOutput::new();
+        let mut i = 0usize;
+        loop {
+            match docker.run(&cost) {
+                Ok((_, dt)) => {
+                    i += 1;
+                    docker_s.push(i as f64, dt.as_millis_f64());
+                    out.virtual_ms += dt.as_millis_f64();
+                }
+                Err(ContainerError::OutOfMemory(_)) => break,
+                Err(e) => panic!("docker failed unexpectedly: {e}"),
+            }
+            if i >= n_vms {
+                break;
+            }
+        }
+        out.events = i as u64;
+        out.meta = vec![meta("docker_stopped_at", i)];
+        out.series = vec![docker_s];
+        out
+    }));
+    FigureSpec {
+        id: "fig10",
+        title: "LightVM instantiation vs Docker at high density (64-core AMD)",
+        xlabel: "number of running VMs/containers",
+        ylabel: "time (ms)",
+        sample_xs: [1, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000]
+            .iter()
+            .map(|&v| v as f64)
+            .filter(|&v| v <= n_vms as f64)
+            .collect(),
+        meta: vec![meta("machine", machine_name)],
+        units,
+    }
+}
+
+fn fig11(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let mut units = vec![
+        sweep_unit(
+            "Tinyx over LightVM",
+            xeon(),
+            1,
+            ToolstackMode::LightVm,
+            GuestImage::tinyx_noop(),
+            n,
+            42,
+            |label, pts| vec![series_ms(label, pts, |p| p.boot)],
+        ),
+        sweep_unit(
+            "Unikernel over LightVM",
+            xeon(),
+            1,
+            ToolstackMode::LightVm,
+            GuestImage::unikernel_daytime(),
+            n,
+            43,
+            |label, pts| vec![series_ms(label, pts, |p| p.boot)],
+        ),
+    ];
+    units.push(UnitSpec::new("docker", move || {
+        let cost = CostModel::paper_defaults();
+        let mut docker = DockerRuntime::new(ContainerImage::noop(), xeon().mem_bytes, 42);
+        let mut docker_s = Series::new("Docker");
+        let mut out = UnitOutput::new();
+        for i in 0..n {
+            let (_, dt) = docker.run(&cost).expect("fits");
+            docker_s.push(i as f64 + 1.0, dt.as_millis_f64());
+            out.virtual_ms += dt.as_millis_f64();
+        }
+        out.events = n as u64;
+        out.series = vec![docker_s];
+        out
+    }));
+    FigureSpec {
+        id: "fig11",
+        title: "Boot times: unikernel vs Tinyx vs Docker",
+        xlabel: "number of running VMs/containers",
+        ylabel: "boot time (ms)",
+        sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", xeon().name)],
+        units,
+    }
+}
+
+/// One mode of the Figure 12 checkpoint/restore sweep.
+fn checkpoint_unit(mode: ToolstackMode, plot_save: bool, steps: Vec<usize>) -> UnitSpec {
+    UnitSpec::new(mode.label(), move || {
+        let image = GuestImage::unikernel_daytime();
+        let mut cp = ControlPlane::new(xeon(), 2, mode, 42);
+        cp.prewarm(&image);
+        let mut rng = SimRng::new(11);
+        let mut s = Series::new(mode.label());
+        let mut made = 0usize;
+        for &n in &steps {
+            while cp.running_count() < n {
+                cp.create_and_boot(&format!("vm-{made}"), &image)
+                    .expect("creates");
+                made += 1;
+            }
+            let doms: Vec<_> = cp.vms().map(|(d, _)| *d).collect();
+            let k = 10.min(doms.len());
+            let picks = rng.sample_distinct(doms.len(), k);
+            let mut save_ms = 0.0;
+            let mut restore_ms = 0.0;
+            for idx in picks {
+                let (saved, t_save) = cp.save_vm(doms[idx]).expect("saves");
+                let (_, t_restore) = cp.restore_vm(&saved).expect("restores");
+                save_ms += t_save.as_millis_f64();
+                restore_ms += t_restore.as_millis_f64();
+            }
+            let avg = if plot_save { save_ms } else { restore_ms } / k as f64;
+            s.push(n as f64, avg);
+        }
+        let mut out = UnitOutput::from_plane(&cp);
+        out.series = vec![s];
+        out
+    })
+}
+
+fn fig12(scale: Scale, id: &'static str, title: &'static str, plot_save: bool) -> FigureSpec {
+    let max = scale.scaled(1000);
+    let steps = density_steps(max);
+    let modes: &[ToolstackMode] = if plot_save {
+        &[ToolstackMode::Xl, ToolstackMode::ChaosXs, ToolstackMode::LightVm]
+    } else {
+        &[
+            ToolstackMode::Xl,
+            ToolstackMode::ChaosXs,
+            ToolstackMode::ChaosNoxs,
+            ToolstackMode::LightVm,
+        ]
+    };
+    FigureSpec {
+        id,
+        title,
+        xlabel: "number of running VMs",
+        ylabel: "time (ms)",
+        sample_xs: steps.iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", "Xeon E5-1630 v3, 2 Dom0 cores")],
+        units: modes
+            .iter()
+            .map(|&mode| checkpoint_unit(mode, plot_save, steps.clone()))
+            .collect(),
+    }
+}
+
+fn fig13(scale: Scale) -> FigureSpec {
+    let max = scale.scaled(1000);
+    let steps = density_steps(max);
+    let units = [
+        ToolstackMode::Xl,
+        ToolstackMode::ChaosXs,
+        ToolstackMode::ChaosNoxs,
+        ToolstackMode::LightVm,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let steps = steps.clone();
+        UnitSpec::new(mode.label(), move || {
+            let image = GuestImage::unikernel_daytime();
+            let link = lvnet::Link::lan();
+            let mut src = ControlPlane::new(xeon(), 2, mode, 42);
+            let mut dst = ControlPlane::new(xeon(), 2, mode, 43);
+            src.prewarm(&image);
+            let mut rng = SimRng::new(7);
+            let mut s = Series::new(mode.label());
+            let mut made = 0usize;
+            for &n in &steps {
+                while src.running_count() < n {
+                    src.create_and_boot(&format!("vm-{made}"), &image)
+                        .expect("creates");
+                    made += 1;
+                }
+                let doms: Vec<_> = src.vms().map(|(d, _)| *d).collect();
+                let k = 10.min(doms.len());
+                let picks = rng.sample_distinct(doms.len(), k);
+                let mut total_ms = 0.0;
+                for idx in picks {
+                    let (new_dom, t) = src
+                        .migrate_vm_to(&mut dst, &link, doms[idx])
+                        .expect("migrates");
+                    total_ms += t.as_millis_f64();
+                    dst.destroy_vm(new_dom).expect("destroys");
+                }
+                s.push(n as f64, total_ms / k as f64);
+            }
+            let mut out = UnitOutput::from_plane(&src);
+            let dst_out = UnitOutput::from_plane(&dst);
+            out.events += dst_out.events;
+            out.series = vec![s];
+            out
+        })
+    })
+    .collect();
+    FigureSpec {
+        id: "fig13",
+        title: "Migration times (daytime unikernel, 1 Gbps LAN)",
+        xlabel: "number of running VMs",
+        ylabel: "time (ms)",
+        sample_xs: steps.iter().map(|&v| v as f64).collect(),
+        meta: vec![
+            meta("machine", "Xeon E5-1630 v3, 2 Dom0 cores"),
+            meta("link", "1 Gbps / 0.1 ms"),
+        ],
+        units,
+    }
+}
+
+fn fig14(scale: Scale) -> FigureSpec {
+    const MB: f64 = 1e6;
+    let n = scale.scaled(1000);
+    let steps = density_steps(n);
+    let mut units = Vec::new();
+    {
+        let steps = steps.clone();
+        units.push(UnitSpec::new("vm-families", move || {
+            let mut out = UnitOutput::new();
+            for (img, label) in [
+                (GuestImage::debian(), "Debian"),
+                (GuestImage::tinyx_micropython(), "Tinyx"),
+                (GuestImage::unikernel_minipython(), "Minipython"),
+            ] {
+                let per = img.footprint_bytes() as f64;
+                out.series.push(Series::from_points(
+                    label,
+                    steps.iter().map(|&k| (k as f64, k as f64 * per / MB)),
+                ));
+            }
+            out.events = 3 * steps.len() as u64;
+            out
+        }));
+    }
+    {
+        let steps = steps.clone();
+        units.push(UnitSpec::new("docker", move || {
+            let cost = CostModel::paper_defaults();
+            let mut docker =
+                DockerRuntime::new(ContainerImage::micropython(), xeon().mem_bytes, 42);
+            let mut s = Series::new("Docker Micropython");
+            for i in 1..=n {
+                docker.run(&cost).expect("fits");
+                if steps.contains(&i) {
+                    s.push(i as f64, docker.container_memory() as f64 / MB);
+                }
+            }
+            let mut out = UnitOutput::new();
+            out.events = n as u64;
+            out.series = vec![s];
+            out
+        }));
+    }
+    {
+        let steps = steps.clone();
+        units.push(UnitSpec::new("process", move || {
+            let cost = CostModel::paper_defaults();
+            let mut procs = ProcessRuntime::new(42);
+            let mut s = Series::new("Micropython Process");
+            for i in 1..=n {
+                procs.spawn(&cost);
+                if steps.contains(&i) {
+                    s.push(i as f64, procs.total_memory() as f64 / MB);
+                }
+            }
+            let mut out = UnitOutput::new();
+            out.events = n as u64;
+            out.series = vec![s];
+            out
+        }));
+    }
+    FigureSpec {
+        id: "fig14",
+        title: "Memory usage vs instance count (Micropython workload)",
+        xlabel: "instances",
+        ylabel: "memory usage (MB)",
+        sample_xs: steps.iter().map(|&v| v as f64).collect(),
+        meta: Vec::new(),
+        units,
+    }
+}
+
+fn fig15(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let steps = density_steps(n);
+    let mut units = Vec::new();
+    for (img, label) in [
+        (GuestImage::debian(), "Debian"),
+        (GuestImage::tinyx_noop(), "Tinyx"),
+        (GuestImage::unikernel_noop(), "Unikernel"),
+    ] {
+        let steps = steps.clone();
+        units.push(UnitSpec::new(label, move || {
+            let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::LightVm, 42);
+            cp.prewarm(&img);
+            let mut s = Series::new(label);
+            for i in 1..=n {
+                cp.create_and_boot(&format!("{label}-{i}"), &img).expect("boots");
+                if steps.contains(&i) {
+                    s.push(i as f64, cp.cpu_utilization() * 100.0);
+                }
+            }
+            let mut out = UnitOutput::from_plane(&cp);
+            out.series = vec![s];
+            out
+        }));
+    }
+    {
+        let steps = steps.clone();
+        units.push(UnitSpec::new("docker", move || {
+            let cost = CostModel::paper_defaults();
+            let machine = xeon();
+            let mut docker = DockerRuntime::new(ContainerImage::noop(), machine.mem_bytes, 42);
+            let mut s = Series::new("Docker");
+            for i in 1..=n {
+                docker.run(&cost).expect("fits");
+                if steps.contains(&i) {
+                    s.push(
+                        i as f64,
+                        docker.idle_cpu_demand() / machine.cores as f64 * 100.0,
+                    );
+                }
+            }
+            let mut out = UnitOutput::new();
+            out.events = n as u64;
+            out.series = vec![s];
+            out
+        }));
+    }
+    FigureSpec {
+        id: "fig15",
+        title: "CPU utilisation vs number of idle guests",
+        xlabel: "number of running VMs/containers",
+        ylabel: "CPU utilisation (%)",
+        sample_xs: steps.iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", xeon().name)],
+        units,
+    }
+}
+
+fn fig16a(_scale: Scale) -> FigureSpec {
+    let sizes = [1usize, 100, 250, 500, 750, 1000];
+    FigureSpec {
+        id: "fig16a",
+        title: "Personal firewalls: throughput and RTT vs active users (ClickOS)",
+        xlabel: "# running VMs",
+        ylabel: "Gbps / ms",
+        sample_xs: sizes.iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", "Xeon E5-2690 v4 (14 cores)")],
+        units: vec![UnitSpec::new("firewall", move || {
+            let r = firewall::run(42, &sizes);
+            let mut out = UnitOutput::new();
+            out.series = vec![
+                Series::from_points(
+                    "Throughput (Gbps)",
+                    r.points.iter().map(|p| (p.users as f64, p.total_gbps)),
+                ),
+                Series::from_points(
+                    "RTT (ms)",
+                    r.points.iter().map(|p| (p.users as f64, p.rtt_ms)),
+                ),
+                Series::from_points(
+                    "Per-user (Mbps)",
+                    r.points.iter().map(|p| (p.users as f64, p.per_user_mbps)),
+                ),
+            ];
+            out.meta = vec![
+                meta("vms_booted", r.booted),
+                meta("last_boot_ms", format!("{:.2}", r.last_boot_ms)),
+            ];
+            out.events = r.booted as u64;
+            out
+        })],
+    }
+}
+
+fn fig16b(_scale: Scale) -> FigureSpec {
+    let units = [(10u64, 1u64), (25, 2), (50, 3), (100, 4)]
+        .into_iter()
+        .map(|(ms, seed)| {
+            UnitSpec::new(format!("{ms}ms"), move || {
+                let r = jit::run(&JitConfig::paper(ms, seed));
+                let samples: Vec<f64> = r.rtts.iter().map(|t| t.as_millis_f64()).collect();
+                let cdf = Cdf::of(&samples).expect("has samples");
+                let pcts = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+                let mut out = UnitOutput::new();
+                out.series = vec![Series::from_points(
+                    format!("{ms} ms"),
+                    pcts.iter().map(|&p| (p, cdf.percentile(p))),
+                )];
+                out.meta = vec![meta(&format!("drops_{ms}ms"), r.drops)];
+                out.events = r.rtts.len() as u64;
+                out
+            })
+        })
+        .collect();
+    FigureSpec {
+        id: "fig16b",
+        title: "JIT instantiation: ping RTT CDFs by inter-arrival time",
+        xlabel: "percentile",
+        ylabel: "ping RTT (ms)",
+        sample_xs: vec![1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0],
+        meta: vec![meta("clients", 1000)],
+        units,
+    }
+}
+
+fn fig16c(_scale: Scale) -> FigureSpec {
+    let counts = [1usize, 10, 50, 100, 250, 500, 750, 1000];
+    FigureSpec {
+        id: "fig16c",
+        title: "TLS termination throughput vs number of endpoints",
+        xlabel: "# of instances",
+        ylabel: "throughput (req/s)",
+        sample_xs: counts.iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("machine", "Xeon E5-2690 v4 (14 cores), RSA-1024")],
+        units: vec![UnitSpec::new("tls", move || {
+            let series = tls::run(42, &counts);
+            let mut out = UnitOutput::new();
+            for s in &series {
+                let label = match s.kind {
+                    lightvm::net::TlsEndpointKind::BareMetal => "bare metal",
+                    lightvm::net::TlsEndpointKind::Tinyx => "Tinyx",
+                    lightvm::net::TlsEndpointKind::Unikernel => "unikernel",
+                };
+                out.series.push(Series::from_points(
+                    label,
+                    s.points.iter().map(|p| (p.endpoints as f64, p.rps)),
+                ));
+                out.meta.push(meta(
+                    &format!("{label}_boot_ms"),
+                    format!("{:.1}", s.endpoint_boot_ms),
+                ));
+                out.events += s.points.len() as u64;
+            }
+            out
+        })],
+    }
+}
+
+fn fig17(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let units = [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)]
+        .into_iter()
+        .map(|(mode, seed)| {
+            UnitSpec::new(mode.label(), move || {
+                let mut cfg = ComputeConfig::paper(mode, seed);
+                cfg.requests = n;
+                let r = compute::run(&cfg);
+                let mut out = UnitOutput::new();
+                out.series = vec![Series::from_points(
+                    mode.label(),
+                    r.service_times
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| (i as f64 + 1.0, t.as_secs_f64())),
+                )];
+                let first = r.create_times[0].as_millis_f64();
+                let last = r.create_times.last().unwrap().as_millis_f64();
+                out.meta = vec![meta(
+                    &format!("create_ms_{}", mode.label()),
+                    format!("{first:.2} -> {last:.2}"),
+                )];
+                out.events = r.service_times.len() as u64;
+                out.virtual_ms = r
+                    .service_times
+                    .iter()
+                    .map(|t| t.as_millis_f64())
+                    .sum();
+                out
+            })
+        })
+        .collect();
+    FigureSpec {
+        id: "fig17",
+        title: "Compute-service completion time under overload (Minipython)",
+        xlabel: "VM #",
+        ylabel: "service time (s)",
+        sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
+        meta: vec![meta("inter_arrival_ms", 250), meta("job_cpu_s", 0.75)],
+        units,
+    }
+}
+
+fn fig18(scale: Scale) -> FigureSpec {
+    let n = scale.scaled(1000);
+    let units = [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)]
+        .into_iter()
+        .map(|(mode, seed)| {
+            UnitSpec::new(mode.label(), move || {
+                let mut cfg = ComputeConfig::paper(mode, seed);
+                cfg.requests = n;
+                let r = compute::run(&cfg);
+                let mut out = UnitOutput::new();
+                out.series = vec![Series::from_points(
+                    mode.label(),
+                    r.concurrency
+                        .iter()
+                        .map(|(t, c)| (t.as_secs_f64(), *c as f64)),
+                )];
+                out.events = r.concurrency.len() as u64;
+                out
+            })
+        })
+        .collect();
+    FigureSpec {
+        id: "fig18",
+        title: "Concurrent compute-service VMs over time",
+        xlabel: "time (s)",
+        ylabel: "# of concurrent VMs",
+        sample_xs: (0..=10).map(|i| i as f64 * 30.0).collect(),
+        meta: vec![meta("inter_arrival_ms", 250)],
+        units,
+    }
+}
+
+/// Builds the complete registry at the given scale, in figure order.
+pub fn all_specs(scale: Scale) -> Vec<FigureSpec> {
+    vec![
+        fig01(scale),
+        fig02(scale),
+        fig04(scale),
+        fig05(scale),
+        fig09(scale),
+        fig10(scale),
+        fig11(scale),
+        fig12(
+            scale,
+            "fig12a",
+            "Save times (daytime unikernel)",
+            true,
+        ),
+        fig12(
+            scale,
+            "fig12b",
+            "Restore times (daytime unikernel)",
+            false,
+        ),
+        fig13(scale),
+        fig14(scale),
+        fig15(scale),
+        fig16a(scale),
+        fig16b(scale),
+        fig16c(scale),
+        fig17(scale),
+        fig18(scale),
+    ]
+}
+
+/// Builds one figure's spec by id.
+pub fn spec_by_id(scale: Scale, id: &str) -> Option<FigureSpec> {
+    all_specs(scale).into_iter().find(|s| s.id == id)
+}

@@ -1,8 +1,14 @@
-//! Shared helpers for the figure-regeneration binaries.
+//! Shared helpers for the figure-regeneration binaries, the figure
+//! registry ([`figures`]) and the parallel runner ([`runner`]).
+
+pub mod figures;
+pub mod runner;
 
 use std::path::PathBuf;
 
 use metrics::Figure;
+
+pub use figures::Scale;
 
 /// Where figure artefacts (.json/.csv) are written.
 pub fn out_dir() -> PathBuf {
@@ -39,17 +45,13 @@ pub fn density_steps(max: usize) -> Vec<usize> {
 
 /// Whether a quick (reduced-scale) run was requested.
 pub fn quick() -> bool {
-    std::env::var_os("LIGHTVM_QUICK").is_some()
+    Scale::from_env().quick
 }
 
 /// Scale factor for run sizes: full scale by default, 1/10 with
 /// `LIGHTVM_QUICK=1`.
 pub fn scaled(n: usize) -> usize {
-    if quick() {
-        (n / 10).max(10)
-    } else {
-        n
-    }
+    Scale::from_env().scaled(n)
 }
 
 use guests::GuestImage;
@@ -109,65 +111,3 @@ pub fn series_ms(
     )
 }
 
-/// Shared driver for Figures 12a/12b: with N guests running, checkpoint
-/// 10 randomly chosen ones and restore them, recording the averages.
-pub fn checkpoint_sweep(id: &str, title: &str, plot_save: bool) {
-    use simcore::{MachinePreset, SimRng};
-
-    let max = scaled(1000);
-    let steps = density_steps(max);
-    let image = GuestImage::unikernel_daytime();
-    let mut fig = metrics::Figure::new(
-        id,
-        title,
-        "number of running VMs",
-        "time (ms)",
-    );
-    let modes: &[ToolstackMode] = if plot_save {
-        &[ToolstackMode::Xl, ToolstackMode::ChaosXs, ToolstackMode::LightVm]
-    } else {
-        &[
-            ToolstackMode::Xl,
-            ToolstackMode::ChaosXs,
-            ToolstackMode::ChaosNoxs,
-            ToolstackMode::LightVm,
-        ]
-    };
-    for &mode in modes {
-        let mut cp = ControlPlane::new(
-            Machine::preset(MachinePreset::XeonE5_1630V3),
-            2,
-            mode,
-            42,
-        );
-        cp.prewarm(&image);
-        let mut rng = SimRng::new(11);
-        let mut s = metrics::Series::new(mode.label());
-        let mut made = 0usize;
-        for &n in &steps {
-            while cp.running_count() < n {
-                cp.create_and_boot(&format!("vm-{made}"), &image)
-                    .expect("creates");
-                made += 1;
-            }
-            let doms: Vec<_> = cp.vms().map(|(d, _)| *d).collect();
-            let k = 10.min(doms.len());
-            let picks = rng.sample_distinct(doms.len(), k);
-            let mut save_ms = 0.0;
-            let mut restore_ms = 0.0;
-            for idx in picks {
-                let (saved, t_save) = cp.save_vm(doms[idx]).expect("saves");
-                let (_, t_restore) = cp.restore_vm(&saved).expect("restores");
-                save_ms += t_save.as_millis_f64();
-                restore_ms += t_restore.as_millis_f64();
-            }
-            let avg = if plot_save { save_ms } else { restore_ms } / k as f64;
-            s.push(n as f64, avg);
-        }
-        fig.push_series(s);
-        eprintln!("# swept {}", mode.label());
-    }
-    fig.set_meta("machine", "Xeon E5-1630 v3, 2 Dom0 cores");
-    let xs: Vec<f64> = steps.iter().map(|&v| v as f64).collect();
-    finish(&fig, &xs);
-}

@@ -1,0 +1,127 @@
+//! Parallel figure runner: executes registry work units on a thread
+//! pool and deterministically reassembles the figures.
+//!
+//! Units are claimed from a shared queue (an atomic cursor over the
+//! flattened unit list), so threads stay busy regardless of how uneven
+//! unit costs are. Results are written into per-unit slots; the merge
+//! then walks figures and units in *declared* order, which makes the
+//! output bit-for-bit independent of scheduling. Determinism is also
+//! guaranteed per unit: each unit owns its whole simulation (control
+//! plane, RNG, clocks), so no simulated state crosses threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use metrics::{Figure, RunnerReport, UnitPerf};
+
+use crate::figures::{FigureSpec, UnitOutput};
+
+/// A completed figure plus the x positions its table is sampled at.
+pub struct FigureRun {
+    pub figure: Figure,
+    pub sample_xs: Vec<f64>,
+}
+
+/// Executes every unit of `specs` on `jobs` worker threads and merges
+/// the results. Returns the figures in registry order and the per-unit
+/// perf report (also in registry order).
+pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>, RunnerReport) {
+    let started = Instant::now();
+
+    // Flatten to a work list, remembering each unit's home figure.
+    let mut heads = Vec::with_capacity(specs.len());
+    let mut work: Vec<Box<dyn FnOnce() -> UnitOutput + Send>> = Vec::new();
+    let mut unit_ids: Vec<(usize, String)> = Vec::new(); // (figure idx, label)
+    for (fi, mut spec) in specs.into_iter().enumerate() {
+        for unit in spec.units.drain(..) {
+            unit_ids.push((fi, unit.label));
+            work.push(unit.run);
+        }
+        heads.push(spec);
+    }
+
+    let n_units = work.len();
+    let jobs = jobs.max(1).min(n_units.max(1));
+    let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> UnitOutput + Send>>>> =
+        work.into_iter().map(|w| Mutex::new(Some(w))).collect();
+    let results: Vec<Mutex<Option<(UnitOutput, f64)>>> =
+        (0..n_units).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_units {
+                    break;
+                }
+                let unit = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("unit claimed once");
+                let t0 = Instant::now();
+                let out = unit();
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                *results[i].lock().expect("result lock") = Some((out, wall_ms));
+            });
+        }
+    });
+
+    // Reassemble in declared order.
+    let mut outputs: Vec<Vec<UnitOutput>> = heads.iter().map(|_| Vec::new()).collect();
+    let mut perf = Vec::with_capacity(n_units);
+    for (slot, (fi, label)) in results.into_iter().zip(unit_ids) {
+        let (out, wall_ms) = slot
+            .into_inner()
+            .expect("result lock")
+            .expect("every unit ran");
+        perf.push(UnitPerf::new(
+            heads[fi].id,
+            label,
+            wall_ms,
+            out.virtual_ms,
+            out.events,
+        ));
+        outputs[fi].push(out);
+    }
+
+    let figures = heads
+        .iter()
+        .zip(outputs)
+        .map(|(head, outs)| FigureRun {
+            figure: head.merge(outs),
+            sample_xs: head.sample_xs.clone(),
+        })
+        .collect();
+
+    let report = RunnerReport {
+        jobs,
+        quick,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        units: perf,
+    };
+    (figures, report)
+}
+
+/// Runs a single figure's units sequentially, in declared order — the
+/// driver behind the per-figure `figNN` binaries.
+pub fn run_single(mut spec: FigureSpec) -> FigureRun {
+    let units = std::mem::take(&mut spec.units);
+    let outputs: Vec<UnitOutput> = units.into_iter().map(|u| (u.run)()).collect();
+    FigureRun {
+        sample_xs: spec.sample_xs.clone(),
+        figure: spec.merge(outputs),
+    }
+}
+
+/// Per-figure binary entry point: builds the spec at the environment's
+/// scale, runs it sequentially and prints/writes the usual artefacts.
+pub fn figure_main(id: &str) {
+    let scale = crate::figures::Scale::from_env();
+    let spec = crate::figures::spec_by_id(scale, id)
+        .unwrap_or_else(|| panic!("unknown figure id {id:?}"));
+    let run = run_single(spec);
+    crate::finish(&run.figure, &run.sample_xs);
+}

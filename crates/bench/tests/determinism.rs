@@ -1,0 +1,65 @@
+//! Runner determinism: the figures assembled from parallel unit results
+//! must be byte-identical to a sequential run — merge order is declared
+//! order, never completion order. Scale is pinned explicitly so the test
+//! never touches the environment.
+
+use bench::figures::{spec_by_id, Scale};
+use bench::runner;
+
+/// fig14 (3 units, cheap at quick scale): sequential single-figure run
+/// vs the thread-pool runner at 4 workers.
+#[test]
+fn parallel_merge_is_byte_identical_to_sequential() {
+    let scale = Scale::quick();
+    let seq = runner::run_single(spec_by_id(scale, "fig14").expect("fig14 registered"));
+    let (mut par, report) =
+        runner::run(vec![spec_by_id(scale, "fig14").unwrap()], 4, scale.quick);
+    assert_eq!(par.len(), 1);
+    let par = par.remove(0);
+
+    assert_eq!(seq.figure.to_json(), par.figure.to_json());
+    assert_eq!(seq.figure.to_csv(), par.figure.to_csv());
+    assert_eq!(seq.sample_xs, par.sample_xs);
+
+    // The perf report preserves declared unit order.
+    let labels: Vec<&str> = report.units.iter().map(|u| u.unit.as_str()).collect();
+    assert_eq!(labels, ["vm-families", "docker", "process"]);
+    assert!(report.units.iter().all(|u| u.figure == "fig14"));
+}
+
+/// Two runner invocations with different worker counts agree with each
+/// other across multiple figures.
+#[test]
+fn worker_count_does_not_change_output() {
+    let scale = Scale::quick();
+    let ids = ["fig16b", "fig18"];
+    let build = || {
+        ids.iter()
+            .map(|id| spec_by_id(scale, id).expect("registered"))
+            .collect::<Vec<_>>()
+    };
+    let (one, _) = runner::run(build(), 1, scale.quick);
+    let (four, _) = runner::run(build(), 4, scale.quick);
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(a.figure.to_json(), b.figure.to_json());
+    }
+}
+
+/// The registry itself is stable: same scale, same specs.
+#[test]
+fn registry_is_complete_and_stable() {
+    let specs = bench::figures::all_specs(Scale::quick());
+    let ids: Vec<&str> = specs.iter().map(|s| s.id).collect();
+    assert_eq!(
+        ids,
+        [
+            "fig01", "fig02", "fig04", "fig05", "fig09", "fig10", "fig11", "fig12a",
+            "fig12b", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17",
+            "fig18"
+        ]
+    );
+    for s in &specs {
+        assert!(!s.units.is_empty(), "{} has no units", s.id);
+    }
+}

@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use guests::GuestImage;
 use hypervisor::DomId;
 use lvnet::Link;
-use simcore::{Machine, MachinePreset};
+use simcore::MachinePreset;
 use toolstack::{SavedVm, ToolstackMode, VmConfig};
 
 use crate::host::Host;

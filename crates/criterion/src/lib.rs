@@ -1,0 +1,216 @@
+//! A tiny, dependency-free stand-in for the `criterion` crate.
+//!
+//! The container this repository builds in has no access to crates.io,
+//! so `cargo bench` is served by this shim instead: it exposes the exact
+//! API subset the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, the `criterion_group!`/`criterion_main!`
+//! macros) and reports median ns/iter on stdout. It favours short,
+//! deterministic-ish runs over criterion's statistical rigour — good
+//! enough to compare hot-path changes within one machine.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimiser from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A two-part benchmark identifier, rendered `name/param`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Drives one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    /// Measured per-iteration times from the sampling phase.
+    samples: Vec<Duration>,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_SAMPLES: usize = 15;
+const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Times `f`, first warming up, then sampling batches until the time
+    /// budget is exhausted.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        // Size batches so one batch is ~budget/target_samples.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = SAMPLE_BUDGET / TARGET_SAMPLES as u32;
+        let batch = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + SAMPLE_BUDGET;
+        while self.samples.len() < TARGET_SAMPLES && Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(one);
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut v: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    println!(
+        "bench {full_name:<48} {:>12} ns/iter ({} samples)",
+        b.median_ns(),
+        b.samples.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (output is already flushed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(black_box(1));
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.median_ns() > 0);
+    }
+
+    #[test]
+    fn ids_render_name_slash_param() {
+        assert_eq!(BenchmarkId::new("read", 500).to_string(), "read/500");
+    }
+}

@@ -146,11 +146,11 @@ pub fn backend_process_events(
             continue;
         }
         // Only the "state" write of a new announcement triggers set-up.
-        let comps: Vec<String> = ev.path.components().iter().map(|s| s.to_string()).collect();
         // /local/domain/0/backend/<kind>/<domid>/<devid>/state
-        if comps.len() != 8 || comps[7] != "state" {
+        if ev.path.depth() != 8 || ev.path.last_component() != Some("state") {
             continue;
         }
+        let comps: Vec<&str> = ev.path.components().collect();
         let state_raw = match xs.read(cost, meter, 0, &ev.path) {
             Ok(v) => v,
             // Stale event: the node was removed after the event fired.

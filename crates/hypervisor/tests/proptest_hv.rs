@@ -1,45 +1,59 @@
-//! Property tests for hypervisor resource accounting.
+//! Property tests for hypervisor resource accounting, driven by a
+//! seeded `SimRng` (offline build: no proptest).
 
 use hypervisor::{DomId, DomainConfig, EvtchnTable, GrantTable, Hypervisor};
-use proptest::prelude::*;
-use simcore::{CostModel, Meter};
+use simcore::{CostModel, Meter, SimRng};
 
 const MIB: u64 = 1 << 20;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Memory used never exceeds the total and returns to baseline after
-    /// every domain is destroyed.
-    #[test]
-    fn memory_conservation(sizes in prop::collection::vec(1u64..256, 1..20)) {
+/// Memory used never exceeds the total and returns to baseline after
+/// every domain is destroyed.
+#[test]
+fn memory_conservation() {
+    let mut rng = SimRng::new(0xA701);
+    for _case in 0..64 {
+        let sizes: Vec<u64> = (0..1 + rng.index(19))
+            .map(|_| 1 + rng.index(255) as u64)
+            .collect();
         let cost = CostModel::paper_defaults();
         let mut m = Meter::new();
         let mut hv = Hypervisor::new(64 * 1024 * MIB, 1024 * MIB, vec![0, 1]);
         let baseline = hv.memory.used();
         let mut doms = Vec::new();
         for &mib in &sizes {
-            let d = hv.create_domain(&cost, &mut m, &DomainConfig { max_mem_mib: mib, vcpus: 1 }).unwrap();
+            let d = hv
+                .create_domain(
+                    &cost,
+                    &mut m,
+                    &DomainConfig {
+                        max_mem_mib: mib,
+                        vcpus: 1,
+                    },
+                )
+                .unwrap();
             hv.populate_physmap(&cost, &mut m, d, mib).unwrap();
             doms.push((d, mib));
-            prop_assert!(hv.memory.used() <= hv.memory.total());
+            assert!(hv.memory.used() <= hv.memory.total());
         }
         let expect: u64 = sizes.iter().map(|s| s * MIB).sum();
-        prop_assert_eq!(hv.memory.used() - baseline, expect);
+        assert_eq!(hv.memory.used() - baseline, expect);
         for (d, _) in doms {
             hv.destroy(&cost, &mut m, d).unwrap();
         }
-        prop_assert_eq!(hv.memory.used(), baseline);
+        assert_eq!(hv.memory.used(), baseline);
     }
+}
 
-    /// Event channels: after any sequence of alloc/bind/close, the open
-    /// count equals allocations minus closed ends.
-    #[test]
-    fn evtchn_open_count(ops in prop::collection::vec(0u8..3, 1..50)) {
+/// Event channels: after any sequence of alloc/bind/close, the open
+/// count equals allocations minus closed ends.
+#[test]
+fn evtchn_open_count() {
+    let mut rng = SimRng::new(0xA702);
+    for _case in 0..64 {
         let mut t = EvtchnTable::new();
         let mut live = Vec::new(); // (owner, port, bound)
-        for op in ops {
-            match op {
+        for _ in 0..1 + rng.index(49) {
+            match rng.index(3) {
                 0 => {
                     let p = t.alloc_unbound(DomId(0), DomId(1));
                     live.push((DomId(0), p, None));
@@ -59,14 +73,18 @@ proptest! {
                 }
             }
             let expect: usize = live.iter().map(|(_, _, b)| 1 + b.is_some() as usize).sum();
-            prop_assert_eq!(t.open_channels(), expect);
+            assert_eq!(t.open_channels(), expect);
         }
     }
+}
 
-    /// Grants: end_access only succeeds when unmapped; the table never
-    /// leaks entries after a full cleanup.
-    #[test]
-    fn grant_lifecycle(n in 1usize..30) {
+/// Grants: end_access only succeeds when unmapped; the table never
+/// leaks entries after a full cleanup.
+#[test]
+fn grant_lifecycle() {
+    let mut rng = SimRng::new(0xA703);
+    for _case in 0..64 {
+        let n = 1 + rng.index(29);
         let mut g = GrantTable::new();
         let mut refs = Vec::new();
         for i in 0..n {
@@ -74,12 +92,12 @@ proptest! {
             g.map(DomId(0), DomId(1), r).unwrap();
             refs.push(r);
         }
-        prop_assert_eq!(g.len(), n);
+        assert_eq!(g.len(), n);
         for r in &refs {
-            prop_assert!(g.end_access(DomId(1), *r).is_err(), "mapped grant must not end");
+            assert!(g.end_access(DomId(1), *r).is_err(), "mapped grant must not end");
             g.unmap(DomId(0), DomId(1), *r).unwrap();
             g.end_access(DomId(1), *r).unwrap();
         }
-        prop_assert!(g.is_empty());
+        assert!(g.is_empty());
     }
 }

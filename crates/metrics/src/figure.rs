@@ -5,10 +5,10 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// One labelled data series (x, y pairs).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `"chaos [NoXS]"`.
     pub label: String,
@@ -70,7 +70,7 @@ impl Series {
 }
 
 /// A reproduced paper figure: series plus axis/em metadata.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Figure {
     /// Stable identifier, e.g. `"fig09"`.
     pub id: String,
@@ -191,7 +191,92 @@ impl Figure {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialises")
+        let series = Json::Arr(
+            self.series
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("label".to_string(), Json::Str(s.label.clone())),
+                        (
+                            "points".to_string(),
+                            Json::Arr(
+                                s.points
+                                    .iter()
+                                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let meta = Json::Obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        Json::obj([
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("title".to_string(), Json::Str(self.title.clone())),
+            ("xlabel".to_string(), Json::Str(self.xlabel.clone())),
+            ("ylabel".to_string(), Json::Str(self.ylabel.clone())),
+            ("series".to_string(), series),
+            ("meta".to_string(), meta),
+        ])
+        .pretty()
+    }
+
+    /// Parses a figure previously written by [`Figure::to_json`].
+    pub fn from_json(src: &str) -> Result<Figure, JsonError> {
+        let bad = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let v = Json::parse(src)?;
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing string field '{key}'")))
+        };
+        let mut fig = Figure::new(
+            field("id")?,
+            field("title")?,
+            field("xlabel")?,
+            field("ylabel")?,
+        );
+        for s in v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing 'series' array"))?
+        {
+            let label = s
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("series without a label"))?;
+            let mut series = Series::new(label);
+            for pt in s
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("series without points"))?
+            {
+                match pt.as_arr() {
+                    Some([x, y]) => series.push(
+                        x.as_f64().ok_or_else(|| bad("non-numeric x"))?,
+                        y.as_f64().ok_or_else(|| bad("non-numeric y"))?,
+                    ),
+                    _ => return Err(bad("point is not an [x, y] pair")),
+                }
+            }
+            fig.push_series(series);
+        }
+        if let Some(meta) = v.get("meta").and_then(Json::as_obj) {
+            for (k, val) in meta {
+                fig.set_meta(k, val.as_str().unwrap_or_default());
+            }
+        }
+        Ok(fig)
     }
 
     /// Writes `<id>.json` and `<id>.csv` into `dir` (created if missing).
@@ -271,9 +356,10 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let f = sample_figure();
-        let parsed: Figure = serde_json::from_str(&f.to_json()).unwrap();
+        let parsed = Figure::from_json(&f.to_json()).unwrap();
         assert_eq!(parsed.id, "figX");
         assert_eq!(parsed.series, f.series);
+        assert_eq!(parsed, f);
     }
 
     #[test]

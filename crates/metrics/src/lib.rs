@@ -6,7 +6,11 @@
 //! EXPERIMENTS.md numbers are reproducible artefacts.
 
 pub mod figure;
+pub mod json;
+pub mod report;
 pub mod stats;
 
 pub use figure::{Figure, Series};
+pub use json::Json;
+pub use report::{RunnerReport, UnitPerf};
 pub use stats::{Cdf, Summary};

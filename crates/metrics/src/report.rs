@@ -1,0 +1,198 @@
+//! Machine-readable performance report for the figure runner.
+//!
+//! One [`UnitPerf`] per work unit (a single series of a single figure),
+//! plus run-level totals. The emitted JSON is the repo's perf-trajectory
+//! record: successive optimisation PRs compare `events_per_sec` and
+//! wall-clock against the previous run's `results/bench_runner.json`.
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Per-work-unit performance measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitPerf {
+    /// Figure the unit belongs to, e.g. `"fig09"`.
+    pub figure: String,
+    /// Unit label within the figure, e.g. `"lightvm"`.
+    pub unit: String,
+    /// Host wall-clock spent executing the unit, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated virtual time covered by the unit, in milliseconds.
+    pub virtual_ms: f64,
+    /// Simulation events processed (xenstored requests, engine firings,
+    /// container operations — whatever the unit's workload counts).
+    pub events: u64,
+    /// `events / wall seconds`: the single-thread throughput figure the
+    /// hot-path optimisations move.
+    pub events_per_sec: f64,
+}
+
+impl UnitPerf {
+    /// Builds a record, deriving `events_per_sec` from the wall-clock.
+    pub fn new(
+        figure: impl Into<String>,
+        unit: impl Into<String>,
+        wall_ms: f64,
+        virtual_ms: f64,
+        events: u64,
+    ) -> UnitPerf {
+        let events_per_sec = if wall_ms > 0.0 {
+            events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        UnitPerf {
+            figure: figure.into(),
+            unit: unit.into(),
+            wall_ms,
+            virtual_ms,
+            events,
+            events_per_sec,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure".to_string(), Json::Str(self.figure.clone())),
+            ("unit".to_string(), Json::Str(self.unit.clone())),
+            ("wall_ms".to_string(), Json::Num(round3(self.wall_ms))),
+            ("virtual_ms".to_string(), Json::Num(round3(self.virtual_ms))),
+            ("events".to_string(), Json::Num(self.events as f64)),
+            (
+                "events_per_sec".to_string(),
+                Json::Num(round3(self.events_per_sec)),
+            ),
+        ])
+    }
+}
+
+/// A whole runner invocation: configuration, totals and per-unit rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunnerReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Whether the reduced-scale (`LIGHTVM_QUICK`) profile was active.
+    pub quick: bool,
+    /// End-to-end wall-clock of the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-unit measurements, in deterministic (figure, declaration)
+    /// order.
+    pub units: Vec<UnitPerf>,
+}
+
+impl RunnerReport {
+    /// Sum of per-unit wall-clock (what a sequential run would cost,
+    /// modulo scheduling noise).
+    pub fn total_unit_wall_ms(&self) -> f64 {
+        self.units.iter().map(|u| u.wall_ms).sum()
+    }
+
+    /// Total events across units.
+    pub fn total_events(&self) -> u64 {
+        self.units.iter().map(|u| u.events).sum()
+    }
+
+    /// Aggregate throughput: total events over summed unit wall-clock.
+    pub fn aggregate_events_per_sec(&self) -> f64 {
+        let wall_s = self.total_unit_wall_ms() / 1e3;
+        if wall_s > 0.0 {
+            self.total_events() as f64 / wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Observed parallel speedup: summed unit wall-clock over run
+    /// wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.total_unit_wall_ms() / self.wall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("jobs".to_string(), Json::Num(self.jobs as f64)),
+            ("quick".to_string(), Json::Bool(self.quick)),
+            ("wall_ms".to_string(), Json::Num(round3(self.wall_ms))),
+            (
+                "total_unit_wall_ms".to_string(),
+                Json::Num(round3(self.total_unit_wall_ms())),
+            ),
+            (
+                "total_events".to_string(),
+                Json::Num(self.total_events() as f64),
+            ),
+            (
+                "aggregate_events_per_sec".to_string(),
+                Json::Num(round3(self.aggregate_events_per_sec())),
+            ),
+            ("speedup".to_string(), Json::Num(round3(self.speedup()))),
+            (
+                "units".to_string(),
+                Json::Arr(self.units.iter().map(UnitPerf::to_json).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_perf_derives_throughput() {
+        let u = UnitPerf::new("fig09", "lightvm", 500.0, 1234.5, 1_000);
+        assert!((u.events_per_sec - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_aggregate_over_units() {
+        let r = RunnerReport {
+            jobs: 4,
+            quick: true,
+            wall_ms: 100.0,
+            units: vec![
+                UnitPerf::new("a", "u1", 100.0, 0.0, 300),
+                UnitPerf::new("a", "u2", 200.0, 0.0, 600),
+            ],
+        };
+        assert_eq!(r.total_events(), 900);
+        assert!((r.total_unit_wall_ms() - 300.0).abs() < 1e-9);
+        assert!((r.speedup() - 3.0).abs() < 1e-9);
+        assert!((r.aggregate_events_per_sec() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_json_mentions_every_unit() {
+        let r = RunnerReport {
+            jobs: 1,
+            quick: false,
+            wall_ms: 1.0,
+            units: vec![UnitPerf::new("fig04", "debian", 1.0, 2.0, 3)],
+        };
+        let js = r.to_json();
+        assert!(js.contains("\"fig04\""));
+        assert!(js.contains("\"debian\""));
+        assert!(js.contains("\"events_per_sec\""));
+        crate::json::Json::parse(&js).expect("report JSON parses");
+    }
+}

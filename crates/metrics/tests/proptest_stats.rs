@@ -1,39 +1,56 @@
-//! Property tests for summary statistics and CDFs.
+//! Property tests for summary statistics and CDFs, driven by a seeded
+//! `SimRng` (offline build: no proptest).
 
 use metrics::{Cdf, Summary};
-use proptest::prelude::*;
+use simcore::SimRng;
 
-proptest! {
-    #[test]
-    fn summary_orderings(samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+fn random_samples(rng: &mut SimRng, lo: f64, hi: f64, max_len: usize) -> Vec<f64> {
+    let len = 1 + rng.index(max_len);
+    (0..len).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+#[test]
+fn summary_orderings() {
+    let mut rng = SimRng::new(0x57A1);
+    for _case in 0..256 {
+        let samples = random_samples(&mut rng, -1e9, 1e9, 199);
         let s = Summary::of(&samples).unwrap();
-        prop_assert!(s.min <= s.median && s.median <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert_eq!(s.count, samples.len());
-        prop_assert!(s.stddev >= 0.0);
+        assert!(s.min <= s.median && s.median <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert_eq!(s.count, samples.len());
+        assert!(s.stddev >= 0.0);
     }
+}
 
-    #[test]
-    fn cdf_is_monotone_and_bounded(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn cdf_is_monotone_and_bounded() {
+    let mut rng = SimRng::new(0x57A2);
+    for _case in 0..256 {
+        let samples = random_samples(&mut rng, -1e6, 1e6, 199);
         let cdf = Cdf::of(&samples).unwrap();
         let pts = cdf.points();
-        prop_assert_eq!(pts.len(), samples.len());
+        assert_eq!(pts.len(), samples.len());
         for w in pts.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
-            prop_assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
         }
-        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
         // at() agrees with percentile() at the extremes.
-        prop_assert_eq!(cdf.at(f64::MAX), 1.0);
-        prop_assert_eq!(cdf.at(f64::MIN), 0.0);
+        assert_eq!(cdf.at(f64::MAX), 1.0);
+        assert_eq!(cdf.at(f64::MIN), 0.0);
     }
+}
 
-    #[test]
-    fn percentile_within_range(samples in prop::collection::vec(0f64..1e6, 1..100), p in 0f64..=100.0) {
+#[test]
+fn percentile_within_range() {
+    let mut rng = SimRng::new(0x57A3);
+    for _case in 0..256 {
+        let samples = random_samples(&mut rng, 0.0, 1e6, 99);
+        let p = rng.uniform(0.0, 100.0);
         let cdf = Cdf::of(&samples).unwrap();
         let v = cdf.percentile(p);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo && v <= hi);
+        assert!(v >= lo && v <= hi);
     }
 }

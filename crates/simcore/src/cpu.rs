@@ -89,6 +89,12 @@ impl CpuSim {
         self.per_core[core].len()
     }
 
+    /// Total tasks ever registered (finite and background) — a cheap
+    /// measure of how much scheduling work this simulation performed.
+    pub fn tasks_started(&self) -> u64 {
+        self.next_id
+    }
+
     /// Registers a finite task with `work` CPU-seconds on `core`.
     pub fn add_finite(&mut self, core: usize, work: f64) -> TaskId {
         self.add(core, TaskKind::Finite { remaining: work.max(0.0) })

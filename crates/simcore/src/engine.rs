@@ -1,7 +1,7 @@
 //! Discrete-event executor.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
@@ -38,10 +38,83 @@ impl Ord for Scheduled {
     }
 }
 
+/// Membership set over the densely allocated event sequence numbers.
+///
+/// Sequence numbers are handed out monotonically, so a sliding bitmap
+/// (one bit per not-yet-retired seq) gives O(1) insert/remove/contains
+/// with no hashing on the per-event hot path. The window advances as the
+/// oldest events retire, keeping memory proportional to the number of
+/// outstanding events, not the total ever scheduled.
+#[derive(Default)]
+struct LiveSet {
+    /// Seq corresponding to bit 0 of `bits[0]`.
+    base: u64,
+    bits: std::collections::VecDeque<u64>,
+    count: usize,
+}
+
+impl LiveSet {
+    /// Marks `seq` live. Seqs only grow, so this appends at the tail.
+    #[inline]
+    fn insert(&mut self, seq: u64) {
+        debug_assert!(seq >= self.base);
+        let idx = (seq - self.base) as usize;
+        let word = idx / 64;
+        while self.bits.len() <= word {
+            self.bits.push_back(0);
+        }
+        self.bits[word] |= 1 << (idx % 64);
+        self.count += 1;
+    }
+
+    /// Clears `seq`, returning whether it was live. Retires leading
+    /// all-zero words so the window tracks the oldest outstanding event.
+    #[inline]
+    fn remove(&mut self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let idx = (seq - self.base) as usize;
+        let word = idx / 64;
+        if word >= self.bits.len() {
+            return false;
+        }
+        let mask = 1 << (idx % 64);
+        if self.bits[word] & mask == 0 {
+            return false;
+        }
+        self.bits[word] &= !mask;
+        self.count -= 1;
+        // Retire exhausted leading words; keep the last one so `base`
+        // never overtakes the highest seq handed out.
+        while self.bits.len() > 1 && self.bits.front() == Some(&0) {
+            self.bits.pop_front();
+            self.base += 64;
+        }
+        true
+    }
+
+    #[inline]
+    fn contains(&self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let idx = (seq - self.base) as usize;
+        let word = idx / 64;
+        word < self.bits.len() && self.bits[word] & (1 << (idx % 64)) != 0
+    }
+}
+
 /// A single-threaded discrete-event executor over [`SimTime`].
 ///
 /// Events are closures scheduled at absolute or relative virtual times.
 /// Ties are broken by schedule order, so runs are fully deterministic.
+///
+/// Cancellation is tombstone-based: `cancel` clears the event's live bit
+/// and the heap entry is dropped the next time it surfaces (or
+/// immediately, when it is already on top). [`Engine::pending`] counts
+/// only live events, so cancelling an event that already fired is a true
+/// no-op — it cannot skew the count.
 ///
 /// # Examples
 ///
@@ -61,18 +134,22 @@ impl Ord for Scheduled {
 pub struct Engine {
     now: SimTime,
     queue: BinaryHeap<Scheduled>,
-    cancelled: HashSet<u64>,
+    live: LiveSet,
     next_seq: u64,
     fired: u64,
 }
+
+/// Initial heap capacity: density sweeps schedule hundreds of in-flight
+/// events per guest wave, so skip the first reallocation doublings.
+const INITIAL_QUEUE_CAPACITY: usize = 256;
 
 impl Engine {
     /// Creates an engine with the clock at zero.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY),
+            live: LiveSet::default(),
             next_seq: 0,
             fired: 0,
         }
@@ -83,15 +160,17 @@ impl Engine {
         self.now
     }
 
-    /// Number of events fired so far.
+    /// Number of events fired so far. Together with host wall-clock this
+    /// is the simulator's throughput counter (events/sec), reported per
+    /// work unit by the figure runner.
     pub fn events_fired(&self) -> u64 {
         self.fired
     }
 
-    /// Number of events still pending (including cancelled ones not yet
-    /// drained from the queue).
+    /// Number of events still pending. Cancelled and fired events never
+    /// count, regardless of when they were cancelled.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live.count
     }
 
     /// Advances the clock without firing anything.
@@ -121,6 +200,7 @@ impl Engine {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
         self.queue.push(Scheduled {
             at,
             seq,
@@ -139,9 +219,13 @@ impl Engine {
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired is a no-op.
+    /// already fired (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if self.live.remove(id.0) {
+            // Eagerly drop tombstones that surfaced at the top of the
+            // heap so peek/step stay O(1) amortised.
+            self.drain_cancelled();
+        }
     }
 
     /// Time of the next pending event, if any.
@@ -153,16 +237,21 @@ impl Engine {
     /// Fires the next event, advancing the clock to it. Returns false if
     /// the queue is empty.
     pub fn step(&mut self) -> bool {
-        self.drain_cancelled();
-        match self.queue.pop() {
-            Some(s) => {
-                debug_assert!(s.at >= self.now, "event scheduled in the past");
-                self.now = s.at;
-                self.fired += 1;
-                (s.f)(self);
-                true
+        loop {
+            match self.queue.pop() {
+                Some(s) => {
+                    if !self.live.remove(s.seq) {
+                        // Tombstone of a cancelled event: skip it.
+                        continue;
+                    }
+                    debug_assert!(s.at >= self.now, "event scheduled in the past");
+                    self.now = s.at;
+                    self.fired += 1;
+                    (s.f)(self);
+                    return true;
+                }
+                None => return false,
             }
-            None => false,
         }
     }
 
@@ -191,11 +280,10 @@ impl Engine {
 
     fn drain_cancelled(&mut self) {
         while let Some(s) = self.queue.peek() {
-            if self.cancelled.remove(&s.seq) {
-                self.queue.pop();
-            } else {
+            if self.live.contains(s.seq) {
                 break;
             }
+            self.queue.pop();
         }
     }
 }
@@ -262,6 +350,61 @@ mod tests {
         e.run();
         assert!(!*fired.borrow());
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_true_noop() {
+        // Regression test: cancelling an already-fired event used to park
+        // its id in the tombstone set forever, so pending() (computed as
+        // queue.len() - cancelled.len()) drifted and could underflow.
+        let mut e = Engine::new();
+        let id = e.schedule_in(SimTime::from_millis(1), |_| {});
+        assert_eq!(e.pending(), 1);
+        e.run();
+        assert_eq!(e.pending(), 0);
+        e.cancel(id); // already fired: must not affect bookkeeping
+        e.cancel(id); // double-cancel: same
+        assert_eq!(e.pending(), 0);
+        // A later schedule/fire cycle still balances.
+        let id2 = e.schedule_in(SimTime::from_millis(1), |_| {});
+        assert_eq!(e.pending(), 1);
+        e.cancel(id2);
+        e.cancel(id2);
+        assert_eq!(e.pending(), 0);
+        e.run();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.events_fired(), 1);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_count_as_fired() {
+        let mut e = Engine::new();
+        for ms in 1..=10u64 {
+            e.schedule_in(SimTime::from_millis(ms), |_| {});
+        }
+        let id = e.schedule_in(SimTime::from_millis(20), |_| {});
+        e.cancel(id);
+        e.run();
+        assert_eq!(e.events_fired(), 10);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn pending_is_exact_under_interleaved_cancel() {
+        let mut e = Engine::new();
+        let ids: Vec<_> = (1..=100u64)
+            .map(|ms| e.schedule_in(SimTime::from_millis(ms), |_| {}))
+            .collect();
+        // Cancel every third, some twice.
+        for id in ids.iter().step_by(3) {
+            e.cancel(*id);
+            e.cancel(*id);
+        }
+        let cancelled = ids.len().div_ceil(3);
+        assert_eq!(e.pending(), ids.len() - cancelled);
+        e.run();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.events_fired(), (ids.len() - cancelled) as u64);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Seeded randomness for reproducible experiments.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 — no external crates, so the workspace builds in fully
+//! offline environments while keeping the statistical quality the
+//! workloads rely on (jitter bands, exponential arrivals, tail
+//! fractions).
 
 use crate::time::SimTime;
 
@@ -11,20 +14,56 @@ use crate::time::SimTime;
 /// the harnesses fix seeds in their output metadata.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Uniform value in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -40,7 +79,16 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift with rejection for unbiased sampling.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= lo.wrapping_sub(n) % n {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// True with probability `p` (clamped to `[0, 1]`).
@@ -86,7 +134,7 @@ impl SimRng {
         assert!(k <= n, "cannot sample {k} distinct values from {n}");
         let mut chosen = std::collections::BTreeSet::new();
         for j in (n - k)..n {
-            let t = self.inner.gen_range(0..=j);
+            let t = self.index(j + 1);
             if !chosen.insert(t) {
                 chosen.insert(j);
             }
@@ -96,7 +144,7 @@ impl SimRng {
 
     /// Derives an independent generator (e.g. per-subsystem streams).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.next_u64())
     }
 }
 
@@ -119,6 +167,37 @@ mod tests {
         let mut b = SimRng::new(2);
         let same = (0..32).filter(|_| a.unit() == b.unit()).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(17);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn index_is_unbiased_over_small_ranges() {
+        let mut r = SimRng::new(23);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.index(7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (frac - 1.0 / 7.0).abs() < 0.01,
+                "bucket {i} had fraction {frac}"
+            );
+        }
     }
 
     #[test]

@@ -1,64 +1,73 @@
-//! Property tests for the processor-sharing CPU model.
+//! Property tests for the processor-sharing CPU model, driven by the
+//! workspace's own seeded `SimRng` (offline build: no proptest).
 
-use proptest::prelude::*;
-use simcore::{CpuSim, SimTime};
+use simcore::{CpuSim, SimRng, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The water-filling allocation never exceeds core capacity.
-    #[test]
-    fn allocation_conserves_capacity(
-        demands in prop::collection::vec(0.0f64..1.0, 0..12),
-        finite in 0usize..4,
-    ) {
+/// The water-filling allocation never exceeds core capacity.
+#[test]
+fn allocation_conserves_capacity() {
+    let mut rng = SimRng::new(0xC901);
+    for _case in 0..64 {
         let mut cpu = CpuSim::new(1, 1.0);
-        for &d in &demands {
-            cpu.add_background(0, d);
+        let n_bg = rng.index(12);
+        for _ in 0..n_bg {
+            cpu.add_background(0, rng.unit());
         }
         let mut ids = Vec::new();
-        for _ in 0..finite {
+        for _ in 0..rng.index(4) {
             ids.push(cpu.add_finite(0, 1.0));
         }
         let util = cpu.core_utilization(0);
-        prop_assert!(util <= 1.0 + 1e-9, "core oversubscribed: {}", util);
+        assert!(util <= 1.0 + 1e-9, "core oversubscribed: {util}");
         // Every finite task gets a strictly positive rate.
         for id in &ids {
-            prop_assert!(cpu.rate_of(*id).unwrap() > 0.0);
+            assert!(cpu.rate_of(*id).unwrap() > 0.0);
         }
     }
+}
 
-    /// Completion time grows with work and shrinks with speed.
-    #[test]
-    fn completion_monotone_in_work(w1 in 0.001f64..10.0, w2 in 0.001f64..10.0) {
-        let run = |w: f64| {
-            let mut cpu = CpuSim::new(1, 1.0);
-            let id = cpu.add_finite(0, w);
-            cpu.run_to_completion(id)
-        };
+/// Completion time grows with work and shrinks with speed.
+#[test]
+fn completion_monotone_in_work() {
+    let mut rng = SimRng::new(0xC902);
+    let run = |w: f64| {
+        let mut cpu = CpuSim::new(1, 1.0);
+        let id = cpu.add_finite(0, w);
+        cpu.run_to_completion(id)
+    };
+    for _case in 0..64 {
+        let w1 = rng.uniform(0.001, 10.0);
+        let w2 = rng.uniform(0.001, 10.0);
         let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
-        prop_assert!(run(lo) <= run(hi));
+        assert!(run(lo) <= run(hi));
     }
+}
 
-    /// A lone task finishes in exactly work/speed.
-    #[test]
-    fn lone_task_exact(work in 0.001f64..100.0, speed in 0.1f64..4.0) {
+/// A lone task finishes in exactly work/speed.
+#[test]
+fn lone_task_exact() {
+    let mut rng = SimRng::new(0xC903);
+    for _case in 0..64 {
+        let work = rng.uniform(0.001, 100.0);
+        let speed = rng.uniform(0.1, 4.0);
         let mut cpu = CpuSim::new(2, speed);
         let id = cpu.add_finite(1, work);
         let done = cpu.run_to_completion(id);
         let expect = SimTime::from_secs_f64(work / speed);
         let diff = done.saturating_sub(expect).max(expect.saturating_sub(done));
-        prop_assert!(diff <= SimTime::from_nanos(200), "{done} vs {expect}");
+        assert!(diff <= SimTime::from_nanos(200), "{done} vs {expect}");
     }
+}
 
-    /// Peers only slow you down.
-    #[test]
-    fn peers_never_speed_you_up(peers in 0usize..20) {
-        let solo = {
-            let mut cpu = CpuSim::new(1, 1.0);
-            let id = cpu.add_finite(0, 1.0);
-            cpu.run_to_completion(id)
-        };
+/// Peers only slow you down.
+#[test]
+fn peers_never_speed_you_up() {
+    let solo = {
+        let mut cpu = CpuSim::new(1, 1.0);
+        let id = cpu.add_finite(0, 1.0);
+        cpu.run_to_completion(id)
+    };
+    for peers in 0..20 {
         let crowded = {
             let mut cpu = CpuSim::new(1, 1.0);
             for _ in 0..peers {
@@ -67,6 +76,6 @@ proptest! {
             let id = cpu.add_finite(0, 1.0);
             cpu.run_to_completion(id)
         };
-        prop_assert!(crowded >= solo);
+        assert!(crowded >= solo, "{peers} peers sped the task up");
     }
 }

@@ -1,40 +1,64 @@
-//! Property tests for SimTime arithmetic.
+//! Property tests for SimTime arithmetic, driven by a seeded `SimRng`
+//! (offline build: no proptest).
 
-use proptest::prelude::*;
-use simcore::SimTime;
+use simcore::{SimRng, SimTime};
 
-proptest! {
-    #[test]
-    fn add_is_commutative(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+#[test]
+fn add_is_commutative() {
+    let mut rng = SimRng::new(0x7101);
+    for _case in 0..256 {
+        let a = rng.next_u64() / 2;
+        let b = rng.next_u64() / 2;
         let (x, y) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
-        prop_assert_eq!(x + y, y + x);
+        assert_eq!(x + y, y + x);
     }
+}
 
-    #[test]
-    fn sub_saturates_never_panics(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn sub_saturates_never_panics() {
+    let mut rng = SimRng::new(0x7102);
+    for _case in 0..256 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let d = SimTime::from_nanos(a) - SimTime::from_nanos(b);
-        prop_assert_eq!(d.as_nanos(), a.saturating_sub(b));
+        assert_eq!(d.as_nanos(), a.saturating_sub(b));
     }
+}
 
-    #[test]
-    fn scale_is_monotone(ns in 0u64..1_000_000_000_000, f1 in 0.0f64..10.0, f2 in 0.0f64..10.0) {
+#[test]
+fn scale_is_monotone() {
+    let mut rng = SimRng::new(0x7103);
+    for _case in 0..256 {
+        let ns = rng.next_u64() % 1_000_000_000_000;
+        let f1 = rng.uniform(0.0, 10.0);
+        let f2 = rng.uniform(0.0, 10.0);
         let t = SimTime::from_nanos(ns);
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        prop_assert!(t.scale(lo) <= t.scale(hi));
+        assert!(t.scale(lo) <= t.scale(hi));
     }
+}
 
-    #[test]
-    fn seconds_round_trip(ms in 0u64..10_000_000) {
+#[test]
+fn seconds_round_trip() {
+    let mut rng = SimRng::new(0x7104);
+    for _case in 0..256 {
+        let ms = rng.next_u64() % 10_000_000;
         let t = SimTime::from_millis(ms);
         let back = SimTime::from_secs_f64(t.as_secs_f64());
         // f64 keeps millisecond quantities exact in this range.
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn min_max_partition(a in any::<u64>(), b in any::<u64>()) {
-        let (x, y) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
-        prop_assert_eq!(x.min(y) + x.max(y), x + y);
-        prop_assert!(x.min(y) <= x.max(y));
+#[test]
+fn min_max_partition() {
+    let mut rng = SimRng::new(0x7105);
+    for _case in 0..256 {
+        let (x, y) = (
+            SimTime::from_nanos(rng.next_u64()),
+            SimTime::from_nanos(rng.next_u64()),
+        );
+        assert_eq!(x.min(y) + x.max(y), x + y);
+        assert!(x.min(y) <= x.max(y));
     }
 }

@@ -1,47 +1,87 @@
 //! Property tests: the xl config parser round-trips every config the
-//! serialiser can produce and never panics on arbitrary input.
+//! serialiser can produce and never panics on arbitrary input. Driven by
+//! a seeded `SimRng` (offline build: no proptest).
 
-use proptest::prelude::*;
+use simcore::SimRng;
 use toolstack::VmConfig;
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9_.-]{1,24}"
+fn pick(rng: &mut SimRng, alphabet: &[u8]) -> char {
+    alphabet[rng.index(alphabet.len())] as char
 }
 
-fn arb_config() -> impl Strategy<Value = VmConfig> {
-    (
-        arb_name(),
-        "[a-zA-Z0-9/._-]{1,40}",
-        1u64..65536,
-        1u32..8,
-        prop::collection::vec("[a-z0-9=.:/]{1,30}", 0..3),
-        prop::collection::vec("[a-z0-9=.:/,]{1,30}", 0..3),
-    )
-        .prop_map(|(name, kernel, memory_mib, vcpus, vifs, disks)| VmConfig {
-            name,
-            kernel,
-            memory_mib,
-            vcpus,
-            vifs,
-            disks,
-        })
+fn random_str(rng: &mut SimRng, alphabet: &[u8], min: usize, max: usize) -> String {
+    let len = min + rng.index(max - min + 1);
+    (0..len).map(|_| pick(rng, alphabet)).collect()
 }
 
-proptest! {
-    #[test]
-    fn round_trip(cfg in arb_config()) {
+const NAME_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+const PATH_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/._-";
+const VIF_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=.:/";
+const DISK_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=.:/,";
+
+fn random_config(rng: &mut SimRng) -> VmConfig {
+    VmConfig {
+        name: random_str(rng, NAME_CHARS, 1, 24),
+        kernel: random_str(rng, PATH_CHARS, 1, 40),
+        memory_mib: 1 + rng.index(65535) as u64,
+        vcpus: 1 + rng.index(7) as u32,
+        vifs: (0..rng.index(3))
+            .map(|_| random_str(rng, VIF_CHARS, 1, 30))
+            .collect(),
+        disks: (0..rng.index(3))
+            .map(|_| random_str(rng, DISK_CHARS, 1, 30))
+            .collect(),
+    }
+}
+
+#[test]
+fn round_trip() {
+    let mut rng = SimRng::new(0xCF61);
+    for _case in 0..256 {
+        let cfg = random_config(&mut rng);
         let text = cfg.to_text();
         let parsed = VmConfig::parse(&text).unwrap();
-        prop_assert_eq!(parsed, cfg);
+        assert_eq!(parsed, cfg);
     }
+}
 
-    #[test]
-    fn parser_never_panics(text in "\\PC{0,400}") {
+#[test]
+fn parser_never_panics() {
+    let mut rng = SimRng::new(0xCF62);
+    // Printable ASCII plus some multi-byte chars to stress slicing.
+    let alphabet: Vec<char> = (0x20u8..0x7f)
+        .map(|b| b as char)
+        .chain(['é', '→', '\u{1F600}', 'ä', '\t'])
+        .collect();
+    for _case in 0..256 {
+        let len = rng.index(400);
+        let text: String = (0..len)
+            .map(|_| alphabet[rng.index(alphabet.len())])
+            .collect();
         let _ = VmConfig::parse(&text);
     }
+}
 
-    #[test]
-    fn parser_never_panics_liney(lines in prop::collection::vec("[a-z]{0,8} ?=? ?[\"\\[\\]a-z0-9 ,]{0,20}", 0..10)) {
+#[test]
+fn parser_never_panics_liney() {
+    let mut rng = SimRng::new(0xCF63);
+    const KEY_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const VAL_CHARS: &[u8] = b"\"[]abcdefghijklmnopqrstuvwxyz0123456789 ,";
+    for _case in 0..256 {
+        let lines: Vec<String> = (0..rng.index(10))
+            .map(|_| {
+                let key = random_str(&mut rng, KEY_CHARS, 0, 8);
+                let eq = if rng.chance(0.5) { " = " } else { "=" };
+                let val = random_str(&mut rng, VAL_CHARS, 0, 20);
+                if rng.chance(0.2) {
+                    key
+                } else {
+                    format!("{key}{eq}{val}")
+                }
+            })
+            .collect();
         let _ = VmConfig::parse(&lines.join("\n"));
     }
 }

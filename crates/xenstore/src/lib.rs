@@ -33,7 +33,7 @@ pub use log::AccessLog;
 pub use path::XsPath;
 pub use store::{Perms, Store, XsError};
 pub use txn::TxnId;
-pub use watch::WatchEvent;
+pub use watch::{FireStats, WatchEvent, WatchTable};
 pub use xenstored::{ConnId, Flavor, Xenstored};
 
 /// Result alias for store operations.

@@ -44,18 +44,35 @@ impl XsPath {
         &self.raw
     }
 
-    /// Path components (empty for root).
-    pub fn components(&self) -> Vec<&str> {
-        if self.raw == "/" {
-            Vec::new()
-        } else {
-            self.raw[1..].split('/').collect()
+    /// Iterates over path components (empty for root). Borrows from the
+    /// path — store lookups and watch walks must not allocate.
+    pub fn components(&self) -> Components<'_> {
+        Components {
+            inner: if self.raw == "/" {
+                None
+            } else {
+                Some(self.raw[1..].split('/'))
+            },
         }
     }
 
-    /// Number of components (depth); root is 0.
+    /// Number of components (depth); root is 0. Counted from the raw
+    /// bytes, no allocation or split.
     pub fn depth(&self) -> usize {
-        self.components().len()
+        if self.raw == "/" {
+            0
+        } else {
+            self.raw.bytes().filter(|&b| b == b'/').count()
+        }
+    }
+
+    /// The final component, `None` for root.
+    pub fn last_component(&self) -> Option<&str> {
+        if self.raw == "/" {
+            None
+        } else {
+            self.raw.rfind('/').map(|i| &self.raw[i + 1..])
+        }
     }
 
     /// Appends a child component.
@@ -73,11 +90,27 @@ impl XsPath {
 
     /// The parent path; root's parent is root.
     pub fn parent(&self) -> XsPath {
+        XsPath {
+            raw: self.parent_str().to_string(),
+        }
+    }
+
+    /// The parent path as a borrowed slice of this one (`"/"` for root
+    /// and depth-1 paths). Use with [`std::borrow::Borrow`]-based map
+    /// lookups to avoid allocating on read paths.
+    pub fn parent_str(&self) -> &str {
         match self.raw.rfind('/') {
-            Some(0) | None => XsPath::root(),
-            Some(idx) => XsPath {
-                raw: self.raw[..idx].to_string(),
-            },
+            Some(0) | None => "/",
+            Some(idx) => &self.raw[..idx],
+        }
+    }
+
+    /// Iterates over `self` and every ancestor, as borrowed slices:
+    /// `/a/b/c` yields `"/a/b/c"`, `"/a/b"`, `"/a"`, `"/"`. No
+    /// allocation — this is the watch-table walk.
+    pub fn ancestors(&self) -> Ancestors<'_> {
+        Ancestors {
+            rest: Some(&self.raw),
         }
     }
 
@@ -104,6 +137,53 @@ impl XsPath {
 
 fn valid_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'@' | b':' | b'.')
+}
+
+/// Borrowing iterator over path components; see [`XsPath::components`].
+#[derive(Clone)]
+pub struct Components<'a> {
+    inner: Option<std::str::Split<'a, char>>,
+}
+
+impl<'a> Iterator for Components<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.inner.as_mut()?.next()
+    }
+}
+
+/// Borrowing iterator over a path and its ancestors; see
+/// [`XsPath::ancestors`].
+#[derive(Clone)]
+pub struct Ancestors<'a> {
+    rest: Option<&'a str>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let cur = self.rest?;
+        self.rest = if cur == "/" {
+            None
+        } else {
+            Some(match cur.rfind('/') {
+                Some(0) | None => "/",
+                Some(idx) => &cur[..idx],
+            })
+        };
+        Some(cur)
+    }
+}
+
+/// `XsPath` orders, hashes and compares exactly like its raw string, so
+/// `BTreeMap<XsPath, _>` and `HashMap<XsPath, _>` can be probed with a
+/// `&str` slice — the basis of the allocation-free watch/store walks.
+impl std::borrow::Borrow<str> for XsPath {
+    fn borrow(&self) -> &str {
+        &self.raw
+    }
 }
 
 impl fmt::Display for XsPath {
@@ -201,9 +281,39 @@ mod tests {
     #[test]
     fn components_and_depth() {
         assert_eq!(XsPath::root().depth(), 0);
+        assert_eq!(XsPath::root().components().count(), 0);
         let p = XsPath::parse("/local/domain/3/name").unwrap();
-        assert_eq!(p.components(), vec!["local", "domain", "3", "name"]);
+        assert_eq!(
+            p.components().collect::<Vec<_>>(),
+            vec!["local", "domain", "3", "name"]
+        );
         assert_eq!(p.depth(), 4);
+        assert_eq!(p.last_component(), Some("name"));
+        assert_eq!(XsPath::root().last_component(), None);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let p = XsPath::parse("/a/b/c").unwrap();
+        assert_eq!(
+            p.ancestors().collect::<Vec<_>>(),
+            vec!["/a/b/c", "/a/b", "/a", "/"]
+        );
+        assert_eq!(XsPath::root().ancestors().collect::<Vec<_>>(), vec!["/"]);
+        assert_eq!(p.parent_str(), "/a/b");
+        assert_eq!(XsPath::parse("/a").unwrap().parent_str(), "/");
+    }
+
+    #[test]
+    fn borrow_str_matches_map_semantics() {
+        use std::borrow::Borrow;
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<XsPath, u32> = BTreeMap::new();
+        m.insert(XsPath::parse("/a/b").unwrap(), 1);
+        let s: &str = m.keys().next().unwrap().borrow();
+        assert_eq!(s, "/a/b");
+        assert_eq!(m.get("/a/b"), Some(&1));
+        assert_eq!(m.get("/a"), None);
     }
 
     #[test]

@@ -167,17 +167,32 @@ impl Store {
     }
 
     fn lookup(&self, path: &XsPath) -> Option<&Node> {
+        self.lookup_str(path.as_str())
+    }
+
+    /// Walks the tree by a raw path string (assumed well-formed). Used
+    /// where the caller holds a borrowed slice of a path — e.g. the
+    /// parent of an `XsPath` — so the hot path never allocates.
+    fn lookup_str(&self, path: &str) -> Option<&Node> {
         let mut node = &self.root;
-        for comp in path.components() {
-            node = node.children.get(comp)?;
+        if path != "/" {
+            for comp in path[1..].split('/') {
+                node = node.children.get(comp)?;
+            }
         }
         Some(node)
     }
 
     fn lookup_mut(&mut self, path: &XsPath) -> Option<&mut Node> {
+        self.lookup_mut_str(path.as_str())
+    }
+
+    fn lookup_mut_str(&mut self, path: &str) -> Option<&mut Node> {
         let mut node = &mut self.root;
-        for comp in path.components() {
-            node = node.children.get_mut(comp)?;
+        if path != "/" {
+            for comp in path[1..].split('/') {
+                node = node.children.get_mut(comp)?;
+            }
         }
         Some(node)
     }
@@ -230,10 +245,10 @@ impl Store {
         let generation = self.generation;
         let mut created = 0usize;
         let mut node = &mut self.root;
-        let comps = path.components();
-        for (i, comp) in comps.iter().enumerate() {
-            let is_last = i + 1 == comps.len();
-            let exists = node.children.contains_key(*comp);
+        let mut comps = path.components().peekable();
+        while let Some(comp) = comps.next() {
+            let is_last = comps.peek().is_none();
+            let exists = node.children.contains_key(comp);
             if !exists {
                 if !node.perms.may_write(dom) {
                     self.node_count += created;
@@ -245,10 +260,10 @@ impl Store {
                     others_write: false,
                 };
                 node.children
-                    .insert((*comp).to_string(), Node::new(perms, generation));
+                    .insert(comp.to_string(), Node::new(perms, generation));
                 created += 1;
             }
-            node = node.children.get_mut(*comp).expect("just ensured");
+            node = node.children.get_mut(comp).expect("just ensured");
             if is_last {
                 if !node.perms.may_write(dom) {
                     // A permission failure on the final node can only
@@ -268,21 +283,21 @@ impl Store {
         Ok(())
     }
 
-    /// Number of nodes `write(path)` would have to create.
+    /// Number of nodes `write(path)` would have to create. Single walk
+    /// down the tree — no ancestor re-lookups, no path clones.
     fn missing_nodes_on(&self, path: &XsPath) -> usize {
-        let mut missing = 0;
-        let mut p = path.clone();
-        loop {
-            if self.exists(&p) {
-                break;
+        let mut node = &self.root;
+        let mut present = 0;
+        for comp in path.components() {
+            match node.children.get(comp) {
+                Some(child) => {
+                    node = child;
+                    present += 1;
+                }
+                None => break,
             }
-            missing += 1;
-            if p.depth() <= 1 {
-                break;
-            }
-            p = p.parent();
         }
-        missing
+        path.depth() - present
     }
 
     /// Creates an empty directory node.
@@ -298,9 +313,9 @@ impl Store {
         if path.depth() == 0 {
             return Err(XsError::Invalid);
         }
-        let parent = path.parent();
-        let last = *path.components().last().expect("depth > 0");
-        let parent_node = self.lookup_mut(&parent).ok_or(XsError::NotFound)?;
+        let parent = path.parent_str();
+        let last = path.last_component().expect("depth > 0");
+        let parent_node = self.lookup_mut_str(parent).ok_or(XsError::NotFound)?;
         let target = parent_node.children.get(last).ok_or(XsError::NotFound)?;
         if !target.perms.may_write(dom) {
             return Err(XsError::PermissionDenied);
@@ -320,7 +335,7 @@ impl Store {
         self.generation += 1;
         let generation = self.generation;
         // The parent's generation changes: its child list was modified.
-        self.lookup_mut(&parent).expect("parent exists").generation = generation;
+        self.lookup_mut_str(parent).expect("parent exists").generation = generation;
         self.node_count -= removed;
         Ok(())
     }

@@ -103,10 +103,8 @@ impl Txn {
     /// plain `Value` ancestor or no entry at all defers to the main
     /// store.
     fn exists_view(&self, main: &Store, path: &XsPath) -> bool {
-        let mut p = path.clone();
-        let mut dist = 0usize;
-        loop {
-            if let Some(e) = self.overlay.get(&p) {
+        for (dist, ancestor) in path.ancestors().enumerate() {
+            if let Some(e) = self.overlay.get(ancestor) {
                 return match (e, dist) {
                     (Overlay::Value(_) | Overlay::Recreated(_), 0) => true,
                     (Overlay::Removed, _) => false,
@@ -114,27 +112,19 @@ impl Txn {
                     (Overlay::Value(_), _) => main.exists(path),
                 };
             }
-            if p.depth() == 0 {
-                return main.exists(path);
-            }
-            p = p.parent();
-            dist += 1;
         }
+        main.exists(path)
     }
 
     /// Whether main-store content below `path` is hidden by a removal in
     /// this transaction (the "cut" test for write markers).
     fn is_cut(&self, path: &XsPath) -> bool {
-        let mut p = path.clone();
-        loop {
-            if let Some(e) = self.overlay.get(&p) {
+        for ancestor in path.ancestors() {
+            if let Some(e) = self.overlay.get(ancestor) {
                 return matches!(e, Overlay::Removed | Overlay::Recreated(_));
             }
-            if p.depth() == 0 {
-                return false;
-            }
-            p = p.parent();
         }
+        false
     }
 
     /// Transactional read: sees the transaction's own writes.
@@ -173,8 +163,10 @@ impl Txn {
         };
         // Add children created in this txn.
         for (p, o) in &self.overlay {
-            if matches!(o, Overlay::Value(_) | Overlay::Recreated(_)) && p.parent() == *path {
-                let name = p.components().last().expect("non-root").to_string();
+            if matches!(o, Overlay::Value(_) | Overlay::Recreated(_))
+                && p.parent_str() == path.as_str()
+            {
+                let name = p.last_component().expect("non-root").to_string();
                 if !names.contains(&name) {
                     names.push(name);
                 }
@@ -354,7 +346,7 @@ mod tests {
 
     #[test]
     fn dropped_txn_changes_nothing() {
-        let mut store = Store::new();
+        let store = Store::new();
         {
             let mut t = Txn::start(TxnId(1), 0, &store);
             t.write(&store, &p("/gone"), b"x").unwrap();

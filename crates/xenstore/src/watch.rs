@@ -97,11 +97,14 @@ impl WatchTable {
 
     /// Records that `path` was mutated, queueing events for every watch
     /// on the path or one of its ancestors.
+    ///
+    /// The ancestor chain is walked as borrowed slices of `path`
+    /// (`Borrow<str>` probes into the path index), so a mutation that
+    /// fires nothing allocates nothing.
     pub fn note_mutation(&mut self, path: &XsPath) -> FireStats {
         let mut fired = 0;
-        let mut p = path.clone();
-        loop {
-            if let Some(list) = self.by_path.get(&p) {
+        for ancestor in path.ancestors() {
+            if let Some(list) = self.by_path.get(ancestor) {
                 for (conn, token) in list {
                     self.pending
                         .entry(*conn)
@@ -113,10 +116,6 @@ impl WatchTable {
                     fired += 1;
                 }
             }
-            if p.depth() == 0 {
-                break;
-            }
-            p = p.parent();
         }
         FireStats {
             checked: self.count,

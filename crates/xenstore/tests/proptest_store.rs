@@ -1,21 +1,25 @@
 //! Property tests of the store tree and transactions: random operation
 //! sequences preserve structural invariants, and transactions are
 //! equivalent to direct application when nothing interferes.
+//!
+//! Randomness comes from the workspace's own seeded `SimRng` (the build
+//! environment is offline, so no proptest), with a fixed seed per test:
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
+use simcore::SimRng;
 use xenstore::txn::{Txn, TxnId};
 use xenstore::{Store, XsError, XsPath};
 
 /// A small path universe so operations collide often.
-fn arb_path() -> impl Strategy<Value = XsPath> {
-    (0u8..3, 0u8..3, 0u8..3).prop_map(|(a, b, depth)| {
-        let s = match depth {
-            0 => format!("/d{a}"),
-            1 => format!("/d{a}/e{b}"),
-            _ => format!("/d{a}/e{b}/f"),
-        };
-        XsPath::parse(&s).unwrap()
-    })
+fn random_path(rng: &mut SimRng) -> XsPath {
+    let a = rng.index(3);
+    let b = rng.index(3);
+    let s = match rng.index(3) {
+        0 => format!("/d{a}"),
+        1 => format!("/d{a}/e{b}"),
+        _ => format!("/d{a}/e{b}/f"),
+    };
+    XsPath::parse(&s).unwrap()
 }
 
 #[derive(Clone, Debug)]
@@ -27,14 +31,19 @@ enum Op {
     Dir(XsPath),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_path(), prop::collection::vec(any::<u8>(), 0..8)).prop_map(|(p, v)| Op::Write(p, v)),
-        arb_path().prop_map(Op::Mkdir),
-        arb_path().prop_map(Op::Rm),
-        arb_path().prop_map(Op::Read),
-        arb_path().prop_map(Op::Dir),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    let p = random_path(rng);
+    match rng.index(5) {
+        0 => {
+            let len = rng.index(8);
+            let v = (0..len).map(|_| rng.index(256) as u8).collect();
+            Op::Write(p, v)
+        }
+        1 => Op::Mkdir(p),
+        2 => Op::Rm(p),
+        3 => Op::Read(p),
+        _ => Op::Dir(p),
+    }
 }
 
 /// Recount nodes by walking directories.
@@ -48,104 +57,6 @@ fn recount(store: &Store, path: &XsPath) -> usize {
     n
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// node_count always equals an actual recount of the tree.
-    #[test]
-    fn node_count_is_consistent(ops in prop::collection::vec(arb_op(), 0..60)) {
-        let mut store = Store::new();
-        for op in ops {
-            match op {
-                Op::Write(p, v) => { let _ = store.write(0, &p, &v); }
-                Op::Mkdir(p) => { let _ = store.mkdir(0, &p); }
-                Op::Rm(p) => { let _ = store.rm(0, &p); }
-                Op::Read(p) => { let _ = store.read(0, &p); }
-                Op::Dir(p) => { let _ = store.directory(0, &p); }
-            }
-            prop_assert_eq!(store.node_count(), recount(&store, &XsPath::root()));
-        }
-    }
-
-    /// A write is always readable back (until removed).
-    #[test]
-    fn write_read_round_trip(p in arb_path(), v in prop::collection::vec(any::<u8>(), 0..16)) {
-        let mut store = Store::new();
-        store.write(0, &p, &v).unwrap();
-        prop_assert_eq!(store.read(0, &p).unwrap(), &v[..]);
-    }
-
-    /// An uncontended transaction commits and equals direct application.
-    #[test]
-    fn txn_equals_direct(ops in prop::collection::vec(arb_op(), 0..30)) {
-        let mut direct = Store::new();
-        let mut base = Store::new();
-        // Common prefix so rm has something to remove.
-        for s in ["/d0/e0", "/d1/e1/f"] {
-            let p = XsPath::parse(s).unwrap();
-            direct.write(0, &p, b"seed").unwrap();
-            base.write(0, &p, b"seed").unwrap();
-        }
-        let mut txn = Txn::start(TxnId(1), 0, &base);
-        for op in &ops {
-            match op {
-                Op::Write(p, v) => {
-                    let a = direct.write(0, p, v);
-                    let b = txn.write(&base, p, v);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
-                }
-                Op::Mkdir(p) => {
-                    let a = direct.mkdir(0, p);
-                    let b = txn.mkdir(&base, p);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
-                }
-                Op::Rm(p) => {
-                    let a = direct.rm(0, p);
-                    let b = txn.rm(&base, p);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
-                }
-                Op::Read(p) => {
-                    let a = direct.read(0, p).map(|v| v.to_vec());
-                    let b = txn.read(&base, p);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
-                    if let (Ok(av), Ok(bv)) = (a, b) {
-                        prop_assert_eq!(av, bv);
-                    }
-                }
-                Op::Dir(p) => {
-                    let a = direct.directory(0, p);
-                    let b = txn.directory(&base, p);
-                    prop_assert_eq!(a.is_ok(), b.is_ok());
-                    if let (Ok(mut av), Ok(bv)) = (a, b) {
-                        av.sort();
-                        prop_assert_eq!(av, bv);
-                    }
-                }
-            }
-        }
-        txn.commit(&mut base).unwrap();
-        // The committed store equals the directly mutated one.
-        prop_assert_eq!(base.node_count(), direct.node_count());
-        prop_assert_eq!(
-            collect(&base, &XsPath::root()),
-            collect(&direct, &XsPath::root())
-        );
-    }
-
-    /// Conflict detection: any external write to a touched node aborts.
-    #[test]
-    fn external_write_conflicts(p in arb_path(), q in arb_path()) {
-        let mut store = Store::new();
-        store.write(0, &p, b"0").unwrap();
-        store.write(0, &q, b"0").unwrap();
-        let mut txn = Txn::start(TxnId(1), 0, &store);
-        let _ = txn.read(&store, &p);
-        store.write(0, &p, b"external").unwrap();
-        let _ = txn.write(&store, &q, b"mine");
-        prop_assert_eq!(txn.commit(&mut store).unwrap_err(), XsError::Again);
-    }
-}
-
 fn collect(store: &Store, path: &XsPath) -> Vec<(String, Vec<u8>)> {
     let mut out = Vec::new();
     if let Ok(v) = store.read(0, path) {
@@ -157,4 +68,127 @@ fn collect(store: &Store, path: &XsPath) -> Vec<(String, Vec<u8>)> {
         }
     }
     out
+}
+
+/// node_count always equals an actual recount of the tree.
+#[test]
+fn node_count_is_consistent() {
+    let mut rng = SimRng::new(0x5701);
+    for _case in 0..128 {
+        let mut store = Store::new();
+        let n_ops = rng.index(60);
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
+                Op::Write(p, v) => {
+                    let _ = store.write(0, &p, &v);
+                }
+                Op::Mkdir(p) => {
+                    let _ = store.mkdir(0, &p);
+                }
+                Op::Rm(p) => {
+                    let _ = store.rm(0, &p);
+                }
+                Op::Read(p) => {
+                    let _ = store.read(0, &p);
+                }
+                Op::Dir(p) => {
+                    let _ = store.directory(0, &p);
+                }
+            }
+            assert_eq!(store.node_count(), recount(&store, &XsPath::root()));
+        }
+    }
+}
+
+/// A write is always readable back (until removed).
+#[test]
+fn write_read_round_trip() {
+    let mut rng = SimRng::new(0x5702);
+    for _case in 0..256 {
+        let p = random_path(&mut rng);
+        let len = rng.index(16);
+        let v: Vec<u8> = (0..len).map(|_| rng.index(256) as u8).collect();
+        let mut store = Store::new();
+        store.write(0, &p, &v).unwrap();
+        assert_eq!(store.read(0, &p).unwrap(), &v[..]);
+    }
+}
+
+/// An uncontended transaction commits and equals direct application.
+#[test]
+fn txn_equals_direct() {
+    let mut rng = SimRng::new(0x5703);
+    for _case in 0..128 {
+        let mut direct = Store::new();
+        let mut base = Store::new();
+        // Common prefix so rm has something to remove.
+        for s in ["/d0/e0", "/d1/e1/f"] {
+            let p = XsPath::parse(s).unwrap();
+            direct.write(0, &p, b"seed").unwrap();
+            base.write(0, &p, b"seed").unwrap();
+        }
+        let mut txn = Txn::start(TxnId(1), 0, &base);
+        let n_ops = rng.index(30);
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
+                Op::Write(p, v) => {
+                    let a = direct.write(0, &p, &v);
+                    let b = txn.write(&base, &p, &v);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                }
+                Op::Mkdir(p) => {
+                    let a = direct.mkdir(0, &p);
+                    let b = txn.mkdir(&base, &p);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                }
+                Op::Rm(p) => {
+                    let a = direct.rm(0, &p);
+                    let b = txn.rm(&base, &p);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                }
+                Op::Read(p) => {
+                    let a = direct.read(0, &p).map(|v| v.to_vec());
+                    let b = txn.read(&base, &p);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                    if let (Ok(av), Ok(bv)) = (a, b) {
+                        assert_eq!(av, bv);
+                    }
+                }
+                Op::Dir(p) => {
+                    let a = direct.directory(0, &p);
+                    let b = txn.directory(&base, &p);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                    if let (Ok(mut av), Ok(bv)) = (a, b) {
+                        av.sort();
+                        assert_eq!(av, bv);
+                    }
+                }
+            }
+        }
+        txn.commit(&mut base).unwrap();
+        // The committed store equals the directly mutated one.
+        assert_eq!(base.node_count(), direct.node_count());
+        assert_eq!(
+            collect(&base, &XsPath::root()),
+            collect(&direct, &XsPath::root())
+        );
+    }
+}
+
+/// Conflict detection: any external write to a touched node aborts.
+#[test]
+fn external_write_conflicts() {
+    let mut rng = SimRng::new(0x5704);
+    for _case in 0..128 {
+        let p = random_path(&mut rng);
+        let q = random_path(&mut rng);
+        let mut store = Store::new();
+        store.write(0, &p, b"0").unwrap();
+        store.write(0, &q, b"0").unwrap();
+        let mut txn = Txn::start(TxnId(1), 0, &store);
+        let _ = txn.read(&store, &p);
+        store.write(0, &p, b"external").unwrap();
+        let _ = txn.write(&store, &q, b"mine");
+        assert_eq!(txn.commit(&mut store).unwrap_err(), XsError::Again);
+    }
 }
