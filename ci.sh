@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI gate: build everything, run the whole test suite, then regenerate
-# all figures at quick scale through the parallel runner and fail if
-# any expected artefact is missing.
+# CI gate: build everything, run the whole test suite, smoke-run the
+# hot-path microbenches, then regenerate all figures at quick scale
+# through the parallel runner. Fails if any expected artefact is
+# missing, or if runner throughput collapsed (>5x below the committed
+# baseline in results/bench_runner.json — a coarse band that only trips
+# on real regressions, not machine-to-machine noise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +14,10 @@ cargo build --release --workspace
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+echo "== microbenches (quick smoke: scheduler + xenstore hot paths) =="
+LIGHTVM_BENCH_QUICK=1 cargo bench -p bench --bench hotpath
+LIGHTVM_BENCH_QUICK=1 cargo bench -p bench --bench simcore_hot
+
 echo "== figures (runall, quick scale) =="
 FIG_DIR="${LIGHTVM_FIG_DIR:-target/ci-figures}"
 LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR" \
@@ -19,7 +26,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR" \
 echo "== artefact check =="
 missing=0
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
-          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18; do
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations; do
   for ext in json csv; do
     if [ ! -s "$FIG_DIR/$id.$ext" ]; then
       echo "MISSING: $FIG_DIR/$id.$ext" >&2
@@ -34,5 +41,21 @@ fi
 if [ "$missing" -ne 0 ]; then
   echo "ci: figure artefacts missing" >&2
   exit 1
+fi
+
+echo "== throughput gate (aggregate_events_per_sec) =="
+extract_rate() {
+  grep -o '"aggregate_events_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
+}
+if [ -s results/bench_runner.json ]; then
+  baseline=$(extract_rate results/bench_runner.json)
+  fresh=$(extract_rate "$FIG_DIR/bench_runner.json")
+  echo "baseline: $baseline events/s (committed), fresh: $fresh events/s (quick run)"
+  if ! awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit !(f * 5.0 >= b) }'; then
+    echo "ci: runner throughput regressed >5x below committed baseline" >&2
+    exit 1
+  fi
+else
+  echo "ci: no committed baseline (results/bench_runner.json), skipping gate"
 fi
 echo "ci: OK"

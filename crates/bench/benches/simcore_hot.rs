@@ -28,6 +28,45 @@ fn bench_cpu(c: &mut Criterion) {
             e.events_fired()
         })
     });
+    // Timer churn: the guest-lifecycle pattern where most timers are
+    // armed and then cancelled before they fire (timeouts, retries,
+    // speculative teardowns). 16384 timers over a 1-second window,
+    // ~94% cancelled.
+    c.bench_function("engine_timer_churn_16k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let ids: Vec<_> = (0..16384u64)
+                .map(|i| {
+                    e.schedule_at(SimTime::from_micros((i * 9973) % 1_000_000), |_| {})
+                })
+                .collect();
+            for (i, id) in ids.iter().enumerate() {
+                if i % 16 != 0 {
+                    e.cancel(*id);
+                }
+            }
+            e.run();
+            e.events_fired()
+        })
+    });
+    // Rolling timeout window: each firing event re-arms a far timer and
+    // cancels the previous one, interleaving schedule/cancel/fire the
+    // way device-model timeout chains do.
+    c.bench_function("engine_rolling_timeout_2048", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let mut last = None;
+            for i in 0..2048u64 {
+                if let Some(id) = last.take() {
+                    e.cancel(id);
+                }
+                last = Some(e.schedule_at(SimTime::from_millis(i + 1000), |_| {}));
+                e.schedule_at(SimTime::from_micros(i), |_| {});
+            }
+            e.run();
+            e.events_fired()
+        })
+    });
 }
 
 criterion_group!(benches, bench_cpu);

@@ -1,144 +1,8 @@
-//! Ablations of the design choices DESIGN.md calls out:
-//!
-//! 1. XenStore access-log rotation on/off (spike provenance, §4.2);
-//! 2. oxenstored vs cxenstored cost profiles (footnote 3);
-//! 3. split-toolstack pool size vs creation latency;
-//! 4. bash hotplug vs xendevd in isolation;
-//! 5. transaction interference level vs conflict/retry rate;
-//! 6. page sharing (§9 future work) vs achievable density.
-
-use devices::{Hotplug, SoftwareSwitch};
-use guests::GuestImage;
-use hypervisor::DomId;
-use metrics::Summary;
-use simcore::{CostModel, Machine, MachinePreset, Meter};
-use toolstack::{ControlPlane, ToolstackMode};
-use xenstore::{Flavor, XsPath, Xenstored};
-
-fn sweep_creates(cp: &mut ControlPlane, img: &GuestImage, n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| {
-            let (_, create, _) = cp.create_and_boot(&format!("vm-{i}"), img).unwrap();
-            create.as_millis_f64()
-        })
-        .collect()
-}
+//! Thin wrapper over the `ablations` registry figure (see
+//! `bench::ablations`): runs the six ablation units sequentially and
+//! writes `ablations.{json,csv}`. `runall` runs the same units on its
+//! thread pool alongside the paper figures.
 
 fn main() {
-    let machine = || Machine::preset(MachinePreset::XeonE5_1630V3);
-    let img = GuestImage::unikernel_daytime();
-    let n = bench::scaled(500);
-
-    println!("## Ablation 1: XenStore log rotation");
-    for logging in [true, false] {
-        let mut cp = ControlPlane::new(machine(), 1, ToolstackMode::Xl, 42);
-        cp.xs.set_logging(logging);
-        let times = sweep_creates(&mut cp, &img, n);
-        let s = Summary::of(&times).unwrap();
-        println!(
-            "logging={logging:5}  mean={:8.2}ms p99={:8.2}ms max={:8.2}ms rotations={}",
-            s.mean, s.p99, s.max, cp.xs.log_rotations()
-        );
-    }
-    println!("-> disabling logging removes the spikes (max ≈ p99) but not the growth.\n");
-
-    println!("## Ablation 2: oxenstored vs cxenstored");
-    let cost = CostModel::paper_defaults();
-    for flavor in [Flavor::Oxenstored, Flavor::Cxenstored] {
-        let mut xs = Xenstored::new(flavor, 42);
-        let mut meter = Meter::new();
-        for i in 0..2000 {
-            let p = XsPath::parse(&format!("/bench/n{i}")).unwrap();
-            xs.write(&cost, &mut meter, 0, &p, b"value").unwrap();
-        }
-        println!(
-            "{flavor:?}: 2000 writes took {:.2} ms",
-            meter.total().as_millis_f64()
-        );
-    }
-    println!();
-
-    println!("## Ablation 3: split-toolstack pool size");
-    for pool in [0usize, 1, 8, 64] {
-        let mut cp = ControlPlane::new(machine(), 1, ToolstackMode::LightVm, 42);
-        cp.daemon.target = pool;
-        cp.prewarm(&img);
-        let times = sweep_creates(&mut cp, &img, 200.min(n));
-        let s = Summary::of(&times).unwrap();
-        let (hits, misses) = cp.daemon.stats();
-        println!(
-            "pool={pool:3}  mean={:6.2}ms p99={:6.2}ms hits={hits} misses={misses}",
-            s.mean, s.p99
-        );
-    }
-    println!("-> even one warm shell turns a ~10 ms create into ~2-3 ms.\n");
-
-    println!("## Ablation 4: hotplug mechanism in isolation");
-    for (label, hp) in [("bash scripts", Hotplug::BashScripts), ("xendevd", Hotplug::Xendevd)] {
-        let mut sw = SoftwareSwitch::new();
-        let mut meter = Meter::new();
-        for i in 0..100u32 {
-            hp.plug_vif(&cost, &mut meter, &mut sw, DomId(i + 1), 0).unwrap();
-        }
-        println!(
-            "{label:14} 100 vif plugs: {:.2} ms total",
-            meter.total().as_millis_f64()
-        );
-    }
-    println!();
-
-    println!("## Ablation 5: ambient interference vs transaction conflicts");
-    for ambient in [0.0, 0.001, 0.005, 0.02] {
-        let mut xs = Xenstored::new(Flavor::Oxenstored, 42);
-        let mut meter = Meter::new();
-        // Pre-populate nodes the transactions will read.
-        for i in 0..10 {
-            let p = XsPath::parse(&format!("/shared/n{i}")).unwrap();
-            xs.write(&cost, &mut meter, 0, &p, b"v").unwrap();
-        }
-        xs.set_ambient_interference(ambient);
-        for t in 0..500 {
-            let out = xs.transaction(&cost, &mut meter, 0, 16, |xs, cost, meter, id| {
-                for i in 0..10 {
-                    let p = XsPath::parse(&format!("/shared/n{i}")).unwrap();
-                    let _ = xs.txn_read(cost, meter, 0, id, &p)?;
-                }
-                let p = XsPath::parse(&format!("/out/t{t}")).unwrap();
-                xs.txn_write(cost, meter, 0, id, &p, b"done")
-            });
-            out.unwrap();
-        }
-        let st = xs.stats();
-        println!(
-            "ambient={ambient:6.3}  conflicts={:4} retried-fraction={:.1}% total={:.1} ms",
-            st.txn_conflicts,
-            100.0 * st.txn_conflicts as f64 / (st.txn_commits + st.txn_conflicts) as f64,
-            meter.total().as_millis_f64()
-        );
-    }
-    println!();
-
-    println!("## Ablation 6: page sharing vs density (8 GiB host, Tinyx guests)");
-    for share in [None, Some(0.3), Some(0.6)] {
-        let mut cp = ControlPlane::new(
-            Machine::custom(4, 8 << 30), 1, ToolstackMode::ChaosNoxs, 42,
-        );
-        cp.set_page_sharing(share);
-        let img = GuestImage::tinyx_noop();
-        let mut n = 0;
-        loop {
-            match cp.create_and_boot(&format!("t-{n}"), &img) {
-                Ok(_) => n += 1,
-                Err(_) => break,
-            }
-            if n >= 4000 {
-                break;
-            }
-        }
-        println!(
-            "share={:?}  guests before OOM: {n}",
-            share.unwrap_or(0.0)
-        );
-    }
-    println!("-> de-duplicating read-only pages multiplies achievable density.");
+    bench::runner::figure_main("ablations");
 }

@@ -66,19 +66,26 @@ pub struct UnitOutput {
     /// Simulation events processed (xenstored requests + watch events
     /// for toolstack units; operation counts for container units).
     pub events: u64,
+    /// Deepest the unit's engine event queue ever got (0 when the unit
+    /// does not drive a timer engine).
+    pub peak_queue_depth: usize,
+    /// Events the unit scheduled on its engine (0 likewise).
+    pub events_scheduled: u64,
 }
 
 impl UnitOutput {
-    fn new() -> UnitOutput {
+    pub(crate) fn new() -> UnitOutput {
         UnitOutput {
             series: Vec::new(),
             meta: Vec::new(),
             virtual_ms: 0.0,
             events: 0,
+            peak_queue_depth: 0,
+            events_scheduled: 0,
         }
     }
 
-    fn from_plane(cp: &ControlPlane) -> UnitOutput {
+    pub(crate) fn from_plane(cp: &ControlPlane) -> UnitOutput {
         // Count discrete simulation events: XenStore protocol requests
         // and watch deliveries, plus CPU-model task registrations so
         // that noxs-mode units (which bypass the store) report their
@@ -89,6 +96,8 @@ impl UnitOutput {
             meta: Vec::new(),
             virtual_ms: cp.cpu.now().as_millis_f64(),
             events: stats.requests + stats.watch_events + cp.cpu.tasks_started(),
+            peak_queue_depth: 0,
+            events_scheduled: 0,
         }
     }
 }
@@ -102,7 +111,7 @@ pub struct UnitSpec {
 }
 
 impl UnitSpec {
-    fn new(label: impl Into<String>, run: impl FnOnce() -> UnitOutput + Send + 'static) -> UnitSpec {
+    pub(crate) fn new(label: impl Into<String>, run: impl FnOnce() -> UnitOutput + Send + 'static) -> UnitSpec {
         UnitSpec {
             label: label.into(),
             run: Box::new(run),
@@ -143,11 +152,11 @@ impl FigureSpec {
     }
 }
 
-fn meta(k: &str, v: impl ToString) -> (String, String) {
+pub(crate) fn meta(k: &str, v: impl ToString) -> (String, String) {
     (k.to_string(), v.to_string())
 }
 
-fn xeon() -> Machine {
+pub(crate) fn xeon() -> Machine {
     Machine::preset(MachinePreset::XeonE5_1630V3)
 }
 
@@ -803,6 +812,8 @@ fn fig16b(_scale: Scale) -> FigureSpec {
                 )];
                 out.meta = vec![meta(&format!("drops_{ms}ms"), r.drops)];
                 out.events = r.rtts.len() as u64;
+                out.peak_queue_depth = r.peak_queue_depth;
+                out.events_scheduled = r.events_scheduled;
                 out
             })
         })
@@ -957,6 +968,7 @@ pub fn all_specs(scale: Scale) -> Vec<FigureSpec> {
         fig16c(scale),
         fig17(scale),
         fig18(scale),
+        crate::ablations::spec(scale),
     ]
 }
 

@@ -1,6 +1,7 @@
 //! Shared helpers for the figure-regeneration binaries, the figure
 //! registry ([`figures`]) and the parallel runner ([`runner`]).
 
+pub mod ablations;
 pub mod figures;
 pub mod runner;
 

@@ -77,13 +77,10 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
             .into_inner()
             .expect("result lock")
             .expect("every unit ran");
-        perf.push(UnitPerf::new(
-            heads[fi].id,
-            label,
-            wall_ms,
-            out.virtual_ms,
-            out.events,
-        ));
+        perf.push(
+            UnitPerf::new(heads[fi].id, label, wall_ms, out.virtual_ms, out.events)
+                .with_queue_stats(out.peak_queue_depth as u64, out.events_scheduled),
+        );
         outputs[fi].push(out);
     }
 

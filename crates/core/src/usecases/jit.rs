@@ -6,12 +6,12 @@
 //! yet: RTT = network + VM instantiation (+ ARP retry penalties once the
 //! Linux bridge's broadcast path overloads at fast arrival rates).
 
-use std::collections::BinaryHeap;
-use std::cmp::Reverse;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use guests::GuestImage;
 use lvnet::Bridge;
-use simcore::{MachinePreset, SimRng, SimTime};
+use simcore::{Engine, MachinePreset, SimRng, SimTime};
 use toolstack::ToolstackMode;
 
 use crate::host::Host;
@@ -50,6 +50,10 @@ pub struct JitResult {
     pub drops: usize,
     /// Peak number of concurrently running service VMs.
     pub peak_vms: usize,
+    /// Deepest the teardown event queue ever got.
+    pub peak_queue_depth: usize,
+    /// Teardown events scheduled over the run.
+    pub events_scheduled: u64,
 }
 
 /// Base network RTT between client and MEC machine.
@@ -69,7 +73,11 @@ pub fn run(cfg: &JitConfig) -> JitResult {
     let mut rng = SimRng::new(cfg.seed ^ 0x117);
 
     let arrivals_per_sec = 1.0 / cfg.inter_arrival.as_secs_f64();
-    let mut teardowns: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    // Teardown deadlines live on the simulation engine's timing wheel;
+    // fired events park their domain id here for the main loop to reap
+    // (events can't borrow `host` directly).
+    let mut timers = Engine::new();
+    let doomed: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
     let mut rtts = Vec::with_capacity(cfg.clients);
     let mut drops = 0;
     let mut peak = 0;
@@ -77,11 +85,8 @@ pub fn run(cfg: &JitConfig) -> JitResult {
     for i in 0..cfg.clients {
         let now = cfg.inter_arrival * i as u64;
         // Idle VMs past their teardown deadline are reaped first.
-        while let Some(&Reverse((t, dom))) = teardowns.peek() {
-            if t > now {
-                break;
-            }
-            teardowns.pop();
+        timers.run_until(now);
+        for dom in doomed.borrow_mut().drain(..) {
             let _ = host.destroy(hypervisor::DomId(dom));
         }
 
@@ -101,14 +106,19 @@ pub fn run(cfg: &JitConfig) -> JitResult {
         let rtt = NET_RTT + vm.create_time + vm.boot_time + penalty;
         rtts.push(rtt);
         peak = peak.max(host.running());
-        let key = (now + rtt + cfg.idle_teardown, vm.dom.0);
-        teardowns.push(Reverse(key));
+        let dom = vm.dom.0;
+        let doomed = Rc::clone(&doomed);
+        timers.schedule_at(now + rtt + cfg.idle_teardown, move |_| {
+            doomed.borrow_mut().push(dom);
+        });
     }
 
     JitResult {
         rtts,
         drops,
         peak_vms: peak,
+        peak_queue_depth: timers.peak_pending(),
+        events_scheduled: timers.events_scheduled(),
     }
 }
 

@@ -62,11 +62,23 @@ pub struct Bencher {
 const WARMUP_ITERS: u64 = 3;
 const TARGET_SAMPLES: usize = 15;
 const SAMPLE_BUDGET: Duration = Duration::from_millis(300);
+/// Reduced settings for CI smoke runs (`LIGHTVM_BENCH_QUICK=1`):
+/// noisier numbers, but each bench finishes in ~60 ms.
+const QUICK_SAMPLES: usize = 5;
+const QUICK_BUDGET: Duration = Duration::from_millis(60);
+
+fn sampling_plan() -> (usize, Duration) {
+    match std::env::var_os("LIGHTVM_BENCH_QUICK") {
+        Some(v) if v != "0" => (QUICK_SAMPLES, QUICK_BUDGET),
+        _ => (TARGET_SAMPLES, SAMPLE_BUDGET),
+    }
+}
 
 impl Bencher {
     /// Times `f`, first warming up, then sampling batches until the time
     /// budget is exhausted.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let (target_samples, sample_budget) = sampling_plan();
         for _ in 0..WARMUP_ITERS {
             black_box(f());
         }
@@ -74,10 +86,10 @@ impl Bencher {
         let probe = Instant::now();
         black_box(f());
         let one = probe.elapsed().max(Duration::from_nanos(1));
-        let per_sample = SAMPLE_BUDGET / TARGET_SAMPLES as u32;
+        let per_sample = sample_budget / target_samples as u32;
         let batch = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
-        let deadline = Instant::now() + SAMPLE_BUDGET;
-        while self.samples.len() < TARGET_SAMPLES && Instant::now() < deadline {
+        let deadline = Instant::now() + sample_budget;
+        while self.samples.len() < target_samples && Instant::now() < deadline {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(f());

@@ -142,7 +142,7 @@ pub fn backend_process_events(
     let events = xs.take_events(cost, meter, 0);
     let mut handled = 0;
     for ev in events {
-        if ev.token != BACKEND_TOKEN {
+        if &*ev.token != BACKEND_TOKEN {
             continue;
         }
         // Only the "state" write of a new announcement triggers set-up.

@@ -27,6 +27,11 @@ pub struct UnitPerf {
     /// `events / wall seconds`: the single-thread throughput figure the
     /// hot-path optimisations move.
     pub events_per_sec: f64,
+    /// Deepest the unit's engine event queue ever got (0 for units that
+    /// do not drive a timer engine).
+    pub peak_queue_depth: u64,
+    /// Events the unit scheduled on its engine (0 likewise).
+    pub events_scheduled: u64,
 }
 
 impl UnitPerf {
@@ -50,7 +55,16 @@ impl UnitPerf {
             virtual_ms,
             events,
             events_per_sec,
+            peak_queue_depth: 0,
+            events_scheduled: 0,
         }
+    }
+
+    /// Attaches the unit's engine event-queue statistics.
+    pub fn with_queue_stats(mut self, peak_queue_depth: u64, events_scheduled: u64) -> UnitPerf {
+        self.peak_queue_depth = peak_queue_depth;
+        self.events_scheduled = events_scheduled;
+        self
     }
 
     fn to_json(&self) -> Json {
@@ -63,6 +77,14 @@ impl UnitPerf {
             (
                 "events_per_sec".to_string(),
                 Json::Num(round3(self.events_per_sec)),
+            ),
+            (
+                "peak_queue_depth".to_string(),
+                Json::Num(self.peak_queue_depth as f64),
+            ),
+            (
+                "events_scheduled".to_string(),
+                Json::Num(self.events_scheduled as f64),
             ),
         ])
     }
@@ -193,6 +215,8 @@ mod tests {
         assert!(js.contains("\"fig04\""));
         assert!(js.contains("\"debian\""));
         assert!(js.contains("\"events_per_sec\""));
+        assert!(js.contains("\"peak_queue_depth\""));
+        assert!(js.contains("\"events_scheduled\""));
         crate::json::Json::parse(&js).expect("report JSON parses");
     }
 }

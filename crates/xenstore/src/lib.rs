@@ -25,6 +25,7 @@
 pub mod log;
 pub mod path;
 pub mod store;
+pub mod sym;
 pub mod txn;
 pub mod watch;
 pub mod xenstored;
@@ -32,6 +33,7 @@ pub mod xenstored;
 pub use log::AccessLog;
 pub use path::XsPath;
 pub use store::{Perms, Store, XsError};
+pub use sym::{Interner, XsSym};
 pub use txn::TxnId;
 pub use watch::{FireStats, WatchEvent, WatchTable};
 pub use xenstored::{ConnId, Flavor, Xenstored};

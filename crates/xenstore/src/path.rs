@@ -1,6 +1,7 @@
 //! XenStore path handling.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::store::XsError;
 
@@ -8,16 +9,26 @@ use crate::store::XsError;
 ///
 /// Paths are `/`-separated; components may contain alphanumerics and
 /// `-_@:.`, matching what xenstored accepts in practice.
+///
+/// The string is held in an `Arc`, so cloning a path — watch events,
+/// transaction write logs — is a refcount bump, and paths materialised
+/// from the interner share the interner's own allocation.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct XsPath {
     // Stored without a trailing slash; root is "/".
-    raw: String,
+    raw: Arc<str>,
 }
 
 impl XsPath {
     /// The root path `/`.
     pub fn root() -> XsPath {
         XsPath { raw: "/".into() }
+    }
+
+    /// Wraps an interner-held path without re-validating. Only the
+    /// interner stores pre-validated paths, hence crate-private.
+    pub(crate) fn from_interned(raw: Arc<str>) -> XsPath {
+        XsPath { raw }
     }
 
     /// Parses and validates a path.
@@ -36,7 +47,7 @@ impl XsPath {
                 return Err(XsError::Invalid);
             }
         }
-        Ok(XsPath { raw: s.to_string() })
+        Ok(XsPath { raw: s.into() })
     }
 
     /// The path string.
@@ -48,7 +59,7 @@ impl XsPath {
     /// path — store lookups and watch walks must not allocate.
     pub fn components(&self) -> Components<'_> {
         Components {
-            inner: if self.raw == "/" {
+            inner: if &*self.raw == "/" {
                 None
             } else {
                 Some(self.raw[1..].split('/'))
@@ -59,7 +70,7 @@ impl XsPath {
     /// Number of components (depth); root is 0. Counted from the raw
     /// bytes, no allocation or split.
     pub fn depth(&self) -> usize {
-        if self.raw == "/" {
+        if &*self.raw == "/" {
             0
         } else {
             self.raw.bytes().filter(|&b| b == b'/').count()
@@ -68,7 +79,7 @@ impl XsPath {
 
     /// The final component, `None` for root.
     pub fn last_component(&self) -> Option<&str> {
-        if self.raw == "/" {
+        if &*self.raw == "/" {
             None
         } else {
             self.raw.rfind('/').map(|i| &self.raw[i + 1..])
@@ -80,18 +91,18 @@ impl XsPath {
         if comp.is_empty() || !comp.bytes().all(valid_byte) {
             return Err(XsError::Invalid);
         }
-        let raw = if self.raw == "/" {
+        let raw = if &*self.raw == "/" {
             format!("/{comp}")
         } else {
             format!("{}/{comp}", self.raw)
         };
-        Ok(XsPath { raw })
+        Ok(XsPath { raw: raw.into() })
     }
 
     /// The parent path; root's parent is root.
     pub fn parent(&self) -> XsPath {
         XsPath {
-            raw: self.parent_str().to_string(),
+            raw: self.parent_str().into(),
         }
     }
 
@@ -116,11 +127,11 @@ impl XsPath {
 
     /// True if `self` equals `other` or is a descendant of it.
     pub fn is_self_or_descendant_of(&self, other: &XsPath) -> bool {
-        if other.raw == "/" {
+        if &*other.raw == "/" {
             return true;
         }
         self.raw == other.raw
-            || (self.raw.starts_with(&other.raw)
+            || (self.raw.starts_with(&*other.raw)
                 && self.raw.as_bytes().get(other.raw.len()) == Some(&b'/'))
     }
 

@@ -1,14 +1,27 @@
-//! The hierarchical store tree.
+//! The hierarchical store, flattened over interned path symbols.
 //!
-//! This is the pure data structure: a tree of nodes with values, owners
-//! and per-node modification generations (used by transaction conflict
+//! This is the pure data structure: nodes with values, owners and
+//! per-node modification generations (used by transaction conflict
 //! detection). All protocol and cost concerns live in
 //! [`crate::xenstored`].
+//!
+//! Nodes live in one flat slot vector indexed by path symbol; the tree
+//! shape is the interner's parent links plus each node's name-sorted
+//! child map. A lookup is one O(1) symbol resolution on the full path
+//! string followed by an array index — no per-component map walk, no
+//! hashing beyond the single resolve — and interior operations
+//! (transaction replay, ancestor checks) work on copyable `u32` symbols
+//! with no string traffic at all. Symbols are append-only — removing a
+//! node never retires its symbol (the slot goes back to `None`), so
+//! transactions and watches can hold symbols across removals and
+//! recreations.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::path::XsPath;
+use crate::sym::{Interner, XsSym};
 
 /// Errors mirroring the errno values xenstored returns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -97,7 +110,9 @@ struct Node {
     value: Vec<u8>,
     perms: Perms,
     generation: u64,
-    children: BTreeMap<String, Node>,
+    /// Children keyed by name, so [`Store::directory`] iterates in
+    /// sorted order with no post-sort.
+    children: BTreeMap<Box<str>, XsSym>,
 }
 
 impl Node {
@@ -109,16 +124,17 @@ impl Node {
             children: BTreeMap::new(),
         }
     }
-
-    fn count(&self) -> usize {
-        1 + self.children.values().map(Node::count).sum::<usize>()
-    }
 }
 
 /// The store tree.
 #[derive(Clone, Debug)]
 pub struct Store {
-    root: Node,
+    /// Path symbols. Interior mutability so read-only operations
+    /// (`&self`) can still intern paths they encounter; borrows are
+    /// short-scoped and never escape a method.
+    interner: RefCell<Interner>,
+    /// Node slots, indexed by symbol; `None` = no node at that path.
+    nodes: Vec<Option<Node>>,
     node_count: usize,
     generation: u64,
     /// Nodes owned per domain (Dom0 exempt from quota).
@@ -137,7 +153,8 @@ impl Store {
     /// Creates a store containing only the root node.
     pub fn new() -> Store {
         Store {
-            root: Node::new(Perms::dom0(), 0),
+            interner: RefCell::new(Interner::new()),
+            nodes: vec![Some(Node::new(Perms::dom0(), 0))],
             node_count: 1,
             generation: 0,
             owned: BTreeMap::new(),
@@ -166,50 +183,93 @@ impl Store {
         self.generation
     }
 
-    fn lookup(&self, path: &XsPath) -> Option<&Node> {
-        self.lookup_str(path.as_str())
+    // --- symbol plumbing (crate-internal) --------------------------------
+
+    /// Interns a path (and its ancestors), returning its symbol.
+    pub(crate) fn sym(&self, path: &XsPath) -> XsSym {
+        self.interner.borrow_mut().intern(path.as_str())
     }
 
-    /// Walks the tree by a raw path string (assumed well-formed). Used
-    /// where the caller holds a borrowed slice of a path — e.g. the
-    /// parent of an `XsPath` — so the hot path never allocates.
-    fn lookup_str(&self, path: &str) -> Option<&Node> {
-        let mut node = &self.root;
-        if path != "/" {
-            for comp in path[1..].split('/') {
-                node = node.children.get(comp)?;
-            }
+    /// Resolves a path string without interning it.
+    pub(crate) fn resolve(&self, path: &str) -> Option<XsSym> {
+        self.interner.borrow().resolve(path)
+    }
+
+    /// Materialises a symbol back into a path (refcount bump, no copy).
+    pub(crate) fn path_of(&self, sym: XsSym) -> XsPath {
+        XsPath::from_interned(self.interner.borrow().path_arc(sym).clone())
+    }
+
+    /// The parent symbol; the root's parent is the root.
+    pub(crate) fn parent_sym(&self, sym: XsSym) -> XsSym {
+        self.interner.borrow().parent(sym)
+    }
+
+    /// True if `a` equals `b` or lies below it (symbol hops only).
+    pub(crate) fn sym_is_self_or_descendant(&self, a: XsSym, b: XsSym) -> bool {
+        self.interner.borrow().is_self_or_descendant_of(a, b)
+    }
+
+    /// Resolves a child of `sym` by name, if ever interned.
+    pub(crate) fn resolve_child(&self, sym: XsSym, name: &str) -> Option<XsSym> {
+        let interner = self.interner.borrow();
+        let parent = interner.path_str(sym);
+        let path = if parent == "/" {
+            format!("/{name}")
+        } else {
+            format!("{parent}/{name}")
+        };
+        interner.resolve(&path)
+    }
+
+    fn node(&self, sym: XsSym) -> Option<&Node> {
+        self.nodes.get(sym.index())?.as_ref()
+    }
+
+    fn node_mut(&mut self, sym: XsSym) -> Option<&mut Node> {
+        self.nodes.get_mut(sym.index())?.as_mut()
+    }
+
+    fn insert_node(&mut self, sym: XsSym, node: Node) {
+        let idx = sym.index();
+        if idx >= self.nodes.len() {
+            self.nodes.resize_with(idx + 1, || None);
         }
-        Some(node)
+        self.nodes[idx] = Some(node);
     }
 
-    fn lookup_mut(&mut self, path: &XsPath) -> Option<&mut Node> {
-        self.lookup_mut_str(path.as_str())
+    pub(crate) fn exists_sym(&self, sym: XsSym) -> bool {
+        self.node(sym).is_some()
     }
 
-    fn lookup_mut_str(&mut self, path: &str) -> Option<&mut Node> {
-        let mut node = &mut self.root;
-        if path != "/" {
-            for comp in path[1..].split('/') {
-                node = node.children.get_mut(comp)?;
-            }
-        }
-        Some(node)
+    pub(crate) fn node_generation_sym(&self, sym: XsSym) -> Option<u64> {
+        self.node(sym).map(|n| n.generation)
     }
+
+    // --- public path-keyed API -------------------------------------------
 
     /// True if the path exists.
     pub fn exists(&self, path: &XsPath) -> bool {
-        self.lookup(path).is_some()
+        match self.resolve(path.as_str()) {
+            Some(sym) => self.exists_sym(sym),
+            None => false,
+        }
     }
 
     /// Modification generation of a node, `None` if absent.
     pub fn node_generation(&self, path: &XsPath) -> Option<u64> {
-        self.lookup(path).map(|n| n.generation)
+        self.resolve(path.as_str())
+            .and_then(|sym| self.node_generation_sym(sym))
     }
 
     /// Reads a node's value as bytes.
     pub fn read(&self, dom: u32, path: &XsPath) -> Result<&[u8], XsError> {
-        let node = self.lookup(path).ok_or(XsError::NotFound)?;
+        let sym = self.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        self.read_sym(dom, sym)
+    }
+
+    pub(crate) fn read_sym(&self, dom: u32, sym: XsSym) -> Result<&[u8], XsError> {
+        let node = self.node(sym).ok_or(XsError::NotFound)?;
         if !node.perms.may_read(dom) {
             return Err(XsError::PermissionDenied);
         }
@@ -227,44 +287,77 @@ impl Store {
         if path.depth() == 0 {
             return Err(XsError::Invalid);
         }
-        // Quota pre-check: creating up to `depth` nodes must fit.
+        let sym = self.sym(path);
+        self.write_sym(dom, sym, value)
+    }
+
+    /// The root-exclusive ancestor chain of `sym`, top-down.
+    fn chain_of(&self, sym: XsSym) -> Vec<XsSym> {
+        let interner = self.interner.borrow();
+        let mut chain: Vec<XsSym> = interner.ancestors(sym).collect();
+        chain.pop(); // the root always exists
+        chain.reverse();
+        chain
+    }
+
+    pub(crate) fn write_sym(&mut self, dom: u32, sym: XsSym, value: &[u8]) -> Result<(), XsError> {
+        if sym == XsSym::ROOT {
+            return Err(XsError::Invalid);
+        }
+        // Fast path: the node exists, so all its ancestors do too and no
+        // quota or parent checks apply — only the node's own write bit.
+        // (The generation still bumps before a permission failure, as on
+        // the slow path below.)
+        if self.exists_sym(sym) {
+            self.generation += 1;
+            let generation = self.generation;
+            let node = self.node_mut(sym).expect("just checked");
+            if !node.perms.may_write(dom) {
+                return Err(XsError::PermissionDenied);
+            }
+            node.value.clear();
+            node.value.extend_from_slice(value);
+            node.generation = generation;
+            return Ok(());
+        }
+        let chain = self.chain_of(sym);
+        // Quota pre-check: every node this write would create must fit.
         if dom != 0 {
             if let Some(q) = self.quota {
                 let have = self.owned.get(&dom).copied().unwrap_or(0);
-                let worst_case = path.depth();
-                if have + worst_case > q && !self.exists(path) {
-                    // Cheap conservative check first; exact check below.
-                    let missing = self.missing_nodes_on(path);
-                    if have + missing > q {
-                        return Err(XsError::QuotaExceeded);
-                    }
+                let missing = chain.iter().filter(|&&s| !self.exists_sym(s)).count();
+                if have + missing > q {
+                    return Err(XsError::QuotaExceeded);
                 }
             }
         }
         self.generation += 1;
         let generation = self.generation;
         let mut created = 0usize;
-        let mut node = &mut self.root;
-        let mut comps = path.components().peekable();
-        while let Some(comp) = comps.next() {
-            let is_last = comps.peek().is_none();
-            let exists = node.children.contains_key(comp);
-            if !exists {
-                if !node.perms.may_write(dom) {
+        let mut parent = XsSym::ROOT;
+        for (i, &s) in chain.iter().enumerate() {
+            let is_last = i + 1 == chain.len();
+            if !self.exists_sym(s) {
+                let parent_perms = self.node(parent).expect("parent exists").perms;
+                if !parent_perms.may_write(dom) {
                     self.node_count += created;
                     return Err(XsError::PermissionDenied);
                 }
                 let perms = Perms {
                     owner: dom,
-                    others_read: node.perms.others_read,
+                    others_read: parent_perms.others_read,
                     others_write: false,
                 };
-                node.children
-                    .insert(comp.to_string(), Node::new(perms, generation));
+                self.insert_node(s, Node::new(perms, generation));
+                let name: Box<str> = self.interner.borrow().name(s).into();
+                self.node_mut(parent)
+                    .expect("parent exists")
+                    .children
+                    .insert(name, s);
                 created += 1;
             }
-            node = node.children.get_mut(comp).expect("just ensured");
             if is_last {
+                let node = self.node_mut(s).expect("just ensured");
                 if !node.perms.may_write(dom) {
                     // A permission failure on the final node can only
                     // happen when it already existed; implicitly created
@@ -272,32 +365,17 @@ impl Store {
                     self.node_count += created;
                     return Err(XsError::PermissionDenied);
                 }
-                node.value = value.to_vec();
+                node.value.clear();
+                node.value.extend_from_slice(value);
                 node.generation = generation;
             }
+            parent = s;
         }
         self.node_count += created;
         if dom != 0 && created > 0 {
             *self.owned.entry(dom).or_insert(0) += created;
         }
         Ok(())
-    }
-
-    /// Number of nodes `write(path)` would have to create. Single walk
-    /// down the tree — no ancestor re-lookups, no path clones.
-    fn missing_nodes_on(&self, path: &XsPath) -> usize {
-        let mut node = &self.root;
-        let mut present = 0;
-        for comp in path.components() {
-            match node.children.get(comp) {
-                Some(child) => {
-                    node = child;
-                    present += 1;
-                }
-                None => break,
-            }
-        }
-        path.depth() - present
     }
 
     /// Creates an empty directory node.
@@ -313,18 +391,38 @@ impl Store {
         if path.depth() == 0 {
             return Err(XsError::Invalid);
         }
-        let parent = path.parent_str();
-        let last = path.last_component().expect("depth > 0");
-        let parent_node = self.lookup_mut_str(parent).ok_or(XsError::NotFound)?;
-        let target = parent_node.children.get(last).ok_or(XsError::NotFound)?;
+        let sym = self.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        self.rm_sym(dom, sym)
+    }
+
+    pub(crate) fn rm_sym(&mut self, dom: u32, sym: XsSym) -> Result<(), XsError> {
+        if sym == XsSym::ROOT {
+            return Err(XsError::Invalid);
+        }
+        let target = self.node(sym).ok_or(XsError::NotFound)?;
         if !target.perms.may_write(dom) {
             return Err(XsError::PermissionDenied);
         }
-        let removed = target.count();
-        // Credit per-owner node counts for the removed subtree.
+        // Collect the subtree, tallying per-owner credits.
         let mut credits: BTreeMap<u32, usize> = BTreeMap::new();
-        count_owners(target, &mut credits);
-        parent_node.children.remove(last);
+        let mut doomed = Vec::new();
+        let mut stack = vec![sym];
+        while let Some(s) = stack.pop() {
+            let node = self.node(s).expect("subtree nodes exist");
+            *credits.entry(node.perms.owner).or_insert(0) += 1;
+            stack.extend(node.children.values().copied());
+            doomed.push(s);
+        }
+        let removed = doomed.len();
+        let parent = self.parent_sym(sym);
+        let name: Box<str> = self.interner.borrow().name(sym).into();
+        self.node_mut(parent)
+            .expect("parent of a live node exists")
+            .children
+            .remove(&*name);
+        for s in doomed {
+            self.nodes[s.index()] = None;
+        }
         for (owner, n) in credits {
             if owner != 0 {
                 if let Some(c) = self.owned.get_mut(&owner) {
@@ -335,30 +433,51 @@ impl Store {
         self.generation += 1;
         let generation = self.generation;
         // The parent's generation changes: its child list was modified.
-        self.lookup_mut_str(parent).expect("parent exists").generation = generation;
+        self.node_mut(parent).expect("parent exists").generation = generation;
         self.node_count -= removed;
         Ok(())
     }
 
-    /// Lists the child names of a node.
+    /// Lists the child names of a node, sorted.
     pub fn directory(&self, dom: u32, path: &XsPath) -> Result<Vec<String>, XsError> {
-        let node = self.lookup(path).ok_or(XsError::NotFound)?;
+        let sym = self.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        self.directory_sym(dom, sym)
+    }
+
+    pub(crate) fn directory_sym(&self, dom: u32, sym: XsSym) -> Result<Vec<String>, XsError> {
+        let node = self.node(sym).ok_or(XsError::NotFound)?;
         if !node.perms.may_read(dom) {
             return Err(XsError::PermissionDenied);
         }
-        Ok(node.children.keys().cloned().collect())
+        // The child map is name-keyed: iteration is already sorted.
+        Ok(node.children.keys().map(|k| k.to_string()).collect())
     }
 
     /// Reads a node's permissions.
     pub fn get_perms(&self, path: &XsPath) -> Result<Perms, XsError> {
-        self.lookup(path).map(|n| n.perms).ok_or(XsError::NotFound)
+        self.resolve(path.as_str())
+            .and_then(|sym| self.node(sym))
+            .map(|n| n.perms)
+            .ok_or(XsError::NotFound)
     }
 
     /// Sets a node's permissions. Only Dom0 or the owner may do this.
     pub fn set_perms(&mut self, dom: u32, path: &XsPath, perms: Perms) -> Result<(), XsError> {
+        let sym = self.sym(path);
+        self.set_perms_sym(dom, sym, perms)
+    }
+
+    pub(crate) fn set_perms_sym(
+        &mut self,
+        dom: u32,
+        sym: XsSym,
+        perms: Perms,
+    ) -> Result<(), XsError> {
+        // As before the flattening: the global generation bumps even when
+        // the lookup or permission check below fails.
         self.generation += 1;
         let generation = self.generation;
-        let node = match self.lookup_mut(path) {
+        let node = match self.node_mut(sym) {
             Some(n) => n,
             None => return Err(XsError::NotFound),
         };
@@ -368,14 +487,6 @@ impl Store {
         node.perms = perms;
         node.generation = generation;
         Ok(())
-    }
-}
-
-/// Tallies node ownership across a subtree.
-fn count_owners(node: &Node, credits: &mut BTreeMap<u32, usize>) {
-    *credits.entry(node.perms.owner).or_insert(0) += 1;
-    for child in node.children.values() {
-        count_owners(child, credits);
     }
 }
 
@@ -454,6 +565,18 @@ mod tests {
         let g_parent = s.node_generation(&p("/a")).unwrap();
         s.rm(0, &p("/a/b")).unwrap();
         assert!(s.node_generation(&p("/a")).unwrap() > g_parent);
+    }
+
+    #[test]
+    fn recreated_node_reuses_its_symbol() {
+        let mut s = Store::new();
+        s.write(0, &p("/a/b"), b"first").unwrap();
+        let sym = s.resolve("/a/b").unwrap();
+        s.rm(0, &p("/a/b")).unwrap();
+        assert!(!s.exists_sym(sym), "node gone, symbol retained");
+        s.write(0, &p("/a/b"), b"second").unwrap();
+        assert_eq!(s.resolve("/a/b").unwrap(), sym, "append-only table");
+        assert_eq!(s.read_sym(0, sym).unwrap(), b"second");
     }
 
     #[test]

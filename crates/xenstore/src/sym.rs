@@ -1,0 +1,263 @@
+//! Path interning: stable `u32` symbols for XenStore paths.
+//!
+//! Every subsystem that keys maps by path (the store's node table, a
+//! transaction's overlay, the watch registry) pays for string hashing,
+//! string comparison and `String` clones on its hot path. The interner
+//! assigns each distinct path a small copyable symbol once, after which
+//! all keying is integer-sized.
+//!
+//! The table is **append-only**: a symbol, once handed out, is valid for
+//! the lifetime of the interner and always maps back to the same path.
+//! Removing a store node does *not* retire its symbol — transactions and
+//! watch registrations may still hold it, and a recreated node reuses
+//! it. This is what makes symbols safe to store across operations
+//! without any lifetime bookkeeping.
+//!
+//! Interning a path also interns every ancestor, so parent/ancestor
+//! walks are pointer-free symbol hops (`parent` links), not string
+//! slicing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An interned path symbol. `XsSym::ROOT` is always `/`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct XsSym(u32);
+
+impl XsSym {
+    /// The root path `/`.
+    pub const ROOT: XsSym = XsSym(0);
+
+    /// The symbol's table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SymEntry {
+    parent: XsSym,
+    depth: u32,
+    /// Full path; shared with the `by_path` key and with any `XsPath`
+    /// materialised from this symbol (a refcount bump, not a copy).
+    path: Arc<str>,
+}
+
+/// The append-only symbol table.
+#[derive(Clone, Debug)]
+pub struct Interner {
+    by_path: HashMap<Arc<str>, XsSym>,
+    entries: Vec<SymEntry>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// Creates a table containing only the root.
+    pub fn new() -> Interner {
+        let root: Arc<str> = "/".into();
+        let mut by_path = HashMap::new();
+        by_path.insert(root.clone(), XsSym::ROOT);
+        Interner {
+            by_path,
+            entries: vec![SymEntry {
+                parent: XsSym::ROOT,
+                depth: 0,
+                path: root,
+            }],
+        }
+    }
+
+    /// Number of interned paths (≥ 1: the root).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never empty — the root is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks a path up without interning it. O(1) on the full string.
+    pub fn resolve(&self, path: &str) -> Option<XsSym> {
+        self.by_path.get(path).copied()
+    }
+
+    /// Interns `path` and every missing ancestor, returning its symbol.
+    ///
+    /// The caller must pass a well-formed absolute path (an
+    /// [`crate::path::XsPath`] invariant); this is not a validator.
+    pub fn intern(&mut self, path: &str) -> XsSym {
+        if let Some(&s) = self.by_path.get(path) {
+            return s;
+        }
+        // Walk ancestors until one is already interned, remembering the
+        // byte lengths of the missing prefixes (deepest first).
+        let mut missing = vec![path.len()];
+        let mut parent = XsSym::ROOT;
+        let mut cur = path;
+        loop {
+            match cur.rfind('/') {
+                Some(0) | None => break, // parent is the root
+                Some(cut) => {
+                    cur = &path[..cut];
+                    if let Some(&s) = self.by_path.get(cur) {
+                        parent = s;
+                        break;
+                    }
+                    missing.push(cut);
+                }
+            }
+        }
+        let mut depth = self.entries[parent.index()].depth;
+        for end in missing.into_iter().rev() {
+            let arc: Arc<str> = path[..end].into();
+            let sym = XsSym(self.entries.len() as u32);
+            depth += 1;
+            self.entries.push(SymEntry {
+                parent,
+                depth,
+                path: arc.clone(),
+            });
+            self.by_path.insert(arc, sym);
+            parent = sym;
+        }
+        parent
+    }
+
+    /// The full path of a symbol.
+    pub fn path_str(&self, sym: XsSym) -> &str {
+        &self.entries[sym.index()].path
+    }
+
+    /// The full path as a shareable `Arc` (for materialising `XsPath`s
+    /// without copying).
+    pub fn path_arc(&self, sym: XsSym) -> &Arc<str> {
+        &self.entries[sym.index()].path
+    }
+
+    /// The final component of a symbol's path (empty for the root).
+    pub fn name(&self, sym: XsSym) -> &str {
+        let path = self.path_str(sym);
+        match path.rfind('/') {
+            Some(i) => &path[i + 1..],
+            None => path,
+        }
+    }
+
+    /// The parent symbol; the root's parent is the root.
+    pub fn parent(&self, sym: XsSym) -> XsSym {
+        self.entries[sym.index()].parent
+    }
+
+    /// Path depth; the root is 0.
+    pub fn depth(&self, sym: XsSym) -> u32 {
+        self.entries[sym.index()].depth
+    }
+
+    /// Iterates over `sym` and every ancestor up to and including the
+    /// root, as symbols.
+    pub fn ancestors(&self, sym: XsSym) -> SymAncestors<'_> {
+        SymAncestors {
+            interner: self,
+            cur: Some(sym),
+        }
+    }
+
+    /// True if `a` equals `b` or lies below it. O(depth) symbol hops, no
+    /// string comparison.
+    pub fn is_self_or_descendant_of(&self, a: XsSym, b: XsSym) -> bool {
+        let (da, db) = (self.depth(a), self.depth(b));
+        if da < db {
+            return false;
+        }
+        let mut cur = a;
+        for _ in db..da {
+            cur = self.parent(cur);
+        }
+        cur == b
+    }
+}
+
+/// Iterator over a symbol and its ancestors; see [`Interner::ancestors`].
+pub struct SymAncestors<'a> {
+    interner: &'a Interner,
+    cur: Option<XsSym>,
+}
+
+impl Iterator for SymAncestors<'_> {
+    type Item = XsSym;
+
+    fn next(&mut self) -> Option<XsSym> {
+        let c = self.cur?;
+        self.cur = if c == XsSym::ROOT {
+            None
+        } else {
+            Some(self.interner.parent(c))
+        };
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_append_only() {
+        let mut i = Interner::new();
+        let a = i.intern("/a/b/c");
+        let n = i.len();
+        assert_eq!(i.intern("/a/b/c"), a);
+        assert_eq!(i.len(), n, "re-interning must not grow the table");
+        assert_eq!(i.path_str(a), "/a/b/c");
+    }
+
+    #[test]
+    fn intern_creates_ancestors() {
+        let mut i = Interner::new();
+        let c = i.intern("/a/b/c");
+        let b = i.resolve("/a/b").expect("ancestor interned");
+        let a = i.resolve("/a").expect("ancestor interned");
+        assert_eq!(i.parent(c), b);
+        assert_eq!(i.parent(b), a);
+        assert_eq!(i.parent(a), XsSym::ROOT);
+        assert_eq!(i.parent(XsSym::ROOT), XsSym::ROOT);
+        assert_eq!(i.depth(c), 3);
+        assert_eq!(i.depth(XsSym::ROOT), 0);
+    }
+
+    #[test]
+    fn resolve_does_not_intern() {
+        let i = Interner::new();
+        assert_eq!(i.resolve("/nope"), None);
+        assert_eq!(i.resolve("/"), Some(XsSym::ROOT));
+    }
+
+    #[test]
+    fn names_and_ancestors() {
+        let mut i = Interner::new();
+        let c = i.intern("/a/b/c");
+        assert_eq!(i.name(c), "c");
+        assert_eq!(i.name(XsSym::ROOT), "");
+        let chain: Vec<&str> = i.ancestors(c).map(|s| i.path_str(s)).collect();
+        assert_eq!(chain, vec!["/a/b/c", "/a/b", "/a", "/"]);
+    }
+
+    #[test]
+    fn descendant_checks_match_path_semantics() {
+        let mut i = Interner::new();
+        let ab = i.intern("/a/b");
+        let a = i.resolve("/a").unwrap();
+        let axb = i.intern("/ax/b");
+        assert!(i.is_self_or_descendant_of(ab, a));
+        assert!(i.is_self_or_descendant_of(ab, XsSym::ROOT));
+        assert!(i.is_self_or_descendant_of(a, a));
+        assert!(!i.is_self_or_descendant_of(a, ab));
+        assert!(!i.is_self_or_descendant_of(axb, a));
+    }
+}

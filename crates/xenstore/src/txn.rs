@@ -15,11 +15,17 @@
 //! indistinguishable from snapshot reads for committed transactions.
 //! The daemon still charges the snapshot cost via
 //! [`Txn::snapshot_nodes`].
+//!
+//! Overlay and touched sets are keyed by interned path symbols
+//! ([`XsSym`]): each operation resolves its path to a symbol once at
+//! entry, after which every probe, ancestor walk and write-log entry is
+//! integer-keyed — no path clones, no string comparisons.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::path::XsPath;
 use crate::store::{Perms, Store, XsError};
+use crate::sym::XsSym;
 
 /// Transaction identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -27,9 +33,9 @@ pub struct TxnId(pub u64);
 
 #[derive(Clone, Debug)]
 enum WriteOp {
-    Write(XsPath, Vec<u8>),
-    Rm(XsPath),
-    SetPerms(XsPath, Perms),
+    Write(XsSym, Vec<u8>),
+    Rm(XsSym),
+    SetPerms(XsSym, Perms),
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -52,10 +58,10 @@ pub struct Txn {
     pub id: TxnId,
     /// Owning connection (domain id).
     pub conn: u32,
-    overlay: BTreeMap<XsPath, Overlay>,
+    overlay: HashMap<XsSym, Overlay>,
     /// Main-store generation of each touched node at first touch
     /// (`None` = the node did not exist then).
-    touched: BTreeMap<XsPath, Option<u64>>,
+    touched: HashMap<XsSym, Option<u64>>,
     write_log: Vec<WriteOp>,
     /// Number of nodes the oxenstored snapshot would copy (cost model).
     pub snapshot_nodes: usize,
@@ -67,8 +73,8 @@ impl Txn {
         Txn {
             id,
             conn,
-            overlay: BTreeMap::new(),
-            touched: BTreeMap::new(),
+            overlay: HashMap::new(),
+            touched: HashMap::new(),
             write_log: Vec::new(),
             snapshot_nodes: store.node_count(),
         }
@@ -84,58 +90,71 @@ impl Txn {
         self.write_log.len()
     }
 
-    /// Iterates over the paths this transaction has touched.
-    pub fn touched_paths(&self) -> impl Iterator<Item = &XsPath> {
-        self.touched.keys()
+    /// Iterates over the symbols this transaction has touched (in no
+    /// particular order — callers needing determinism must sort).
+    pub(crate) fn touched_syms(&self) -> impl Iterator<Item = XsSym> + '_ {
+        self.touched.keys().copied()
     }
 
-    fn touch(&mut self, main: &Store, path: &XsPath) {
+    fn touch(&mut self, main: &Store, sym: XsSym) {
         self.touched
-            .entry(path.clone())
-            .or_insert_with(|| main.node_generation(path));
+            .entry(sym)
+            .or_insert_with(|| main.node_generation_sym(sym));
     }
 
-    /// Whether `path` exists from the transaction's point of view.
+    /// Whether `sym` exists from the transaction's point of view.
     ///
     /// The *nearest* ancestor-or-self overlay entry decides: an exact
     /// entry answers directly; a `Removed` or `Recreated` ancestor hides
     /// whatever the main store has below it (the subtree was deleted); a
     /// plain `Value` ancestor or no entry at all defers to the main
     /// store.
-    fn exists_view(&self, main: &Store, path: &XsPath) -> bool {
-        for (dist, ancestor) in path.ancestors().enumerate() {
-            if let Some(e) = self.overlay.get(ancestor) {
+    fn exists_view(&self, main: &Store, sym: XsSym) -> bool {
+        let mut cur = sym;
+        let mut dist = 0usize;
+        loop {
+            if let Some(e) = self.overlay.get(&cur) {
                 return match (e, dist) {
                     (Overlay::Value(_) | Overlay::Recreated(_), 0) => true,
                     (Overlay::Removed, _) => false,
                     (Overlay::Recreated(_), _) => false, // hidden main child
-                    (Overlay::Value(_), _) => main.exists(path),
+                    (Overlay::Value(_), _) => main.exists_sym(sym),
                 };
             }
+            if cur == XsSym::ROOT {
+                break;
+            }
+            cur = main.parent_sym(cur);
+            dist += 1;
         }
-        main.exists(path)
+        main.exists_sym(sym)
     }
 
-    /// Whether main-store content below `path` is hidden by a removal in
+    /// Whether main-store content below `sym` is hidden by a removal in
     /// this transaction (the "cut" test for write markers).
-    fn is_cut(&self, path: &XsPath) -> bool {
-        for ancestor in path.ancestors() {
-            if let Some(e) = self.overlay.get(ancestor) {
+    fn is_cut(&self, main: &Store, sym: XsSym) -> bool {
+        let mut cur = sym;
+        loop {
+            if let Some(e) = self.overlay.get(&cur) {
                 return matches!(e, Overlay::Removed | Overlay::Recreated(_));
             }
+            if cur == XsSym::ROOT {
+                return false;
+            }
+            cur = main.parent_sym(cur);
         }
-        false
     }
 
     /// Transactional read: sees the transaction's own writes.
     pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Vec<u8>, XsError> {
-        self.touch(main, path);
-        match self.overlay.get(path) {
+        let sym = main.sym(path);
+        self.touch(main, sym);
+        match self.overlay.get(&sym) {
             Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(v.clone()),
             Some(Overlay::Removed) => Err(XsError::NotFound),
             None => {
-                if self.exists_view(main, path) {
-                    main.read(self.conn, path).map(|v| v.to_vec())
+                if self.exists_view(main, sym) {
+                    main.read_sym(self.conn, sym).map(|v| v.to_vec())
                 } else {
                     Err(XsError::NotFound)
                 }
@@ -145,37 +164,42 @@ impl Txn {
 
     /// Transactional existence check.
     pub fn exists(&mut self, main: &Store, path: &XsPath) -> bool {
-        self.touch(main, path);
-        self.exists_view(main, path)
+        let sym = main.sym(path);
+        self.touch(main, sym);
+        self.exists_view(main, sym)
     }
 
     /// Transactional directory listing: main-store children (unless
     /// hidden by a removal) merged with children created in the overlay.
     pub fn directory(&mut self, main: &Store, path: &XsPath) -> Result<Vec<String>, XsError> {
-        self.touch(main, path);
-        if !self.exists_view(main, path) {
+        let sym = main.sym(path);
+        self.touch(main, sym);
+        if !self.exists_view(main, sym) {
             return Err(XsError::NotFound);
         }
-        let mut names: Vec<String> = match main.directory(self.conn, path) {
+        let mut names: Vec<String> = match main.directory_sym(self.conn, sym) {
             Ok(v) => v,
             Err(XsError::NotFound) => Vec::new(),
             Err(e) => return Err(e),
         };
-        // Add children created in this txn.
-        for (p, o) in &self.overlay {
+        // Add children created in this txn. Overlay iteration order is
+        // arbitrary (HashMap), which is fine: membership and the final
+        // sort are order-independent.
+        for (&s, o) in &self.overlay {
             if matches!(o, Overlay::Value(_) | Overlay::Recreated(_))
-                && p.parent_str() == path.as_str()
+                && s != XsSym::ROOT
+                && main.parent_sym(s) == sym
             {
-                let name = p.last_component().expect("non-root").to_string();
+                let name = main.path_of(s).last_component().expect("non-root").to_string();
                 if !names.contains(&name) {
                     names.push(name);
                 }
             }
         }
         // Keep only children visible through the overlay.
-        names.retain(|n| {
-            let child = path.child(n).expect("child of valid dir");
-            self.exists_view(main, &child)
+        names.retain(|n| match main.resolve_child(sym, n) {
+            Some(child) => self.exists_view(main, child),
+            None => false,
         });
         names.sort();
         Ok(names)
@@ -186,30 +210,31 @@ impl Txn {
         if path.depth() == 0 {
             return Err(XsError::Invalid);
         }
-        self.touch(main, path);
+        let sym = main.sym(path);
+        self.touch(main, sym);
         // Parents that do not exist in the txn's view get implicit
         // entries (top-down, so cut detection sees fresh markers).
         let mut chain = Vec::new();
-        let mut p = path.parent();
-        while p.depth() > 0 && !self.exists_view(main, &p) {
-            chain.push(p.clone());
-            p = p.parent();
+        let mut p = main.parent_sym(sym);
+        while p != XsSym::ROOT && !self.exists_view(main, p) {
+            chain.push(p);
+            p = main.parent_sym(p);
         }
         for q in chain.into_iter().rev() {
-            let marker = if self.is_cut(&q) {
+            let marker = if self.is_cut(main, q) {
                 Overlay::Recreated(Vec::new())
             } else {
                 Overlay::Value(Vec::new())
             };
             self.overlay.insert(q, marker);
         }
-        let marker = if self.is_cut(path) {
+        let marker = if self.is_cut(main, sym) {
             Overlay::Recreated(value.to_vec())
         } else {
             Overlay::Value(value.to_vec())
         };
-        self.overlay.insert(path.clone(), marker);
-        self.write_log.push(WriteOp::Write(path.clone(), value.to_vec()));
+        self.overlay.insert(sym, marker);
+        self.write_log.push(WriteOp::Write(sym, value.to_vec()));
         Ok(())
     }
 
@@ -229,18 +254,19 @@ impl Txn {
         if !self.exists(main, path) {
             return Err(XsError::NotFound);
         }
+        let sym = main.sym(path);
         // Drop any overlay entries underneath.
-        let doomed: Vec<XsPath> = self
+        let doomed: Vec<XsSym> = self
             .overlay
             .keys()
-            .filter(|p| p.is_self_or_descendant_of(path))
-            .cloned()
+            .filter(|&&s| main.sym_is_self_or_descendant(s, sym))
+            .copied()
             .collect();
-        for p in doomed {
-            self.overlay.remove(&p);
+        for s in doomed {
+            self.overlay.remove(&s);
         }
-        self.overlay.insert(path.clone(), Overlay::Removed);
-        self.write_log.push(WriteOp::Rm(path.clone()));
+        self.overlay.insert(sym, Overlay::Removed);
+        self.write_log.push(WriteOp::Rm(sym));
         Ok(())
     }
 
@@ -249,7 +275,8 @@ impl Txn {
         if !self.exists(main, path) {
             return Err(XsError::NotFound);
         }
-        self.write_log.push(WriteOp::SetPerms(path.clone(), perms));
+        let sym = main.sym(path);
+        self.write_log.push(WriteOp::SetPerms(sym, perms));
         Ok(())
     }
 
@@ -259,28 +286,28 @@ impl Txn {
     /// On conflict the transaction is consumed and the caller receives
     /// [`XsError::Again`]; clients restart the transaction from scratch.
     pub fn commit(self, main: &mut Store) -> Result<Vec<XsPath>, XsError> {
-        for (path, gen0) in &self.touched {
-            if main.node_generation(path) != *gen0 {
+        for (&sym, gen0) in &self.touched {
+            if main.node_generation_sym(sym) != *gen0 {
                 return Err(XsError::Again);
             }
         }
         let mut fired = Vec::new();
         for op in self.write_log {
             match op {
-                WriteOp::Write(p, v) => {
-                    main.write(self.conn, &p, &v)?;
-                    fired.push(p);
+                WriteOp::Write(s, v) => {
+                    main.write_sym(self.conn, s, &v)?;
+                    fired.push(main.path_of(s));
                 }
-                WriteOp::Rm(p) => {
+                WriteOp::Rm(s) => {
                     // The subtree may already be gone if an earlier Rm in
                     // this same log removed an ancestor.
-                    match main.rm(self.conn, &p) {
-                        Ok(()) | Err(XsError::NotFound) => fired.push(p),
+                    match main.rm_sym(self.conn, s) {
+                        Ok(()) | Err(XsError::NotFound) => fired.push(main.path_of(s)),
                         Err(e) => return Err(e),
                     }
                 }
-                WriteOp::SetPerms(p, perms) => {
-                    main.set_perms(self.conn, &p, perms)?;
+                WriteOp::SetPerms(s, perms) => {
+                    main.set_perms_sym(self.conn, s, perms)?;
                 }
             }
         }

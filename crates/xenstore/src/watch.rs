@@ -7,8 +7,10 @@
 //! number of devices and guests in the system.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use crate::path::XsPath;
+use crate::sym::{Interner, XsSym};
 
 /// A delivered watch notification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,19 +18,26 @@ pub struct WatchEvent {
     /// The path that changed (or the watch path itself for the initial
     /// registration event).
     pub path: XsPath,
-    /// The token supplied at registration.
-    pub token: String,
+    /// The token supplied at registration (shared, not copied, across
+    /// the events of one watch).
+    pub token: Arc<str>,
 }
 
 /// The registry of watches plus per-connection pending event queues.
 ///
-/// Watches are indexed by watch path so a mutation only walks the
-/// mutated path's ancestor chain; the *charged* cost still counts every
-/// registered watch (what xenstored pays), reported via
-/// [`FireStats::checked`].
+/// Watches are keyed by interned path symbol: a mutation resolves its
+/// deepest interned ancestor once, then hops parent symbols with plain
+/// array indexing — no hashing below the first hit — and a fired event
+/// costs two refcount bumps (path + token) instead of two string
+/// clones. The *charged* cost still counts every registered watch (what
+/// xenstored pays), reported via [`FireStats::checked`].
 #[derive(Default, Debug)]
 pub struct WatchTable {
-    by_path: BTreeMap<XsPath, Vec<(u32, String)>>,
+    /// Symbols for registered watch paths (table-local, append-only).
+    interner: Interner,
+    /// Watch lists, indexed by symbol (dense; most slots are empty
+    /// ancestor entries).
+    by_sym: Vec<Vec<(u32, Arc<str>)>>,
     count: usize,
     pending: BTreeMap<u32, VecDeque<WatchEvent>>,
 }
@@ -55,28 +64,32 @@ impl WatchTable {
 
     /// Registers a watch. As in xenstored, an initial event for the watch
     /// path itself is queued immediately so the client can synchronise.
-    pub fn register(&mut self, conn: u32, path: XsPath, token: impl Into<String>) {
+    pub fn register(&mut self, conn: u32, path: XsPath, token: impl Into<Arc<str>>) {
         let token = token.into();
         self.pending.entry(conn).or_default().push_back(WatchEvent {
             path: path.clone(),
             token: token.clone(),
         });
-        self.by_path.entry(path).or_default().push((conn, token));
+        let sym = self.interner.intern(path.as_str());
+        if self.by_sym.len() < self.interner.len() {
+            self.by_sym.resize_with(self.interner.len(), Vec::new);
+        }
+        self.by_sym[sym.index()].push((conn, token));
         self.count += 1;
     }
 
     /// Unregisters a watch by (connection, path, token). Returns true if
     /// one was removed.
     pub fn unregister(&mut self, conn: u32, path: &XsPath, token: &str) -> bool {
-        let Some(list) = self.by_path.get_mut(path) else {
+        let Some(sym) = self.interner.resolve(path.as_str()) else {
+            return false;
+        };
+        let Some(list) = self.by_sym.get_mut(sym.index()) else {
             return false;
         };
         let before = list.len();
-        list.retain(|(c, t)| !(*c == conn && t == token));
+        list.retain(|(c, t)| !(*c == conn && &**t == token));
         let removed = before - list.len();
-        if list.is_empty() {
-            self.by_path.remove(path);
-        }
         self.count -= removed;
         removed > 0
     }
@@ -85,12 +98,11 @@ impl WatchTable {
     /// death).
     pub fn drop_conn(&mut self, conn: u32) {
         let mut removed = 0;
-        self.by_path.retain(|_, list| {
+        for list in &mut self.by_sym {
             let before = list.len();
             list.retain(|(c, _)| *c != conn);
             removed += before - list.len();
-            !list.is_empty()
-        });
+        }
         self.count -= removed;
         self.pending.remove(&conn);
     }
@@ -98,13 +110,25 @@ impl WatchTable {
     /// Records that `path` was mutated, queueing events for every watch
     /// on the path or one of its ancestors.
     ///
-    /// The ancestor chain is walked as borrowed slices of `path`
-    /// (`Borrow<str>` probes into the path index), so a mutation that
-    /// fires nothing allocates nothing.
+    /// Only the interner-missing suffix of the ancestor chain costs a
+    /// hash probe: the first ancestor the watch interner knows anchors a
+    /// parent-symbol hop straight down to the root (array indexing, no
+    /// string traffic). A mutation that fires nothing allocates nothing.
     pub fn note_mutation(&mut self, path: &XsPath) -> FireStats {
-        let mut fired = 0;
+        if self.count == 0 {
+            return FireStats { checked: 0, fired: 0 };
+        }
+        let mut anchor = XsSym::ROOT;
         for ancestor in path.ancestors() {
-            if let Some(list) = self.by_path.get(ancestor) {
+            if let Some(sym) = self.interner.resolve(ancestor) {
+                anchor = sym;
+                break;
+            }
+        }
+        let mut fired = 0;
+        let mut cur = anchor;
+        loop {
+            if let Some(list) = self.by_sym.get(cur.index()) {
                 for (conn, token) in list {
                     self.pending
                         .entry(*conn)
@@ -116,6 +140,10 @@ impl WatchTable {
                     fired += 1;
                 }
             }
+            if cur == XsSym::ROOT {
+                break;
+            }
+            cur = self.interner.parent(cur);
         }
         FireStats {
             checked: self.count,
@@ -173,7 +201,7 @@ mod tests {
         assert_eq!(t.pending_count(2), 0);
         let ev = t.take_events(1);
         assert_eq!(ev[0].path, p("/a/x"));
-        assert_eq!(ev[0].token, "a");
+        assert_eq!(&*ev[0].token, "a");
     }
 
     #[test]
@@ -193,6 +221,12 @@ mod tests {
         assert!(t.unregister(1, &p("/a"), "t"));
         assert!(!t.unregister(1, &p("/a"), "t"));
         assert_eq!(t.note_mutation(&p("/a/x")).fired, 0);
+    }
+
+    #[test]
+    fn unregister_of_never_watched_path_is_false() {
+        let mut t = WatchTable::new();
+        assert!(!t.unregister(1, &p("/never"), "t"));
     }
 
     #[test]

@@ -453,11 +453,16 @@ impl Xenstored {
             let p_any =
                 1.0 - (1.0 - self.ambient_interference).powi(txn.touched_nodes() as i32);
             if self.rng.chance(p_any) {
-                let candidates: Vec<XsPath> = txn
-                    .touched_paths()
-                    .filter(|p| self.store.exists(p))
-                    .cloned()
+                // Touched symbols come out of a hash map in arbitrary
+                // order; sort the materialised paths so the RNG draw
+                // below picks the same victim on every run (the old
+                // string-keyed map iterated in exactly this order).
+                let mut candidates: Vec<XsPath> = txn
+                    .touched_syms()
+                    .filter(|&s| self.store.exists_sym(s))
+                    .map(|s| self.store.path_of(s))
                     .collect();
+                candidates.sort_unstable();
                 if !candidates.is_empty() {
                     let victim = candidates[self.rng.index(candidates.len())].clone();
                     let value = self
