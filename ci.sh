@@ -2,9 +2,11 @@
 # CI gate: build everything, run the whole test suite, smoke-run the
 # hot-path microbenches, then regenerate all figures at quick scale
 # through the parallel runner. Fails if any expected artefact is
-# missing, or if runner throughput collapsed (>5x below the committed
+# missing, if runner throughput collapsed (>5x below the committed
 # baseline in results/bench_runner.json — a coarse band that only trips
-# on real regressions, not machine-to-machine noise).
+# on real regressions, not machine-to-machine noise), or if the density
+# hot path allocates again (deterministic allocs/event > 1.0; the
+# allocation-free request path landed at 0.432).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -57,5 +59,20 @@ if [ -s results/bench_runner.json ]; then
   fi
 else
   echo "ci: no committed baseline (results/bench_runner.json), skipping gate"
+fi
+
+echo "== allocation gate (density allocs/event) =="
+# The `allocs` binary replays the density hot path (200 guest creates
+# under xl, ~15 ms) with the counting global allocator installed. The
+# simulation is deterministic, so the count is exact and the band can
+# be tight and absolute: the allocation-free request-path work landed
+# at 0.432 allocs/event (results/bench_micro_pr3.md; 5.505 before it).
+# Crossing 1.0 means allocations came back on the request hot path.
+fresh_allocs=$(cargo run --release -p bench --bin allocs -- 200 \
+  | grep -m1 -o 'allocs_per_event: *[0-9.]*' | grep -o '[0-9.]*$')
+echo "density hot path: $fresh_allocs allocs/event (gate: <= 1.0)"
+if ! awk -v f="$fresh_allocs" 'BEGIN { exit !(f <= 1.0) }'; then
+  echo "ci: density hot path regressed above 1.0 allocs/event" >&2
+  exit 1
 fi
 echo "ci: OK"

@@ -1,36 +1,37 @@
 //! Criterion benches of the two data-structure hot paths behind the
 //! figure runner: the watch-table ancestor walk with 1,000 registered
 //! watches, and raw path lookup on a ~30,000-node store. Both paths are
-//! allocation-free after the `Borrow<str>`-based rewrite; these benches
+//! allocation-free in steady state after the symbol-native rewrite; these benches
 //! are the regression guard.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use xenstore::{Store, WatchTable, XsPath};
 
 fn bench_watch_fire(c: &mut Criterion) {
+    let s = Store::new();
     let mut t = WatchTable::new();
     for i in 0..1000u32 {
         let p = XsPath::parse(&format!("/local/domain/{i}/device")).unwrap();
-        t.register(i % 64, p, "tok");
+        t.register(&s, i % 64, s.sym(&p), "tok");
     }
     for conn in 0..64 {
-        t.take_events(conn); // drop the registration events
+        t.drain_events(conn); // drop the registration events
     }
-    let hit = XsPath::parse("/local/domain/500/device/vif/0/state").unwrap();
-    let miss = XsPath::parse("/local/domain/5000/backend/vif/0/state").unwrap();
+    let hit = s.sym(&XsPath::parse("/local/domain/500/device/vif/0/state").unwrap());
+    let miss = s.sym(&XsPath::parse("/local/domain/5000/backend/vif/0/state").unwrap());
     let hit_conn = 500 % 64;
 
     let mut group = c.benchmark_group("watch_1k");
     group.bench_function("fire", |b| {
         b.iter(|| {
-            let stats = t.note_mutation(black_box(&hit));
+            let stats = t.note_mutation_sym(&s, black_box(hit));
             // Drain the queued event so pending stays bounded.
-            t.take_events(hit_conn);
+            t.drain_events(hit_conn);
             black_box(stats.fired)
         })
     });
     group.bench_function("miss", |b| {
-        b.iter(|| black_box(t.note_mutation(black_box(&miss)).fired))
+        b.iter(|| black_box(t.note_mutation_sym(&s, black_box(miss)).fired))
     });
     group.finish();
 }

@@ -8,7 +8,10 @@
 //! 3. split-toolstack pool size vs creation latency;
 //! 4. bash hotplug vs xendevd in isolation;
 //! 5. transaction interference level vs conflict/retry rate;
-//! 6. page sharing (§9 future work) vs achievable density.
+//! 6. page sharing (§9 future work) vs achievable density;
+//! 7. cost-model sensitivity: ±20% on the five dominant calibrated
+//!    costs vs mean xl creation latency (how robust the reproduction's
+//!    conclusions are to calibration error).
 //!
 //! Each ablation is one work unit; results are emitted as summary series
 //! (x = the swept configuration value) plus metadata for the scalar
@@ -204,7 +207,44 @@ fn page_sharing_unit(scale: Scale) -> UnitSpec {
     })
 }
 
-/// The ablation suite as a registry figure: six units, one per ablation.
+fn sensitivity_unit(scale: Scale) -> UnitSpec {
+    let n = scale.scaled(200);
+    UnitSpec::new("cost-sensitivity", move || {
+        // One series per swept cost: x = scale factor on that single
+        // cost (all others at calibration), y = mean xl create latency.
+        // A reproduction conclusion that flips inside ±20% of one
+        // primitive would be resting on calibration, not mechanism.
+        let params: [(&str, fn(&mut CostModel, f64)); 5] = [
+            ("xl_internal", |c, f| c.xl_internal = c.xl_internal.scale(f)),
+            ("xl_qemu_spawn", |c, f| c.xl_qemu_spawn = c.xl_qemu_spawn.scale(f)),
+            ("hotplug_bash", |c, f| c.hotplug_bash = c.hotplug_bash.scale(f)),
+            ("mem_prep_per_mib", |c, f| {
+                c.mem_prep_per_mib = c.mem_prep_per_mib.scale(f)
+            }),
+            ("xs_watch_fire", |c, f| c.xs_watch_fire = c.xs_watch_fire.scale(f)),
+        ];
+        let img = GuestImage::unikernel_daytime();
+        let mut out = UnitOutput::new();
+        for (name, tweak) in params {
+            let mut s = Series::new(format!("sensitivity: {name} mean create (ms)"));
+            for factor in [0.8, 1.0, 1.2] {
+                let mut m = machine();
+                tweak(&mut m.cost, factor);
+                let mut cp = ControlPlane::new(m, 1, ToolstackMode::Xl, 42);
+                let times = sweep_creates(&mut cp, &img, n);
+                let sum = Summary::of(&times).unwrap();
+                s.push(factor, sum.mean);
+                let per = UnitOutput::from_plane(&cp);
+                out.events += per.events;
+                out.virtual_ms += times.iter().sum::<f64>();
+            }
+            out.series.push(s);
+        }
+        out
+    })
+}
+
+/// The ablation suite as a registry figure: seven units, one per ablation.
 pub fn spec(scale: Scale) -> FigureSpec {
     FigureSpec {
         id: "ablations",
@@ -220,6 +260,7 @@ pub fn spec(scale: Scale) -> FigureSpec {
             hotplug_unit(scale),
             interference_unit(scale),
             page_sharing_unit(scale),
+            sensitivity_unit(scale),
         ],
     }
 }

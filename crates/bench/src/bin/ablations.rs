@@ -1,5 +1,5 @@
 //! Thin wrapper over the `ablations` registry figure (see
-//! `bench::ablations`): runs the six ablation units sequentially and
+//! `bench::ablations`): runs the seven ablation units sequentially and
 //! writes `ablations.{json,csv}`. `runall` runs the same units on its
 //! thread pool alongside the paper figures.
 

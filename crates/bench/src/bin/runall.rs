@@ -20,8 +20,14 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use bench::alloc::CountingAlloc;
 use bench::figures::{all_specs, Scale};
 use bench::runner;
+
+// Counting the run's allocations is how the report's `allocs_per_event`
+// stays honest; the wrapper adds one thread-local increment per call.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// `println!` panics if stdout closes early (`runall --list | head`);
 /// progress lines are best-effort, so swallow the broken pipe instead.
@@ -140,12 +146,15 @@ fn main() -> ExitCode {
         }
     }
     say!(
-        "# wall {:.1} ms, unit wall {:.1} ms, speedup {:.2}x, {} events, {:.0} events/sec aggregate",
+        "# wall {:.1} ms, unit wall {:.1} ms, speedup {:.2}x ({} of {} cores), {} events, {:.0} events/sec aggregate, {:.3} allocs/event",
         report.wall_ms,
         report.total_unit_wall_ms(),
         report.speedup(),
+        report.jobs,
+        report.host_cores,
         report.total_events(),
-        report.aggregate_events_per_sec()
+        report.aggregate_events_per_sec(),
+        report.allocs_per_event()
     );
 
     if failed {

@@ -2,6 +2,7 @@
 //! registry ([`figures`]) and the parallel runner ([`runner`]).
 
 pub mod ablations;
+pub mod alloc;
 pub mod figures;
 pub mod runner;
 

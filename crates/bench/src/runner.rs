@@ -45,7 +45,7 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
     let jobs = jobs.max(1).min(n_units.max(1));
     let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> UnitOutput + Send>>>> =
         work.into_iter().map(|w| Mutex::new(Some(w))).collect();
-    let results: Vec<Mutex<Option<(UnitOutput, f64)>>> =
+    let results: Vec<Mutex<Option<(UnitOutput, f64, u64)>>> =
         (0..n_units).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
@@ -61,10 +61,15 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
                     .expect("slot lock")
                     .take()
                     .expect("unit claimed once");
+                // Allocation counting is per thread, and a unit runs
+                // entirely on the thread that claimed it, so the delta
+                // is the unit's own count even under parallel workers.
+                let a0 = crate::alloc::thread_allocs();
                 let t0 = Instant::now();
                 let out = unit();
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                *results[i].lock().expect("result lock") = Some((out, wall_ms));
+                let allocs = crate::alloc::thread_allocs() - a0;
+                *results[i].lock().expect("result lock") = Some((out, wall_ms, allocs));
             });
         }
     });
@@ -73,13 +78,14 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
     let mut outputs: Vec<Vec<UnitOutput>> = heads.iter().map(|_| Vec::new()).collect();
     let mut perf = Vec::with_capacity(n_units);
     for (slot, (fi, label)) in results.into_iter().zip(unit_ids) {
-        let (out, wall_ms) = slot
+        let (out, wall_ms, allocs) = slot
             .into_inner()
             .expect("result lock")
             .expect("every unit ran");
         perf.push(
             UnitPerf::new(heads[fi].id, label, wall_ms, out.virtual_ms, out.events)
-                .with_queue_stats(out.peak_queue_depth as u64, out.events_scheduled),
+                .with_queue_stats(out.peak_queue_depth as u64, out.events_scheduled)
+                .with_allocs(allocs),
         );
         outputs[fi].push(out);
     }
@@ -95,6 +101,8 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
 
     let report = RunnerReport {
         jobs,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        alloc_counting: crate::alloc::counting_installed(),
         quick,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         units: perf,

@@ -46,6 +46,19 @@ impl XenbusState {
         })
     }
 
+    /// The store encoding as a static string — what [`fmt::Display`]
+    /// prints, without allocating.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            XenbusState::Initialising => "1",
+            XenbusState::InitWait => "2",
+            XenbusState::Initialised => "3",
+            XenbusState::Connected => "4",
+            XenbusState::Closing => "5",
+            XenbusState::Closed => "6",
+        }
+    }
+
     /// Whether `next` is a legal successor in the handshake.
     pub fn can_transition_to(self, next: XenbusState) -> bool {
         use XenbusState::*;
@@ -65,7 +78,7 @@ impl XenbusState {
 
 impl fmt::Display for XenbusState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_num())
+        f.write_str(self.as_str())
     }
 }
 

@@ -13,10 +13,11 @@
 //! activation and the transactional writes are the load the paper
 //! measures in Figure 5's "xenstore" band.
 
+use std::sync::Arc;
+
 use hypervisor::{DeviceKind, DomId, Hypervisor};
 use simcore::{CostModel, Meter};
-use xenstore::path::layout;
-use xenstore::{XsError, XsPath, Xenstored};
+use xenstore::{u32_str, WatchEvent, XsError, Xenstored};
 
 use crate::backend::{Backend, DevError};
 use crate::hotplug::Hotplug;
@@ -57,10 +58,12 @@ pub fn register_backend_watch(
     meter: &mut Meter,
     kind: DeviceKind,
 ) {
-    let path = XsPath::parse(&format!("/local/domain/0/backend/{}", kind.as_str()))
-        .expect("static path");
-    xs.watch(cost, meter, 0, &path, BACKEND_TOKEN);
-    let _ = xs.take_events(cost, meter, 0); // drain the registration event
+    // /local/domain/0/backend/<kind>, composed without string formatting.
+    let backend = xs.child_sym(xs.domain_dir_sym(0), "backend");
+    let class = xs.child_sym(backend, kind.as_str());
+    let token: Arc<str> = Arc::from(BACKEND_TOKEN);
+    xs.watch_s(cost, meter, 0, class, &token);
+    xs.drain_events(cost, meter, 0); // drain the registration event
 }
 
 /// Step 1: the toolstack announces the device by writing the front-end
@@ -74,42 +77,37 @@ pub fn toolstack_announce_device(
     devid: u32,
     mac: &str,
 ) -> Result<(), XsDevError> {
-    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
-    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
-    let mac = mac.to_string();
+    // All path skeletons are composed (and interned at most once) up
+    // front; transaction retries then run allocation-free.
+    let fe = xs.frontend_dir_sym(dom.0, kind.as_str(), devid);
+    let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
+    let fe_backend = xs.child_sym(fe, "backend");
+    let fe_backend_id = xs.child_sym(fe, "backend-id");
+    let fe_handle = xs.child_sym(fe, "handle");
+    let fe_state = xs.child_sym(fe, "state");
+    let be_frontend = xs.child_sym(be, "frontend");
+    let be_frontend_id = xs.child_sym(be, "frontend-id");
+    let be_mac = xs.child_sym(be, "mac");
+    let be_online = xs.child_sym(be, "online");
+    let be_state = xs.child_sym(be, "state");
+    let fe_path = xs.path_of(fe);
+    let be_path = xs.path_of(be);
+    let mut devid_buf = [0u8; 10];
+    let devid_s = u32_str(&mut devid_buf, devid);
+    let mut dom_buf = [0u8; 10];
+    let dom_s = u32_str(&mut dom_buf, dom.0);
     xs.transaction(cost, meter, 0, TXN_RETRIES, |xs, cost, meter, id| {
         // Front-end side.
-        xs.txn_write(cost, meter, 0, id, &fe.child("backend").expect("valid"), be.as_str().as_bytes())?;
-        xs.txn_write(cost, meter, 0, id, &fe.child("backend-id").expect("valid"), b"0")?;
-        xs.txn_write(cost, meter, 0, id, &fe.child("handle").expect("valid"), devid.to_string().as_bytes())?;
-        xs.txn_write(
-            cost,
-            meter,
-            0,
-            id,
-            &fe.child("state").expect("valid"),
-            XenbusState::Initialising.to_string().as_bytes(),
-        )?;
+        xs.txn_write_s(cost, meter, 0, id, fe_backend, be_path.as_str().as_bytes())?;
+        xs.txn_write_s(cost, meter, 0, id, fe_backend_id, b"0")?;
+        xs.txn_write_s(cost, meter, 0, id, fe_handle, devid_s.as_bytes())?;
+        xs.txn_write_s(cost, meter, 0, id, fe_state, XenbusState::Initialising.as_str().as_bytes())?;
         // Back-end side.
-        xs.txn_write(cost, meter, 0, id, &be.child("frontend").expect("valid"), fe.as_str().as_bytes())?;
-        xs.txn_write(
-            cost,
-            meter,
-            0,
-            id,
-            &be.child("frontend-id").expect("valid"),
-            dom.0.to_string().as_bytes(),
-        )?;
-        xs.txn_write(cost, meter, 0, id, &be.child("mac").expect("valid"), mac.as_bytes())?;
-        xs.txn_write(cost, meter, 0, id, &be.child("online").expect("valid"), b"1")?;
-        xs.txn_write(
-            cost,
-            meter,
-            0,
-            id,
-            &be.child("state").expect("valid"),
-            XenbusState::Initialising.to_string().as_bytes(),
-        )
+        xs.txn_write_s(cost, meter, 0, id, be_frontend, fe_path.as_str().as_bytes())?;
+        xs.txn_write_s(cost, meter, 0, id, be_frontend_id, dom_s.as_bytes())?;
+        xs.txn_write_s(cost, meter, 0, id, be_mac, mac.as_bytes())?;
+        xs.txn_write_s(cost, meter, 0, id, be_online, b"1")?;
+        xs.txn_write_s(cost, meter, 0, id, be_state, XenbusState::Initialising.as_str().as_bytes())
     })?;
     // Hand the front-end directory to the guest (libxl sets permissions
     // so the guest can update its own `state` node).
@@ -118,8 +116,8 @@ pub fn toolstack_announce_device(
         others_read: true,
         others_write: false,
     };
-    xs.set_perms(cost, meter, 0, &fe, guest_owned)?;
-    xs.set_perms(cost, meter, 0, &fe.child("state").expect("valid"), guest_owned)?;
+    xs.set_perms_s(cost, meter, 0, fe, guest_owned)?;
+    xs.set_perms_s(cost, meter, 0, fe_state, guest_owned)?;
     Ok(())
 }
 
@@ -130,6 +128,10 @@ pub fn toolstack_announce_device(
 /// All back-ends share Dom0's connection, so events are dispatched by
 /// the device-class component of the path; stale events for nodes that
 /// have since been removed are skipped, as xenbus drivers do.
+///
+/// Events are delivered through the caller's `events` scratch buffer, so
+/// steady-state processing allocates nothing.
+#[allow(clippy::too_many_arguments)]
 pub fn backend_process_events(
     xs: &mut Xenstored,
     hv: &mut Hypervisor,
@@ -138,10 +140,11 @@ pub fn backend_process_events(
     hotplug: Hotplug,
     cost: &CostModel,
     meter: &mut Meter,
+    events: &mut Vec<WatchEvent>,
 ) -> Result<usize, XsDevError> {
-    let events = xs.take_events(cost, meter, 0);
+    xs.take_events_into(cost, meter, 0, events);
     let mut handled = 0;
-    for ev in events {
+    for ev in events.iter() {
         if &*ev.token != BACKEND_TOKEN {
             continue;
         }
@@ -150,50 +153,39 @@ pub fn backend_process_events(
         if ev.path.depth() != 8 || ev.path.last_component() != Some("state") {
             continue;
         }
-        let comps: Vec<&str> = ev.path.components().collect();
+        let mut comps = ev.path.components();
+        let kind_name = comps.nth(4).unwrap_or("");
+        let dom_name = comps.next().unwrap_or("");
+        let devid_name = comps.next().unwrap_or("");
         let state_raw = match xs.read(cost, meter, 0, &ev.path) {
             Ok(v) => v,
             // Stale event: the node was removed after the event fired.
             Err(XsError::NotFound) => continue,
             Err(e) => return Err(e.into()),
         };
-        if state_raw != XenbusState::Initialising.to_string().as_bytes() {
+        if &*state_raw != XenbusState::Initialising.as_str().as_bytes() {
             continue;
         }
-        let backend = match backends.iter_mut().find(|b| b.kind().as_str() == comps[4]) {
+        let backend = match backends.iter_mut().find(|b| b.kind().as_str() == kind_name) {
             Some(b) => b,
             None => continue, // a class nobody serves
         };
-        let dom = DomId(comps[5].parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?);
-        let devid: u32 = comps[6].parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?;
+        let dom = DomId(dom_name.parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?);
+        let devid: u32 = devid_name.parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?;
         let kind = backend.kind();
         let (port, grant) = match backend.alloc_device(hv, cost, meter, dom, devid) {
             Ok(x) => x,
             Err(DevError::Exists) => continue, // re-delivered watch
             Err(e) => return Err(e.into()),
         };
-        let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
-        xs.write(
-            cost,
-            meter,
-            0,
-            &be.child("event-channel").expect("valid"),
-            port.0.to_string().as_bytes(),
-        )?;
-        xs.write(
-            cost,
-            meter,
-            0,
-            &be.child("grant-ref").expect("valid"),
-            grant.0.to_string().as_bytes(),
-        )?;
-        xs.write(
-            cost,
-            meter,
-            0,
-            &be.child("state").expect("valid"),
-            XenbusState::InitWait.to_string().as_bytes(),
-        )?;
+        let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
+        let be_evtchn = xs.child_sym(be, "event-channel");
+        let be_grant = xs.child_sym(be, "grant-ref");
+        let be_state = xs.child_sym(be, "state");
+        let mut buf = [0u8; 10];
+        xs.write_s(cost, meter, 0, be_evtchn, u32_str(&mut buf, port.0).as_bytes())?;
+        xs.write_s(cost, meter, 0, be_grant, u32_str(&mut buf, grant.0).as_bytes())?;
+        xs.write_s(cost, meter, 0, be_state, XenbusState::InitWait.as_str().as_bytes())?;
         if kind == DeviceKind::Net {
             hotplug
                 .plug_vif(cost, meter, switch, dom, devid)
@@ -218,29 +210,23 @@ pub fn frontend_connect_via_xenstore(
     devid: u32,
 ) -> Result<(), XsDevError> {
     let kind = backend.kind();
-    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
-    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
+    let fe = xs.frontend_dir_sym(dom.0, kind.as_str(), devid);
+    let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
     // Guest reads its front-end dir to find the backend, then the
     // back-end's published parameters.
-    let _backend_path = xs.read(cost, meter, dom.0, &fe.child("backend").expect("valid"))?;
-    let _port = xs.read(cost, meter, dom.0, &be.child("event-channel").expect("valid"))?;
-    let _gref = xs.read(cost, meter, dom.0, &be.child("grant-ref").expect("valid"))?;
-    let _mac = xs.read(cost, meter, dom.0, &be.child("mac").expect("valid"))?;
+    let fe_backend = xs.child_sym(fe, "backend");
+    let be_evtchn = xs.child_sym(be, "event-channel");
+    let be_grant = xs.child_sym(be, "grant-ref");
+    let be_mac = xs.child_sym(be, "mac");
+    let fe_state = xs.child_sym(fe, "state");
+    let be_state = xs.child_sym(be, "state");
+    let _backend_path = xs.read_s(cost, meter, dom.0, fe_backend)?;
+    let _port = xs.read_s(cost, meter, dom.0, be_evtchn)?;
+    let _gref = xs.read_s(cost, meter, dom.0, be_grant)?;
+    let _mac = xs.read_s(cost, meter, dom.0, be_mac)?;
     backend.frontend_connect(hv, cost, meter, dom, devid)?;
-    xs.write(
-        cost,
-        meter,
-        dom.0,
-        &fe.child("state").expect("valid"),
-        XenbusState::Connected.to_string().as_bytes(),
-    )?;
-    xs.write(
-        cost,
-        meter,
-        0,
-        &be.child("state").expect("valid"),
-        XenbusState::Connected.to_string().as_bytes(),
-    )?;
+    xs.write_s(cost, meter, dom.0, fe_state, XenbusState::Connected.as_str().as_bytes())?;
+    xs.write_s(cost, meter, 0, be_state, XenbusState::Connected.as_str().as_bytes())?;
     Ok(())
 }
 
@@ -262,13 +248,14 @@ pub fn destroy_device_via_xenstore(
     if kind == DeviceKind::Net {
         let _ = hotplug.unplug_vif(cost, meter, switch, dom, devid);
     }
-    let fe = layout::frontend_dir(dom.0, kind.as_str(), devid);
-    let be = layout::backend_dir(0, kind.as_str(), dom.0, devid);
-    let _ = xs.rm(cost, meter, 0, &fe);
+    let fe = xs.frontend_dir_sym(dom.0, kind.as_str(), devid);
+    let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
+    let _ = xs.rm_s(cost, meter, 0, fe);
     // libxl removes the guest's whole per-domain backend directory, not
     // just the devid node (otherwise `/backend/<kind>/<domid>` dirs
     // accumulate forever).
-    let _ = xs.rm(cost, meter, 0, &be.parent());
+    let be_domain_dir = xs.parent_sym(be);
+    let _ = xs.rm_s(cost, meter, 0, be_domain_dir);
     Ok(())
 }
 
@@ -276,6 +263,7 @@ pub fn destroy_device_via_xenstore(
 mod tests {
     use super::*;
     use hypervisor::DomainConfig;
+    use xenstore::path::layout;
     use simcore::Category;
     use xenstore::Flavor;
 
@@ -315,7 +303,7 @@ mod tests {
             .unwrap();
         let handled = backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(handled, 1);
@@ -345,14 +333,14 @@ mod tests {
             .unwrap();
         backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
         )
         .unwrap();
         // The backend's own state write re-fires its watch; processing
         // again must not allocate a second device.
         let handled = backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
         )
         .unwrap();
         assert_eq!(handled, 0);
@@ -367,7 +355,7 @@ mod tests {
             .unwrap();
         backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
         )
         .unwrap();
         frontend_connect_via_xenstore(&mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0)

@@ -32,6 +32,10 @@ pub struct UnitPerf {
     pub peak_queue_depth: u64,
     /// Events the unit scheduled on its engine (0 likewise).
     pub events_scheduled: u64,
+    /// Host heap allocations made while the unit ran (0 when the
+    /// counting allocator is not installed — see
+    /// [`RunnerReport::alloc_counting`]).
+    pub allocs: u64,
 }
 
 impl UnitPerf {
@@ -57,6 +61,7 @@ impl UnitPerf {
             events_per_sec,
             peak_queue_depth: 0,
             events_scheduled: 0,
+            allocs: 0,
         }
     }
 
@@ -65,6 +70,21 @@ impl UnitPerf {
         self.peak_queue_depth = peak_queue_depth;
         self.events_scheduled = events_scheduled;
         self
+    }
+
+    /// Attaches the unit's host allocation count.
+    pub fn with_allocs(mut self, allocs: u64) -> UnitPerf {
+        self.allocs = allocs;
+        self
+    }
+
+    /// `allocs / events` (0 when the unit counted no events).
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.allocs as f64 / self.events as f64
+        } else {
+            0.0
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -86,6 +106,11 @@ impl UnitPerf {
                 "events_scheduled".to_string(),
                 Json::Num(self.events_scheduled as f64),
             ),
+            ("allocs".to_string(), Json::Num(self.allocs as f64)),
+            (
+                "allocs_per_event".to_string(),
+                Json::Num(round3(self.allocs_per_event())),
+            ),
         ])
     }
 }
@@ -93,8 +118,16 @@ impl UnitPerf {
 /// A whole runner invocation: configuration, totals and per-unit rows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunnerReport {
-    /// Worker threads used.
+    /// Worker threads actually used (requested jobs clamped to the
+    /// number of work units).
     pub jobs: usize,
+    /// Logical cores available on the host that produced the report —
+    /// context for comparing `speedup` across machines.
+    pub host_cores: usize,
+    /// Whether the counting global allocator was installed, i.e.
+    /// whether `allocs` fields measure anything (a zero with counting
+    /// off means "unmeasured", not "allocation-free").
+    pub alloc_counting: bool,
     /// Whether the reduced-scale (`LIGHTVM_QUICK`) profile was active.
     pub quick: bool,
     /// End-to-end wall-clock of the whole run, in milliseconds.
@@ -114,6 +147,21 @@ impl RunnerReport {
     /// Total events across units.
     pub fn total_events(&self) -> u64 {
         self.units.iter().map(|u| u.events).sum()
+    }
+
+    /// Total host allocations across units (0 when counting was off).
+    pub fn total_allocs(&self) -> u64 {
+        self.units.iter().map(|u| u.allocs).sum()
+    }
+
+    /// Aggregate `allocs / events` across every unit.
+    pub fn allocs_per_event(&self) -> f64 {
+        let events = self.total_events();
+        if events > 0 {
+            self.total_allocs() as f64 / events as f64
+        } else {
+            0.0
+        }
     }
 
     /// Aggregate throughput: total events over summed unit wall-clock.
@@ -140,6 +188,11 @@ impl RunnerReport {
     pub fn to_json(&self) -> String {
         Json::obj([
             ("jobs".to_string(), Json::Num(self.jobs as f64)),
+            ("host_cores".to_string(), Json::Num(self.host_cores as f64)),
+            (
+                "alloc_counting".to_string(),
+                Json::Bool(self.alloc_counting),
+            ),
             ("quick".to_string(), Json::Bool(self.quick)),
             ("wall_ms".to_string(), Json::Num(round3(self.wall_ms))),
             (
@@ -155,6 +208,14 @@ impl RunnerReport {
                 Json::Num(round3(self.aggregate_events_per_sec())),
             ),
             ("speedup".to_string(), Json::Num(round3(self.speedup()))),
+            (
+                "total_allocs".to_string(),
+                Json::Num(self.total_allocs() as f64),
+            ),
+            (
+                "allocs_per_event".to_string(),
+                Json::Num(round3(self.allocs_per_event())),
+            ),
             (
                 "units".to_string(),
                 Json::Arr(self.units.iter().map(UnitPerf::to_json).collect()),
@@ -190,14 +251,18 @@ mod tests {
     fn totals_aggregate_over_units() {
         let r = RunnerReport {
             jobs: 4,
+            host_cores: 8,
+            alloc_counting: true,
             quick: true,
             wall_ms: 100.0,
             units: vec![
-                UnitPerf::new("a", "u1", 100.0, 0.0, 300),
-                UnitPerf::new("a", "u2", 200.0, 0.0, 600),
+                UnitPerf::new("a", "u1", 100.0, 0.0, 300).with_allocs(30),
+                UnitPerf::new("a", "u2", 200.0, 0.0, 600).with_allocs(60),
             ],
         };
         assert_eq!(r.total_events(), 900);
+        assert_eq!(r.total_allocs(), 90);
+        assert!((r.allocs_per_event() - 0.1).abs() < 1e-9);
         assert!((r.total_unit_wall_ms() - 300.0).abs() < 1e-9);
         assert!((r.speedup() - 3.0).abs() < 1e-9);
         assert!((r.aggregate_events_per_sec() - 3000.0).abs() < 1e-9);
@@ -207,6 +272,8 @@ mod tests {
     fn report_json_mentions_every_unit() {
         let r = RunnerReport {
             jobs: 1,
+            host_cores: 4,
+            alloc_counting: false,
             quick: false,
             wall_ms: 1.0,
             units: vec![UnitPerf::new("fig04", "debian", 1.0, 2.0, 3)],
@@ -217,6 +284,16 @@ mod tests {
         assert!(js.contains("\"events_per_sec\""));
         assert!(js.contains("\"peak_queue_depth\""));
         assert!(js.contains("\"events_scheduled\""));
+        assert!(js.contains("\"host_cores\": 4"));
+        assert!(js.contains("\"alloc_counting\": false"));
+        assert!(js.contains("\"total_allocs\""));
+        assert!(js.contains("\"allocs_per_event\""));
         crate::json::Json::parse(&js).expect("report JSON parses");
+    }
+
+    #[test]
+    fn allocs_per_event_handles_zero_events() {
+        let u = UnitPerf::new("a", "u", 1.0, 0.0, 0).with_allocs(5);
+        assert_eq!(u.allocs_per_event(), 0.0);
     }
 }

@@ -149,10 +149,61 @@ impl VmConfig {
         })
     }
 
-    /// Size in bytes of the serialised config (parse-cost accounting).
+    /// Size in bytes of the serialised config (parse-cost accounting),
+    /// computed arithmetically — byte-for-byte equal to
+    /// `self.to_text().len()` without building any string.
     pub fn text_len(&self) -> usize {
-        self.to_text().len()
+        let mut len = 0;
+        len += 8 + self.name.len() + 2; // name = "<name>"\n
+        len += 10 + self.kernel.len() + 2; // kernel = "<kernel>"\n
+        len += 9 + u64_digits(self.memory_mib) + 1; // memory = <n>\n
+        len += 8 + u64_digits(self.vcpus as u64) + 1; // vcpus = <n>\n
+        if !self.vifs.is_empty() {
+            len += 8 + quote_list_len(&self.vifs) + 3; // vif = [ <list> ]\n
+        }
+        if !self.disks.is_empty() {
+            len += 9 + quote_list_len(&self.disks) + 3; // disk = [ <list> ]\n
+        }
+        len
     }
+
+    /// [`VmConfig::text_len`] for the config [`VmConfig::for_image`]
+    /// would build, without constructing it: the create path only needs
+    /// the serialised size for parse-cost accounting, so the six strings
+    /// `for_image` allocates would be thrown away immediately.
+    pub fn text_len_for_image(name: &str, image: &GuestImage) -> usize {
+        let kernel_len = 8 + image.name.len() + 4; // /images/<img>.bin
+        let mut len = 0;
+        len += 8 + name.len() + 2;
+        len += 10 + kernel_len + 2;
+        len += 9 + u64_digits(image.mem_mib) + 1;
+        len += 8 + 1 + 1; // vcpus = 1\n
+        if image.needs_net {
+            len += 8 + (2 + "bridge=xenbr0".len()) + 3;
+        }
+        if image.needs_block {
+            // "file:/images/<img>.img,xvda,w" plus quotes.
+            len += 9 + (2 + 13 + image.name.len() + 11) + 3;
+        }
+        len
+    }
+}
+
+/// Decimal digit count of `n` (what `format!("{n}")` would produce).
+fn u64_digits(n: u64) -> usize {
+    let mut digits = 1;
+    let mut v = n;
+    while v >= 10 {
+        digits += 1;
+        v /= 10;
+    }
+    digits
+}
+
+/// Byte length of [`quote_list`]'s output, without building it.
+fn quote_list_len(items: &[String]) -> usize {
+    let quoted: usize = items.iter().map(|s| s.len() + 2).sum();
+    quoted + 2 * items.len().saturating_sub(1)
 }
 
 fn quote_list(items: &[String]) -> String {
@@ -287,6 +338,31 @@ disk = [ "file:/images/root.img,xvda,w" ]
         let cfg =
             VmConfig::parse("name = \"a\"\nkernel = \"/k\"\nmemory = 4\nvif = [ ]\n").unwrap();
         assert!(cfg.vifs.is_empty());
+    }
+
+    #[test]
+    fn text_len_matches_serialised_length_exactly() {
+        // The charge model depends on text_len == to_text().len(); any
+        // drift here silently changes Figure 5 cost accounting.
+        let images = [
+            GuestImage::unikernel_noop(),
+            GuestImage::unikernel_daytime(),
+            GuestImage::unikernel_minipython(),
+            GuestImage::tinyx_noop(),
+            GuestImage::debian(),
+        ];
+        for img in &images {
+            for name in ["g", "guest-123", "a-rather-long-guest-name-0001"] {
+                let cfg = VmConfig::for_image(name, img);
+                assert_eq!(cfg.text_len(), cfg.to_text().len(), "{name}/{}", img.name);
+                assert_eq!(
+                    VmConfig::text_len_for_image(name, img),
+                    cfg.to_text().len(),
+                    "{name}/{}",
+                    img.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,6 @@ use lvnet::Link;
 use noxs::checkpoint as noxs_ckpt;
 use noxs::migrate::{self as noxs_migrate, MigrationEndpoint};
 use simcore::{Category, Meter, SimTime};
-use xenstore::path::layout;
 
 use devices::{xsdev, Backend};
 
@@ -48,13 +47,8 @@ impl ControlPlane {
 
         if self.mode.uses_xenstore() {
             // Suspend request via control/shutdown + watch wait.
-            self.xs.write(
-                &cost,
-                &mut meter,
-                0,
-                &layout::control_shutdown(dom.0),
-                b"suspend",
-            )?;
+            let cs = self.xs.control_shutdown_sym(dom.0);
+            self.xs.write_s(&cost, &mut meter, 0, cs, b"suspend")?;
             let wait = match self.mode {
                 ToolstackMode::Xl => cost.xl_suspend_wait,
                 _ => cost.xl_suspend_wait.scale(0.45),
@@ -235,13 +229,8 @@ impl ControlPlane {
         // Connect to the remote daemon, ship the config.
         meter.charge(Category::Other, link.tcp_handshake() + link.transfer_time(2048));
         // Suspend at the source.
-        self.xs.write(
-            &cost,
-            &mut meter,
-            0,
-            &layout::control_shutdown(dom.0),
-            b"suspend",
-        )?;
+        let cs = self.xs.control_shutdown_sym(dom.0);
+        self.xs.write_s(&cost, &mut meter, 0, cs, b"suspend")?;
         let wait = match self.mode {
             ToolstackMode::Xl => cost.xl_suspend_wait,
             _ => cost.xl_suspend_wait.scale(0.45),
@@ -320,8 +309,10 @@ impl ControlPlane {
                 self.mode.hotplug(), cost, meter, dom, 0,
             );
         }
-        let _ = self.xs.rm(cost, meter, 0, &layout::domain_dir(dom.0));
-        let _ = self.xs.rm(cost, meter, 0, &layout::vm_dir(dom.0));
+        let d = self.xs.domain_dir_sym(dom.0);
+        let _ = self.xs.rm_s(cost, meter, 0, d);
+        let v = self.xs.vm_dir_sym(dom.0);
+        let _ = self.xs.rm_s(cost, meter, 0, v);
         self.xs.disconnect(dom.0);
     }
 

@@ -10,14 +10,14 @@
 //! | `LightVm`       | noxs     | chaos     | xendevd  | yes  |
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use devices::{xsdev, Backend, Hotplug, SoftwareSwitch};
 use guests::GuestImage;
 use hypervisor::{DeviceKind, DomId, DomainConfig, Hypervisor, HvError};
 use noxs::{driver as noxs_driver, SysctlBackend};
 use simcore::{Category, CostModel, CpuSim, Machine, Meter, SimRng, SimTime, TaskId};
-use xenstore::path::layout;
-use xenstore::{Flavor, XsError, Xenstored};
+use xenstore::{u32_str, Flavor, WatchEvent, XsError, XsSym, Xenstored};
 
 use crate::config::VmConfig;
 use crate::split::{ChaosDaemon, VmShell};
@@ -204,6 +204,14 @@ pub struct ControlPlane {
     /// already-running image share this fraction of their pages.
     page_sharing: Option<f64>,
     pub(crate) image_instances: std::collections::HashMap<String, usize>,
+    /// Scratch buffer for backend watch-event processing (reused across
+    /// every create/destroy; zero allocations in steady state).
+    xs_events: Vec<WatchEvent>,
+    /// Cached front-end watch tokens ("fe-0", "fe-1", ...): registering a
+    /// guest's watches shares these instead of formatting new strings.
+    fe_tokens: Vec<Arc<str>>,
+    /// Scratch buffer for directory listings (xl's unique-name check).
+    dir_scratch: Vec<XsSym>,
 }
 
 impl ControlPlane {
@@ -240,6 +248,9 @@ impl ControlPlane {
             created_total: 0,
             page_sharing: None,
             image_instances: std::collections::HashMap::new(),
+            xs_events: Vec::new(),
+            fe_tokens: Vec::new(),
+            dir_scratch: Vec::new(),
             machine,
         }
         .finish_init()
@@ -347,12 +358,14 @@ impl ControlPlane {
     pub fn create_vm(&mut self, name: &str, image: &GuestImage) -> Result<CreateReport, PlaneError> {
         let cost = self.cost();
         let mut meter = Meter::new();
-        let config = VmConfig::for_image(name, image);
 
-        // Config parsing (all modes; chaos parses the same format).
+        // Config parsing (all modes; chaos parses the same format). Only
+        // the serialised size matters for the charge, computed without
+        // materialising the config text.
+        let config_len = VmConfig::text_len_for_image(name, image);
         meter.charge(
             Category::Config,
-            cost.config_parse_base + cost.config_parse_per_byte * config.text_len() as u64,
+            cost.config_parse_base + cost.config_parse_per_byte * config_len as u64,
         );
 
         // Toolstack-internal state keeping.
@@ -552,15 +565,19 @@ impl ControlPlane {
             // the split toolstack still pays the store for VM-specific
             // records (why chaos [XS+split] grows to ~25 ms at 1,000
             // guests while chaos [NoXS] does not).
-            let d = layout::domain_dir(dom.0);
-            let name_owned = name.to_string();
+            let d = self.xs.domain_dir_sym(dom.0);
+            let d_name = self.xs.child_sym(d, "name");
+            let d_image = self.xs.child_sym(d, "image");
+            let d_mem_target = self.xs.child_sym(self.xs.child_sym(d, "memory"), "target");
+            let d_con_ring = self.xs.child_sym(self.xs.child_sym(d, "console"), "ring-ref");
+            let d_devinit = self.xs.child_sym(d, "device-init");
             self.xs
                 .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
-                    xs.txn_write(cost, meter, 0, id, &d.child("name").expect("ok"), name_owned.as_bytes())?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("image").expect("ok"), b"kernel")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("target").expect("ok"), b"mem")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("ring-ref").expect("ok"), b"1")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("device-init").expect("ok"), b"done")
+                    xs.txn_write_s(cost, meter, 0, id, d_name, name.as_bytes())?;
+                    xs.txn_write_s(cost, meter, 0, id, d_image, b"kernel")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_mem_target, b"mem")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_con_ring, b"1")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_devinit, b"done")
                 })?;
         } else {
             // Finalise device initialisation over the control pages.
@@ -579,20 +596,31 @@ impl ControlPlane {
         meter: &mut Meter,
         name: &str,
     ) -> Result<(), PlaneError> {
-        let dir = xenstore::XsPath::parse("/local/domain").expect("static");
-        let entries = match self.xs.directory(cost, meter, 0, &dir) {
-            Ok(e) => e,
-            Err(XsError::NotFound) => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
-        for entry in entries {
-            if let Ok(domid) = entry.parse::<u32>() {
-                if let Ok(existing) = self.xs.read(cost, meter, 0, &layout::domain_name(domid)) {
-                    if existing == name.as_bytes() {
-                        return Err(PlaneError::NameTaken(name.to_string()));
+        let dir = self.xs.local_domain_sym();
+        let mut entries = std::mem::take(&mut self.dir_scratch);
+        match self.xs.directory_syms(cost, meter, 0, dir, &mut entries) {
+            Ok(()) => {}
+            Err(XsError::NotFound) => entries.clear(),
+            Err(e) => {
+                self.dir_scratch = entries;
+                return Err(e.into());
+            }
+        }
+        let mut taken = false;
+        for &domain in &entries {
+            if self.xs.sym_name_u32(domain).is_some() {
+                let name_sym = self.xs.child_sym(domain, "name");
+                if let Ok(existing) = self.xs.read_s(cost, meter, 0, name_sym) {
+                    if &*existing == name.as_bytes() {
+                        taken = true;
+                        break;
                     }
                 }
             }
+        }
+        self.dir_scratch = entries;
+        if taken {
+            return Err(PlaneError::NameTaken(name.to_string()));
         }
         Ok(())
     }
@@ -608,26 +636,52 @@ impl ControlPlane {
         name: &str,
     ) -> Result<(), PlaneError> {
         let full = self.mode == ToolstackMode::Xl;
-        let d = layout::domain_dir(dom.0);
-        let vm = layout::vm_dir(dom.0);
-        let name = name.to_string();
+        // Pre-intern the whole per-domain skeleton once; the transaction
+        // body (including conflict retries) then allocates nothing.
+        let d = self.xs.domain_dir_sym(dom.0);
+        let d_name = self.xs.child_sym(d, "name");
+        let d_domid = self.xs.child_sym(d, "domid");
+        let d_memory = self.xs.child_sym(d, "memory");
+        let d_mem_target = self.xs.child_sym(d_memory, "target");
+        let d_console = self.xs.child_sym(d, "console");
+        let d_con_ring = self.xs.child_sym(d_console, "ring-ref");
+        let d_con_port = self.xs.child_sym(d_console, "port");
+        let d_ctrl_shutdown = self.xs.control_shutdown_sym(dom.0);
+        let mut dom_buf = [0u8; 10];
+        let dom_s = u32_str(&mut dom_buf, dom.0);
+        let full_syms = if full {
+            let vm = self.xs.vm_dir_sym(dom.0);
+            let d_store = self.xs.child_sym(d, "store");
+            Some([
+                self.xs.child_sym(vm, "uuid"),
+                self.xs.child_sym(vm, "name"),
+                self.xs.child_sym(self.xs.child_sym(vm, "image"), "ostype"),
+                self.xs.child_sym(vm, "start_time"),
+                self.xs.child_sym(d_memory, "static-max"),
+                self.xs.child_sym(self.xs.child_sym(d, "cpu"), "0"),
+                self.xs.child_sym(d_store, "ring-ref"),
+                self.xs.child_sym(d_store, "port"),
+            ])
+        } else {
+            None
+        };
         self.xs
             .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
-                xs.txn_write(cost, meter, 0, id, &d.child("name").expect("ok"), name.as_bytes())?;
-                xs.txn_write(cost, meter, 0, id, &d.child("domid").expect("ok"), dom.0.to_string().as_bytes())?;
-                xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("target").expect("ok"), b"mem")?;
-                xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("ring-ref").expect("ok"), b"0")?;
-                xs.txn_write(cost, meter, 0, id, &d.child("console").expect("ok").child("port").expect("ok"), b"0")?;
-                xs.txn_write(cost, meter, 0, id, &d.child("control").expect("ok").child("shutdown").expect("ok"), b"")?;
-                if full {
-                    xs.txn_write(cost, meter, 0, id, &vm.child("uuid").expect("ok"), b"0000-0000")?;
-                    xs.txn_write(cost, meter, 0, id, &vm.child("name").expect("ok"), name.as_bytes())?;
-                    xs.txn_write(cost, meter, 0, id, &vm.child("image").expect("ok").child("ostype").expect("ok"), b"linux")?;
-                    xs.txn_write(cost, meter, 0, id, &vm.child("start_time").expect("ok"), b"0")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("memory").expect("ok").child("static-max").expect("ok"), b"max")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("cpu").expect("ok").child("0").expect("ok"), b"online")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("store").expect("ok").child("ring-ref").expect("ok"), b"1")?;
-                    xs.txn_write(cost, meter, 0, id, &d.child("store").expect("ok").child("port").expect("ok"), b"1")?;
+                xs.txn_write_s(cost, meter, 0, id, d_name, name.as_bytes())?;
+                xs.txn_write_s(cost, meter, 0, id, d_domid, dom_s.as_bytes())?;
+                xs.txn_write_s(cost, meter, 0, id, d_mem_target, b"mem")?;
+                xs.txn_write_s(cost, meter, 0, id, d_con_ring, b"0")?;
+                xs.txn_write_s(cost, meter, 0, id, d_con_port, b"0")?;
+                xs.txn_write_s(cost, meter, 0, id, d_ctrl_shutdown, b"")?;
+                if let Some([vm_uuid, vm_name, vm_ostype, vm_start, d_static_max, d_cpu0, d_store_ring, d_store_port]) = full_syms {
+                    xs.txn_write_s(cost, meter, 0, id, vm_uuid, b"0000-0000")?;
+                    xs.txn_write_s(cost, meter, 0, id, vm_name, name.as_bytes())?;
+                    xs.txn_write_s(cost, meter, 0, id, vm_ostype, b"linux")?;
+                    xs.txn_write_s(cost, meter, 0, id, vm_start, b"0")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_static_max, b"max")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_cpu0, b"online")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_store_ring, b"1")?;
+                    xs.txn_write_s(cost, meter, 0, id, d_store_port, b"1")?;
                 }
                 Ok(())
             })?;
@@ -644,11 +698,14 @@ impl ControlPlane {
         kind: DeviceKind,
     ) -> Result<(), PlaneError> {
         let _ = kind;
-        xsdev::backend_process_events(
+        let mut events = std::mem::take(&mut self.xs_events);
+        let result = xsdev::backend_process_events(
             &mut self.xs, &mut self.hv,
             &mut [&mut self.net, &mut self.blk, &mut self.console],
-            &mut self.switch, self.mode.hotplug(), cost, meter,
-        )?;
+            &mut self.switch, self.mode.hotplug(), cost, meter, &mut events,
+        );
+        self.xs_events = events;
+        result?;
         Ok(())
     }
 
@@ -756,13 +813,18 @@ impl ControlPlane {
 
         if self.mode.uses_xenstore() {
             // The guest registers its watches, then retrieves what the
-            // back-end published and connects.
-            for w in 0..image.watches {
-                let path = layout::domain_dir(dom.0);
-                self.xs
-                    .watch(&cost, &mut meter, dom.0, &path, &format!("fe-{w}"));
+            // back-end published and connects. Tokens are cached and
+            // shared across guests (every guest names them the same way).
+            let d = self.xs.domain_dir_sym(dom.0);
+            while self.fe_tokens.len() < image.watches as usize {
+                self.fe_tokens
+                    .push(format!("fe-{}", self.fe_tokens.len()).into());
             }
-            let _ = self.xs.take_events(&cost, &mut meter, dom.0);
+            for w in 0..image.watches as usize {
+                self.xs
+                    .watch_s(&cost, &mut meter, dom.0, d, &self.fe_tokens[w]);
+            }
+            self.xs.drain_events(&cost, &mut meter, dom.0);
             for devid in net_devids {
                 xsdev::frontend_connect_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.net, &cost, &mut meter, dom, devid,
@@ -851,8 +913,10 @@ impl ControlPlane {
                     self.mode.hotplug(), &cost, &mut meter, dom, 0,
                 );
             }
-            let _ = self.xs.rm(&cost, &mut meter, 0, &layout::domain_dir(dom.0));
-            let _ = self.xs.rm(&cost, &mut meter, 0, &layout::vm_dir(dom.0));
+            let d = self.xs.domain_dir_sym(dom.0);
+            let _ = self.xs.rm_s(&cost, &mut meter, 0, d);
+            let v = self.xs.vm_dir_sym(dom.0);
+            let _ = self.xs.rm_s(&cost, &mut meter, 0, v);
             self.xs.disconnect(dom.0);
         } else {
             for devid in &vm.net_devids {

@@ -33,7 +33,7 @@ pub mod xenstored;
 pub use log::AccessLog;
 pub use path::XsPath;
 pub use store::{Perms, Store, XsError};
-pub use sym::{Interner, XsSym};
+pub use sym::{u32_str, Interner, XsSym};
 pub use txn::TxnId;
 pub use watch::{FireStats, WatchEvent, WatchTable};
 pub use xenstored::{ConnId, Flavor, Xenstored};

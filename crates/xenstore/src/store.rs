@@ -19,6 +19,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 use crate::path::XsPath;
 use crate::sym::{Interner, XsSym};
@@ -107,21 +108,91 @@ impl Perms {
 
 #[derive(Clone, Debug)]
 struct Node {
-    value: Vec<u8>,
+    /// Shared immutable payload: a read hands out a refcount bump, never
+    /// a byte copy. A write replaces the `Rc` (or, when it is the sole
+    /// owner and the length matches, overwrites in place) — snapshots
+    /// held by readers and transaction overlays are never mutated.
+    value: Rc<[u8]>,
     perms: Perms,
     generation: u64,
-    /// Children keyed by name, so [`Store::directory`] iterates in
-    /// sorted order with no post-sort.
-    children: BTreeMap<Box<str>, XsSym>,
+    /// Head of this node's child list — an intrusive chain threaded
+    /// through the child slots via `next_sibling`, in insertion order.
+    /// Linking a child is an O(1) tail append that allocates nothing;
+    /// listings sort at read time (directories are read far less often
+    /// than children are created on the density hot path).
+    first_child: Option<XsSym>,
+    /// Tail of the child chain, for O(1) append.
+    last_child: Option<XsSym>,
+    /// Next sibling in the parent's child chain.
+    next_sibling: Option<XsSym>,
 }
 
 impl Node {
-    fn new(perms: Perms, generation: u64) -> Node {
+    fn new(empty: &Rc<[u8]>, perms: Perms, generation: u64) -> Node {
         Node {
-            value: Vec::new(),
+            value: empty.clone(),
             perms,
             generation,
-            children: BTreeMap::new(),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+        }
+    }
+}
+
+/// Stores `value` into `slot` without allocating when avoidable: empty
+/// values share the store-wide empty buffer, and a same-length value
+/// overwrites in place when `slot` is unaliased (refcount 1). Aliased
+/// slots — a reader or overlay still holds the old `Rc` — always get a
+/// fresh allocation, preserving snapshot immutability.
+fn set_value(empty: &Rc<[u8]>, slot: &mut Rc<[u8]>, value: &[u8]) {
+    if value.is_empty() {
+        *slot = empty.clone();
+        return;
+    }
+    if let Some(buf) = Rc::get_mut(slot) {
+        if buf.len() == value.len() {
+            buf.copy_from_slice(value);
+            return;
+        }
+    }
+    *slot = Rc::from(value);
+}
+
+/// Payloads the toolstack writes over and over (xenbus states, boolean
+/// flags, lifecycle markers). The store keeps one shared `Rc` per entry
+/// so writing any of these is a refcount bump, never an allocation.
+const CONST_VALS: &[&[u8]] = &[
+    b"0",
+    b"1",
+    b"2",
+    b"3",
+    b"4",
+    b"5",
+    b"6",
+    b"mem",
+    b"max",
+    b"online",
+    b"linux",
+    b"kernel",
+    b"done",
+    b"suspend",
+    b"0000-0000",
+];
+
+/// A value source for [`Store::write_val_sym`]: raw bytes (copied into
+/// the node's buffer) or an already-shared payload (refcount bump only —
+/// the transaction-commit path).
+pub(crate) enum ValSrc<'a> {
+    Bytes(&'a [u8]),
+    Shared(&'a Rc<[u8]>),
+}
+
+impl ValSrc<'_> {
+    fn assign(&self, empty: &Rc<[u8]>, slot: &mut Rc<[u8]>) {
+        match self {
+            ValSrc::Bytes(b) => set_value(empty, slot, b),
+            ValSrc::Shared(rc) => *slot = Rc::clone(rc),
         }
     }
 }
@@ -133,6 +204,19 @@ pub struct Store {
     /// (`&self`) can still intern paths they encounter; borrows are
     /// short-scoped and never escape a method.
     interner: RefCell<Interner>,
+    /// The shared empty value; every empty node clones this `Rc` instead
+    /// of allocating.
+    empty: Rc<[u8]>,
+    /// Pre-built payloads for [`CONST_VALS`], index-aligned.
+    consts: Vec<Rc<[u8]>>,
+    /// Lazily grown shared payloads for short decimal strings (domids,
+    /// device ids, ports, ring refs), indexed by numeric value: each
+    /// distinct value allocates once per store lifetime, after which
+    /// every write of it is a refcount bump. Interior mutability so
+    /// read-side value wrapping (`&self`) can populate it.
+    digit_cache: RefCell<Vec<Option<Rc<[u8]>>>>,
+    /// Reusable ancestor-chain buffer for the node-creating write path.
+    chain_scratch: Vec<XsSym>,
     /// Node slots, indexed by symbol; `None` = no node at that path.
     nodes: Vec<Option<Node>>,
     node_count: usize,
@@ -152,9 +236,14 @@ impl Default for Store {
 impl Store {
     /// Creates a store containing only the root node.
     pub fn new() -> Store {
+        let empty: Rc<[u8]> = Rc::from(&b""[..]);
         Store {
             interner: RefCell::new(Interner::new()),
-            nodes: vec![Some(Node::new(Perms::dom0(), 0))],
+            nodes: vec![Some(Node::new(&empty, Perms::dom0(), 0))],
+            empty,
+            consts: CONST_VALS.iter().map(|&v| Rc::from(v)).collect(),
+            digit_cache: RefCell::new(Vec::new()),
+            chain_scratch: Vec::new(),
             node_count: 1,
             generation: 0,
             owned: BTreeMap::new(),
@@ -183,10 +272,10 @@ impl Store {
         self.generation
     }
 
-    // --- symbol plumbing (crate-internal) --------------------------------
+    // --- symbol plumbing --------------------------------------------------
 
     /// Interns a path (and its ancestors), returning its symbol.
-    pub(crate) fn sym(&self, path: &XsPath) -> XsSym {
+    pub fn sym(&self, path: &XsPath) -> XsSym {
         self.interner.borrow_mut().intern(path.as_str())
     }
 
@@ -196,7 +285,7 @@ impl Store {
     }
 
     /// Materialises a symbol back into a path (refcount bump, no copy).
-    pub(crate) fn path_of(&self, sym: XsSym) -> XsPath {
+    pub fn path_of(&self, sym: XsSym) -> XsPath {
         XsPath::from_interned(self.interner.borrow().path_arc(sym).clone())
     }
 
@@ -210,16 +299,46 @@ impl Store {
         self.interner.borrow().is_self_or_descendant_of(a, b)
     }
 
-    /// Resolves a child of `sym` by name, if ever interned.
+    /// Resolves a child of `sym` by name, if ever interned. Zero
+    /// allocations (interner scratch buffer).
     pub(crate) fn resolve_child(&self, sym: XsSym, name: &str) -> Option<XsSym> {
+        self.interner.borrow_mut().resolve_child(sym, name)
+    }
+
+    /// Interns the child `<sym>/<name>` by symbol composition (one hash
+    /// probe, no allocation when already known).
+    pub(crate) fn child_sym(&self, sym: XsSym, name: &str) -> XsSym {
+        self.interner.borrow_mut().child(sym, name)
+    }
+
+    /// [`Store::child_sym`] with a numeric component.
+    pub(crate) fn child_u32_sym(&self, sym: XsSym, n: u32) -> XsSym {
+        self.interner.borrow_mut().child_u32(sym, n)
+    }
+
+    /// Byte length of a symbol's full path (for wire-payload charging).
+    pub(crate) fn path_len(&self, sym: XsSym) -> usize {
+        self.interner.borrow().path_str(sym).len()
+    }
+
+    /// The symbol's final path component parsed as `u32`, if it is one.
+    pub(crate) fn sym_name_u32(&self, sym: XsSym) -> Option<u32> {
+        self.interner.borrow().name(sym).parse().ok()
+    }
+
+    /// Sorts symbols by their full path string — the same order the
+    /// path-keyed code produced by sorting `Vec<XsPath>` (determinism:
+    /// the transaction-interference victim draw depends on it).
+    pub(crate) fn sort_syms_by_path(&self, syms: &mut [XsSym]) {
         let interner = self.interner.borrow();
-        let parent = interner.path_str(sym);
-        let path = if parent == "/" {
-            format!("/{name}")
-        } else {
-            format!("{parent}/{name}")
-        };
-        interner.resolve(&path)
+        syms.sort_unstable_by(|&a, &b| interner.path_str(a).cmp(interner.path_str(b)));
+    }
+
+    /// Sorts sibling symbols by their final path component — the order
+    /// directory listings present (allocation-free; in-place sort).
+    pub(crate) fn sort_syms_by_name(&self, syms: &mut [XsSym]) {
+        let interner = self.interner.borrow();
+        syms.sort_unstable_by(|&a, &b| interner.name(a).cmp(interner.name(b)));
     }
 
     fn node(&self, sym: XsSym) -> Option<&Node> {
@@ -236,6 +355,61 @@ impl Store {
             self.nodes.resize_with(idx + 1, || None);
         }
         self.nodes[idx] = Some(node);
+    }
+
+    /// Appends `child` to `parent`'s child chain. O(1), allocation-free:
+    /// the sibling links live in the node slots themselves. Only called
+    /// for freshly inserted nodes, so the child cannot already be linked.
+    fn link_child(&mut self, parent: XsSym, child: XsSym) {
+        let tail = {
+            let p = self.nodes[parent.index()].as_mut().expect("parent exists");
+            let tail = p.last_child.replace(child);
+            if tail.is_none() {
+                p.first_child = Some(child);
+            }
+            tail
+        };
+        if let Some(t) = tail {
+            self.nodes[t.index()].as_mut().expect("tail sibling exists").next_sibling =
+                Some(child);
+        }
+    }
+
+    /// Removes `child` from `parent`'s child chain, if linked. The child
+    /// slot must still be live (its `next_sibling` is read). O(siblings)
+    /// symbol hops, no string work.
+    fn unlink_child(&mut self, parent: XsSym, child: XsSym) {
+        let next = self.nodes[child.index()].as_ref().and_then(|n| n.next_sibling);
+        let mut prev: Option<XsSym> = None;
+        let mut cur = self.nodes[parent.index()]
+            .as_ref()
+            .expect("parent of a live node exists")
+            .first_child;
+        while let Some(c) = cur {
+            if c == child {
+                break;
+            }
+            prev = Some(c);
+            cur = self.nodes[c.index()].as_ref().expect("sibling exists").next_sibling;
+        }
+        if cur != Some(child) {
+            return; // not linked
+        }
+        match prev {
+            None => {
+                self.nodes[parent.index()]
+                    .as_mut()
+                    .expect("parent exists")
+                    .first_child = next
+            }
+            Some(p) => {
+                self.nodes[p.index()].as_mut().expect("sibling exists").next_sibling = next
+            }
+        }
+        let p = self.nodes[parent.index()].as_mut().expect("parent exists");
+        if p.last_child == Some(child) {
+            p.last_child = prev;
+        }
     }
 
     pub(crate) fn exists_sym(&self, sym: XsSym) -> bool {
@@ -276,6 +450,68 @@ impl Store {
         Ok(&node.value)
     }
 
+    /// Reads a node's value as a shared payload — a refcount bump, not a
+    /// byte copy. The snapshot stays stable even if the node is written
+    /// or removed afterwards.
+    pub fn read_rc(&self, dom: u32, path: &XsPath) -> Result<Rc<[u8]>, XsError> {
+        let sym = self.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        self.read_rc_sym(dom, sym)
+    }
+
+    pub(crate) fn read_rc_sym(&self, dom: u32, sym: XsSym) -> Result<Rc<[u8]>, XsError> {
+        let node = self.node(sym).ok_or(XsError::NotFound)?;
+        if !node.perms.may_read(dom) {
+            return Err(XsError::PermissionDenied);
+        }
+        Ok(Rc::clone(&node.value))
+    }
+
+    /// Wraps `value` as a shareable payload (the store-wide empty buffer
+    /// when empty — no allocation).
+    pub(crate) fn rc_value(&self, value: &[u8]) -> Rc<[u8]> {
+        if value.is_empty() {
+            self.empty.clone()
+        } else if let Some(rc) = self.shared_const(value) {
+            rc
+        } else {
+            Rc::from(value)
+        }
+    }
+
+    /// A pre-built shared payload for a known-constant value or a short
+    /// decimal string, if any. The constant scan is a handful of short
+    /// byte compares and the digit probe a table index — far cheaper
+    /// than the allocation they avoid, and a cheap miss otherwise.
+    fn shared_const(&self, value: &[u8]) -> Option<Rc<[u8]>> {
+        if value.len() > 9 {
+            return None;
+        }
+        if let Some(i) = CONST_VALS.iter().position(|&c| c == value) {
+            return Some(Rc::clone(&self.consts[i]));
+        }
+        // Canonical (no leading zero) decimal strings up to 4 digits:
+        // the cache is keyed by numeric value, so "07" must not hit the
+        // "7" entry.
+        if value.is_empty()
+            || value.len() > 4
+            || value[0] == b'0'
+            || !value.iter().all(|b| b.is_ascii_digit())
+        {
+            return None;
+        }
+        let n = value.iter().fold(0usize, |acc, &b| acc * 10 + (b - b'0') as usize);
+        let mut cache = self.digit_cache.borrow_mut();
+        if cache.len() <= n {
+            cache.resize(n + 1, None);
+        }
+        Some(Rc::clone(cache[n].get_or_insert_with(|| Rc::from(value))))
+    }
+
+    /// The store-wide shared empty payload.
+    pub(crate) fn empty_rc(&self) -> Rc<[u8]> {
+        self.empty.clone()
+    }
+
     /// Reads a node's value as UTF-8 (lossy values are an error).
     pub fn read_str(&self, dom: u32, path: &XsPath) -> Result<&str, XsError> {
         std::str::from_utf8(self.read(dom, path)?).map_err(|_| XsError::Invalid)
@@ -291,19 +527,40 @@ impl Store {
         self.write_sym(dom, sym, value)
     }
 
-    /// The root-exclusive ancestor chain of `sym`, top-down.
-    fn chain_of(&self, sym: XsSym) -> Vec<XsSym> {
-        let interner = self.interner.borrow();
-        let mut chain: Vec<XsSym> = interner.ancestors(sym).collect();
-        chain.pop(); // the root always exists
-        chain.reverse();
-        chain
+    pub(crate) fn write_sym(&mut self, dom: u32, sym: XsSym, value: &[u8]) -> Result<(), XsError> {
+        self.write_val_sym(dom, sym, ValSrc::Bytes(value))
     }
 
-    pub(crate) fn write_sym(&mut self, dom: u32, sym: XsSym, value: &[u8]) -> Result<(), XsError> {
+    /// Writes an already-shared payload (transaction commit, ambient
+    /// interference): the node adopts the `Rc` — no byte copy.
+    pub(crate) fn write_rc_sym(
+        &mut self,
+        dom: u32,
+        sym: XsSym,
+        value: &Rc<[u8]>,
+    ) -> Result<(), XsError> {
+        self.write_val_sym(dom, sym, ValSrc::Shared(value))
+    }
+
+    pub(crate) fn write_val_sym(
+        &mut self,
+        dom: u32,
+        sym: XsSym,
+        value: ValSrc<'_>,
+    ) -> Result<(), XsError> {
         if sym == XsSym::ROOT {
             return Err(XsError::Invalid);
         }
+        // Known-constant payloads become refcount bumps of the shared
+        // pool entry instead of fresh buffers.
+        let const_rc = match &value {
+            ValSrc::Bytes(b) if !b.is_empty() => self.shared_const(b),
+            _ => None,
+        };
+        let value = match &const_rc {
+            Some(rc) => ValSrc::Shared(rc),
+            None => value,
+        };
         // Fast path: the node exists, so all its ancestors do too and no
         // quota or parent checks apply — only the node's own write bit.
         // (The generation still bumps before a permission failure, as on
@@ -311,16 +568,38 @@ impl Store {
         if self.exists_sym(sym) {
             self.generation += 1;
             let generation = self.generation;
+            let empty = self.empty.clone();
             let node = self.node_mut(sym).expect("just checked");
             if !node.perms.may_write(dom) {
                 return Err(XsError::PermissionDenied);
             }
-            node.value.clear();
-            node.value.extend_from_slice(value);
+            value.assign(&empty, &mut node.value);
             node.generation = generation;
             return Ok(());
         }
-        let chain = self.chain_of(sym);
+        // Slow path: build the root-exclusive ancestor chain (top-down)
+        // in the reusable scratch buffer so steady-state node creation
+        // does not allocate.
+        let mut chain = std::mem::take(&mut self.chain_scratch);
+        chain.clear();
+        chain.extend(self.interner.borrow().ancestors(sym));
+        chain.pop(); // the root always exists
+        chain.reverse();
+        let res = self.write_chain_sym(dom, &chain, value);
+        self.chain_scratch = chain;
+        res
+    }
+
+    /// Creates every missing node on `chain` (top-down, root excluded)
+    /// and assigns `value` to the last one. Factored out of
+    /// [`Store::write_val_sym`] so its early returns cannot leak the
+    /// scratch chain buffer.
+    fn write_chain_sym(
+        &mut self,
+        dom: u32,
+        chain: &[XsSym],
+        value: ValSrc<'_>,
+    ) -> Result<(), XsError> {
         // Quota pre-check: every node this write would create must fit.
         if dom != 0 {
             if let Some(q) = self.quota {
@@ -348,15 +627,13 @@ impl Store {
                     others_read: parent_perms.others_read,
                     others_write: false,
                 };
-                self.insert_node(s, Node::new(perms, generation));
-                let name: Box<str> = self.interner.borrow().name(s).into();
-                self.node_mut(parent)
-                    .expect("parent exists")
-                    .children
-                    .insert(name, s);
+                let empty = self.empty.clone();
+                self.insert_node(s, Node::new(&empty, perms, generation));
+                self.link_child(parent, s);
                 created += 1;
             }
             if is_last {
+                let empty = self.empty.clone();
                 let node = self.node_mut(s).expect("just ensured");
                 if !node.perms.may_write(dom) {
                     // A permission failure on the final node can only
@@ -365,8 +642,7 @@ impl Store {
                     self.node_count += created;
                     return Err(XsError::PermissionDenied);
                 }
-                node.value.clear();
-                node.value.extend_from_slice(value);
+                value.assign(&empty, &mut node.value);
                 node.generation = generation;
             }
             parent = s;
@@ -410,16 +686,16 @@ impl Store {
         while let Some(s) = stack.pop() {
             let node = self.node(s).expect("subtree nodes exist");
             *credits.entry(node.perms.owner).or_insert(0) += 1;
-            stack.extend(node.children.values().copied());
+            let mut cur = node.first_child;
+            while let Some(c) = cur {
+                stack.push(c);
+                cur = self.node(c).expect("linked child exists").next_sibling;
+            }
             doomed.push(s);
         }
         let removed = doomed.len();
         let parent = self.parent_sym(sym);
-        let name: Box<str> = self.interner.borrow().name(sym).into();
-        self.node_mut(parent)
-            .expect("parent of a live node exists")
-            .children
-            .remove(&*name);
+        self.unlink_child(parent, sym);
         for s in doomed {
             self.nodes[s.index()] = None;
         }
@@ -449,8 +725,40 @@ impl Store {
         if !node.perms.may_read(dom) {
             return Err(XsError::PermissionDenied);
         }
-        // The child map is name-keyed: iteration is already sorted.
-        Ok(node.children.keys().map(|k| k.to_string()).collect())
+        // The child chain is in insertion order; sort the listing.
+        let interner = self.interner.borrow();
+        let mut out = Vec::new();
+        let mut cur = node.first_child;
+        while let Some(c) = cur {
+            out.push(interner.name(c).to_string());
+            cur = self.node(c).expect("linked child exists").next_sibling;
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Visits each child of a node as an interned symbol, in chain
+    /// (insertion) order, returning the child count. The allocation-free
+    /// counterpart of [`Store::directory`]; callers needing name order
+    /// sort the collected symbols via [`Store::sort_syms_by_name`].
+    pub(crate) fn for_each_child_sym(
+        &self,
+        dom: u32,
+        sym: XsSym,
+        mut f: impl FnMut(XsSym),
+    ) -> Result<usize, XsError> {
+        let node = self.node(sym).ok_or(XsError::NotFound)?;
+        if !node.perms.may_read(dom) {
+            return Err(XsError::PermissionDenied);
+        }
+        let mut count = 0;
+        let mut cur = node.first_child;
+        while let Some(c) = cur {
+            f(c);
+            count += 1;
+            cur = self.node(c).expect("linked child exists").next_sibling;
+        }
+        Ok(count)
     }
 
     /// Reads a node's permissions.
@@ -577,6 +885,30 @@ mod tests {
         s.write(0, &p("/a/b"), b"second").unwrap();
         assert_eq!(s.resolve("/a/b").unwrap(), sym, "append-only table");
         assert_eq!(s.read_sym(0, sym).unwrap(), b"second");
+    }
+
+    #[test]
+    fn read_rc_snapshot_survives_overwrite_and_rm() {
+        let mut s = Store::new();
+        s.write(0, &p("/a"), b"one").unwrap();
+        let snap = s.read_rc(0, &p("/a")).unwrap();
+        // Same length: the in-place fast path must NOT fire while `snap`
+        // aliases the buffer.
+        s.write(0, &p("/a"), b"two").unwrap();
+        assert_eq!(&*snap, b"one");
+        assert_eq!(s.read(0, &p("/a")).unwrap(), b"two");
+        s.rm(0, &p("/a")).unwrap();
+        assert_eq!(&*snap, b"one");
+    }
+
+    #[test]
+    fn unaliased_same_length_write_reuses_buffer() {
+        let mut s = Store::new();
+        s.write(0, &p("/a"), b"one").unwrap();
+        let ptr1 = s.read(0, &p("/a")).unwrap().as_ptr();
+        s.write(0, &p("/a"), b"two").unwrap();
+        let ptr2 = s.read(0, &p("/a")).unwrap().as_ptr();
+        assert_eq!(ptr1, ptr2, "sole-owner same-length write is in place");
     }
 
     #[test]

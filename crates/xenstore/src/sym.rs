@@ -38,6 +38,10 @@ impl XsSym {
 struct SymEntry {
     parent: XsSym,
     depth: u32,
+    /// Byte offset of the final path component, so [`Interner::name`]
+    /// is a slice, not a backwards scan (it sits on directory-listing
+    /// sort comparators).
+    name_off: u32,
     /// Full path; shared with the `by_path` key and with any `XsPath`
     /// materialised from this symbol (a refcount bump, not a copy).
     path: Arc<str>,
@@ -48,6 +52,9 @@ struct SymEntry {
 pub struct Interner {
     by_path: HashMap<Arc<str>, XsSym>,
     entries: Vec<SymEntry>,
+    /// Reusable buffer for composing child paths; kept at capacity so a
+    /// steady-state [`Interner::child`] hit performs zero allocations.
+    scratch: String,
 }
 
 impl Default for Interner {
@@ -67,8 +74,10 @@ impl Interner {
             entries: vec![SymEntry {
                 parent: XsSym::ROOT,
                 depth: 0,
+                name_off: 1, // the root's name is the empty slice
                 path: root,
             }],
+            scratch: String::with_capacity(128),
         }
     }
 
@@ -116,17 +125,81 @@ impl Interner {
         let mut depth = self.entries[parent.index()].depth;
         for end in missing.into_iter().rev() {
             let arc: Arc<str> = path[..end].into();
+            let name_off = if parent == XsSym::ROOT {
+                1
+            } else {
+                self.entries[parent.index()].path.len() as u32 + 1
+            };
             let sym = XsSym(self.entries.len() as u32);
             depth += 1;
             self.entries.push(SymEntry {
                 parent,
                 depth,
+                name_off,
                 path: arc.clone(),
             });
             self.by_path.insert(arc, sym);
             parent = sym;
         }
         parent
+    }
+
+    /// Interns the child `<parent>/<name>` by symbol composition: one
+    /// hash probe and zero allocations when the child is already known
+    /// (the steady state of the request path); the path string is built
+    /// in an internal scratch buffer, never `format!`ed by callers.
+    ///
+    /// `name` must be a single well-formed component (non-empty, no
+    /// `/`); this is not a validator.
+    pub fn child(&mut self, parent: XsSym, name: &str) -> XsSym {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let parent_path = self.path_str(parent);
+        if parent_path != "/" {
+            scratch.push_str(parent_path);
+        }
+        scratch.push('/');
+        scratch.push_str(name);
+        let sym = match self.by_path.get(scratch.as_str()) {
+            Some(&s) => s,
+            None => {
+                let arc: Arc<str> = scratch.as_str().into();
+                let sym = XsSym(self.entries.len() as u32);
+                self.entries.push(SymEntry {
+                    parent,
+                    depth: self.entries[parent.index()].depth + 1,
+                    name_off: (scratch.len() - name.len()) as u32,
+                    path: arc.clone(),
+                });
+                self.by_path.insert(arc, sym);
+                sym
+            }
+        };
+        self.scratch = scratch;
+        sym
+    }
+
+    /// [`Interner::child`] with a numeric component (`<parent>/<n>`),
+    /// formatted on the stack — no intermediate `String`.
+    pub fn child_u32(&mut self, parent: XsSym, n: u32) -> XsSym {
+        let mut buf = [0u8; 10];
+        self.child(parent, u32_str(&mut buf, n))
+    }
+
+    /// Looks the child `<parent>/<name>` up without interning it. Zero
+    /// allocations; uses the same scratch buffer as [`Interner::child`].
+    pub fn resolve_child(&mut self, parent: XsSym, name: &str) -> Option<XsSym> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let parent_path = self.path_str(parent);
+        if parent_path != "/" {
+            scratch.push_str(parent_path);
+        }
+        scratch.push('/');
+        scratch.push_str(name);
+        let sym = self.by_path.get(scratch.as_str()).copied();
+        self.scratch = scratch;
+        sym
     }
 
     /// The full path of a symbol.
@@ -141,12 +214,10 @@ impl Interner {
     }
 
     /// The final component of a symbol's path (empty for the root).
+    /// O(1): the offset is recorded at intern time.
     pub fn name(&self, sym: XsSym) -> &str {
-        let path = self.path_str(sym);
-        match path.rfind('/') {
-            Some(i) => &path[i + 1..],
-            None => path,
-        }
+        let e = &self.entries[sym.index()];
+        &e.path[e.name_off as usize..]
     }
 
     /// The parent symbol; the root's parent is the root.
@@ -181,6 +252,23 @@ impl Interner {
         }
         cur == b
     }
+}
+
+/// Formats `n` into `buf` and returns it as `&str`, without allocating.
+/// Ten bytes always suffice for a `u32`.
+pub fn u32_str(buf: &mut [u8; 10], n: u32) -> &str {
+    let mut i = buf.len();
+    let mut v = n;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits from `i` on.
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
 }
 
 /// Iterator over a symbol and its ancestors; see [`Interner::ancestors`].
@@ -246,6 +334,45 @@ mod tests {
         assert_eq!(i.name(XsSym::ROOT), "");
         let chain: Vec<&str> = i.ancestors(c).map(|s| i.path_str(s)).collect();
         assert_eq!(chain, vec!["/a/b/c", "/a/b", "/a", "/"]);
+    }
+
+    #[test]
+    fn child_composition_matches_intern() {
+        let mut i = Interner::new();
+        let a = i.intern("/a");
+        let ab = i.child(a, "b");
+        assert_eq!(i.path_str(ab), "/a/b");
+        assert_eq!(i.resolve("/a/b"), Some(ab));
+        assert_eq!(i.intern("/a/b"), ab, "child and intern must agree");
+        assert_eq!(i.parent(ab), a);
+        assert_eq!(i.depth(ab), 2);
+        // Children of the root must not produce "//x".
+        let r = i.child(XsSym::ROOT, "top");
+        assert_eq!(i.path_str(r), "/top");
+        // Numeric composition.
+        let n = i.child_u32(ab, 0);
+        assert_eq!(i.path_str(n), "/a/b/0");
+        let big = i.child_u32(ab, u32::MAX);
+        assert_eq!(i.path_str(big), "/a/b/4294967295");
+    }
+
+    #[test]
+    fn resolve_child_does_not_intern() {
+        let mut i = Interner::new();
+        let a = i.intern("/a");
+        let before = i.len();
+        assert_eq!(i.resolve_child(a, "missing"), None);
+        assert_eq!(i.len(), before);
+        let ab = i.child(a, "b");
+        assert_eq!(i.resolve_child(a, "b"), Some(ab));
+    }
+
+    #[test]
+    fn u32_str_formats_like_display() {
+        let mut buf = [0u8; 10];
+        for v in [0u32, 1, 9, 10, 42, 12345, u32::MAX] {
+            assert_eq!(u32_str(&mut buf, v), v.to_string());
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! integer-keyed — no path clones, no string comparisons.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::path::XsPath;
 use crate::store::{Perms, Store, XsError};
@@ -33,7 +34,9 @@ pub struct TxnId(pub u64);
 
 #[derive(Clone, Debug)]
 enum WriteOp {
-    Write(XsSym, Vec<u8>),
+    /// The payload `Rc` is shared with the overlay entry (and, after
+    /// commit, with the store node) — one allocation per written value.
+    Write(XsSym, Rc<[u8]>),
     Rm(XsSym),
     SetPerms(XsSym, Perms),
 }
@@ -42,11 +45,11 @@ enum WriteOp {
 enum Overlay {
     /// Value written in this transaction over a visible path: the main
     /// store's children below it remain visible.
-    Value(Vec<u8>),
+    Value(Rc<[u8]>),
     /// Value written over a path that this transaction had removed (or
     /// that lies under a removed ancestor): it exists, but the main
     /// store's children below it stay hidden — they were deleted.
-    Recreated(Vec<u8>),
+    Recreated(Rc<[u8]>),
     /// Subtree removed in this transaction.
     Removed,
 }
@@ -63,6 +66,9 @@ pub struct Txn {
     /// (`None` = the node did not exist then).
     touched: HashMap<XsSym, Option<u64>>,
     write_log: Vec<WriteOp>,
+    /// Reusable symbol buffer for [`Txn::write_sym`] parent chains and
+    /// [`Txn::rm_sym`] overlay sweeps; capacity survives [`Txn::reset`].
+    scratch: Vec<XsSym>,
     /// Number of nodes the oxenstored snapshot would copy (cost model).
     pub snapshot_nodes: usize,
 }
@@ -76,8 +82,21 @@ impl Txn {
             overlay: HashMap::new(),
             touched: HashMap::new(),
             write_log: Vec::new(),
+            scratch: Vec::new(),
             snapshot_nodes: store.node_count(),
         }
+    }
+
+    /// Re-arms a recycled transaction (the daemon pools `Txn` values so
+    /// steady-state `txn_start` reuses the overlay/touched/log capacity
+    /// instead of allocating fresh maps).
+    pub fn reset(&mut self, id: TxnId, conn: u32, store: &Store) {
+        self.id = id;
+        self.conn = conn;
+        self.overlay.clear();
+        self.touched.clear();
+        self.write_log.clear();
+        self.snapshot_nodes = store.node_count();
     }
 
     /// Number of nodes touched so far (validation cost on commit).
@@ -145,16 +164,22 @@ impl Txn {
         }
     }
 
-    /// Transactional read: sees the transaction's own writes.
-    pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Vec<u8>, XsError> {
+    /// Transactional read: sees the transaction's own writes. Returns a
+    /// shared payload — a refcount bump, never a byte copy.
+    pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Rc<[u8]>, XsError> {
         let sym = main.sym(path);
+        self.read_sym(main, sym)
+    }
+
+    /// [`Txn::read`] on an already-interned symbol.
+    pub fn read_sym(&mut self, main: &Store, sym: XsSym) -> Result<Rc<[u8]>, XsError> {
         self.touch(main, sym);
         match self.overlay.get(&sym) {
-            Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(v.clone()),
+            Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(Rc::clone(v)),
             Some(Overlay::Removed) => Err(XsError::NotFound),
             None => {
                 if self.exists_view(main, sym) {
-                    main.read_sym(self.conn, sym).map(|v| v.to_vec())
+                    main.read_rc_sym(self.conn, sym)
                 } else {
                     Err(XsError::NotFound)
                 }
@@ -165,6 +190,11 @@ impl Txn {
     /// Transactional existence check.
     pub fn exists(&mut self, main: &Store, path: &XsPath) -> bool {
         let sym = main.sym(path);
+        self.exists_sym(main, sym)
+    }
+
+    /// [`Txn::exists`] on an already-interned symbol.
+    pub fn exists_sym(&mut self, main: &Store, sym: XsSym) -> bool {
         self.touch(main, sym);
         self.exists_view(main, sym)
     }
@@ -211,39 +241,58 @@ impl Txn {
             return Err(XsError::Invalid);
         }
         let sym = main.sym(path);
+        self.write_sym(main, sym, value)
+    }
+
+    /// [`Txn::write`] on an already-interned symbol. The payload is
+    /// allocated once and shared between the overlay, the write log and
+    /// (after commit) the store node.
+    pub fn write_sym(&mut self, main: &Store, sym: XsSym, value: &[u8]) -> Result<(), XsError> {
+        if sym == XsSym::ROOT {
+            return Err(XsError::Invalid);
+        }
         self.touch(main, sym);
         // Parents that do not exist in the txn's view get implicit
         // entries (top-down, so cut detection sees fresh markers).
-        let mut chain = Vec::new();
+        let mut chain = std::mem::take(&mut self.scratch);
+        chain.clear();
         let mut p = main.parent_sym(sym);
         while p != XsSym::ROOT && !self.exists_view(main, p) {
             chain.push(p);
             p = main.parent_sym(p);
         }
-        for q in chain.into_iter().rev() {
+        for &q in chain.iter().rev() {
             let marker = if self.is_cut(main, q) {
-                Overlay::Recreated(Vec::new())
+                Overlay::Recreated(main.empty_rc())
             } else {
-                Overlay::Value(Vec::new())
+                Overlay::Value(main.empty_rc())
             };
             self.overlay.insert(q, marker);
         }
+        self.scratch = chain;
+        let rc = main.rc_value(value);
         let marker = if self.is_cut(main, sym) {
-            Overlay::Recreated(value.to_vec())
+            Overlay::Recreated(Rc::clone(&rc))
         } else {
-            Overlay::Value(value.to_vec())
+            Overlay::Value(Rc::clone(&rc))
         };
         self.overlay.insert(sym, marker);
-        self.write_log.push(WriteOp::Write(sym, value.to_vec()));
+        self.write_log.push(WriteOp::Write(sym, rc));
         Ok(())
     }
 
     /// Transactional mkdir.
     pub fn mkdir(&mut self, main: &Store, path: &XsPath) -> Result<(), XsError> {
-        if self.exists(main, path) {
+        let sym = main.sym(path);
+        self.mkdir_sym(main, sym)
+    }
+
+    /// [`Txn::mkdir`] on an already-interned symbol.
+    pub fn mkdir_sym(&mut self, main: &Store, sym: XsSym) -> Result<(), XsError> {
+        if self.exists_sym(main, sym) {
             return Err(XsError::AlreadyExists);
         }
-        self.write(main, path, b"")
+        self.write_sym(main, sym, b"")
     }
 
     /// Transactional remove.
@@ -251,20 +300,31 @@ impl Txn {
         if path.depth() == 0 {
             return Err(XsError::Invalid);
         }
-        if !self.exists(main, path) {
+        let sym = main.sym(path);
+        self.rm_sym(main, sym)
+    }
+
+    /// [`Txn::rm`] on an already-interned symbol.
+    pub fn rm_sym(&mut self, main: &Store, sym: XsSym) -> Result<(), XsError> {
+        if sym == XsSym::ROOT {
+            return Err(XsError::Invalid);
+        }
+        if !self.exists_sym(main, sym) {
             return Err(XsError::NotFound);
         }
-        let sym = main.sym(path);
         // Drop any overlay entries underneath.
-        let doomed: Vec<XsSym> = self
-            .overlay
-            .keys()
-            .filter(|&&s| main.sym_is_self_or_descendant(s, sym))
-            .copied()
-            .collect();
-        for s in doomed {
+        let mut doomed = std::mem::take(&mut self.scratch);
+        doomed.clear();
+        doomed.extend(
+            self.overlay
+                .keys()
+                .filter(|&&s| main.sym_is_self_or_descendant(s, sym))
+                .copied(),
+        );
+        for &s in &doomed {
             self.overlay.remove(&s);
         }
+        self.scratch = doomed;
         self.overlay.insert(sym, Overlay::Removed);
         self.write_log.push(WriteOp::Rm(sym));
         Ok(())
@@ -281,37 +341,53 @@ impl Txn {
     }
 
     /// Validates against the main store and, if clean, replays the write
-    /// log onto it. Returns the written paths (for watch firing).
+    /// log onto it. The written symbols (for watch firing) are appended
+    /// to `fired`, which is cleared first — callers pass a reusable
+    /// scratch buffer.
     ///
-    /// On conflict the transaction is consumed and the caller receives
-    /// [`XsError::Again`]; clients restart the transaction from scratch.
-    pub fn commit(self, main: &mut Store) -> Result<Vec<XsPath>, XsError> {
+    /// On conflict the caller receives [`XsError::Again`]; clients
+    /// restart the transaction from scratch. Either way the transaction
+    /// is finished and may be recycled via [`Txn::reset`].
+    pub fn commit(&mut self, main: &mut Store, fired: &mut Vec<XsSym>) -> Result<(), XsError> {
+        fired.clear();
         for (&sym, gen0) in &self.touched {
             if main.node_generation_sym(sym) != *gen0 {
                 return Err(XsError::Again);
             }
         }
-        let mut fired = Vec::new();
-        for op in self.write_log {
+        let log = std::mem::take(&mut self.write_log);
+        let mut result = Ok(());
+        for op in &log {
             match op {
                 WriteOp::Write(s, v) => {
-                    main.write_sym(self.conn, s, &v)?;
-                    fired.push(main.path_of(s));
+                    if let Err(e) = main.write_rc_sym(self.conn, *s, v) {
+                        result = Err(e);
+                        break;
+                    }
+                    fired.push(*s);
                 }
                 WriteOp::Rm(s) => {
                     // The subtree may already be gone if an earlier Rm in
                     // this same log removed an ancestor.
-                    match main.rm_sym(self.conn, s) {
-                        Ok(()) | Err(XsError::NotFound) => fired.push(main.path_of(s)),
-                        Err(e) => return Err(e),
+                    match main.rm_sym(self.conn, *s) {
+                        Ok(()) | Err(XsError::NotFound) => fired.push(*s),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
                     }
                 }
                 WriteOp::SetPerms(s, perms) => {
-                    main.set_perms_sym(self.conn, s, perms)?;
+                    if let Err(e) = main.set_perms_sym(self.conn, *s, *perms) {
+                        result = Err(e);
+                        break;
+                    }
                 }
             }
         }
-        Ok(fired)
+        // Hand the log's capacity back for reuse by the next occupant.
+        self.write_log = log;
+        result
     }
 }
 
@@ -323,14 +399,22 @@ mod tests {
         XsPath::parse(s).unwrap()
     }
 
+    /// Commits and maps the fired symbols back to paths (test helper for
+    /// the scratch-buffer commit API).
+    fn commit(t: &mut Txn, store: &mut Store) -> Result<Vec<XsPath>, XsError> {
+        let mut fired = Vec::new();
+        t.commit(store, &mut fired)?;
+        Ok(fired.iter().map(|&s| store.path_of(s)).collect())
+    }
+
     #[test]
     fn txn_reads_see_own_writes_but_store_does_not() {
         let mut store = Store::new();
         let mut t = Txn::start(TxnId(1), 0, &store);
         t.write(&store, &p("/x"), b"1").unwrap();
-        assert_eq!(t.read(&store, &p("/x")).unwrap(), b"1");
+        assert_eq!(&*t.read(&store, &p("/x")).unwrap(), b"1");
         assert!(!store.exists(&p("/x")));
-        t.commit(&mut store).unwrap();
+        commit(&mut t, &mut store).unwrap();
         assert_eq!(store.read(0, &p("/x")).unwrap(), b"1");
     }
 
@@ -342,7 +426,7 @@ mod tests {
         let _ = t.read(&store, &p("/x")).unwrap();
         // Another client writes /x while the txn is open.
         store.write(0, &p("/x"), b"interfering").unwrap();
-        assert_eq!(t.commit(&mut store).unwrap_err(), XsError::Again);
+        assert_eq!(commit(&mut t, &mut store).unwrap_err(), XsError::Again);
         assert_eq!(store.read(0, &p("/x")).unwrap(), b"interfering");
     }
 
@@ -354,7 +438,7 @@ mod tests {
         let mut t = Txn::start(TxnId(1), 0, &store);
         t.write(&store, &p("/x"), b"1").unwrap();
         store.write(0, &p("/y"), b"other").unwrap();
-        t.commit(&mut store).unwrap();
+        commit(&mut t, &mut store).unwrap();
         assert_eq!(store.read(0, &p("/x")).unwrap(), b"1");
         assert_eq!(store.read(0, &p("/y")).unwrap(), b"other");
     }
@@ -368,7 +452,7 @@ mod tests {
         // ...then someone else creates it.
         store.write(0, &p("/new"), b"raced").unwrap();
         t.write(&store, &p("/new"), b"mine").unwrap();
-        assert_eq!(t.commit(&mut store).unwrap_err(), XsError::Again);
+        assert_eq!(commit(&mut t, &mut store).unwrap_err(), XsError::Again);
     }
 
     #[test]
@@ -390,7 +474,7 @@ mod tests {
         t.rm(&store, &p("/a/b")).unwrap();
         assert!(!t.exists(&store, &p("/a/b")));
         assert!(store.exists(&p("/a/b")));
-        t.commit(&mut store).unwrap();
+        commit(&mut t, &mut store).unwrap();
         assert!(!store.exists(&p("/a/b")));
     }
 
@@ -422,8 +506,26 @@ mod tests {
         let mut t = Txn::start(TxnId(1), 0, &store);
         t.write(&store, &p("/a"), b"1").unwrap();
         t.write(&store, &p("/b"), b"2").unwrap();
-        let fired = t.commit(&mut store).unwrap();
+        let fired = commit(&mut t, &mut store).unwrap();
         assert_eq!(fired, vec![p("/a"), p("/b")]);
+    }
+
+    #[test]
+    fn reset_recycles_a_finished_txn() {
+        let mut store = Store::new();
+        store.write(0, &p("/x"), b"0").unwrap();
+        let mut t = Txn::start(TxnId(1), 0, &store);
+        t.write(&store, &p("/x"), b"1").unwrap();
+        commit(&mut t, &mut store).unwrap();
+        // Recycle: previous overlay/touched/log state must not leak.
+        t.reset(TxnId(2), 0, &store);
+        assert_eq!(t.id, TxnId(2));
+        assert_eq!(t.touched_nodes(), 0);
+        assert_eq!(t.write_ops(), 0);
+        assert_eq!(&*t.read(&store, &p("/x")).unwrap(), b"1");
+        t.write(&store, &p("/y"), b"2").unwrap();
+        let fired = commit(&mut t, &mut store).unwrap();
+        assert_eq!(fired, vec![p("/y")]);
     }
 
     #[test]
@@ -453,7 +555,7 @@ mod tests {
         t.write(&store, &p("/a/b/c"), b"v").unwrap();
         assert!(t.exists(&store, &p("/a")));
         assert!(t.exists(&store, &p("/a/b")));
-        t.commit(&mut store).unwrap();
+        commit(&mut t, &mut store).unwrap();
         assert!(store.exists(&p("/a/b")));
     }
 }

@@ -10,7 +10,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crate::path::XsPath;
-use crate::sym::{Interner, XsSym};
+use crate::store::Store;
+use crate::sym::XsSym;
 
 /// A delivered watch notification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,17 +26,15 @@ pub struct WatchEvent {
 
 /// The registry of watches plus per-connection pending event queues.
 ///
-/// Watches are keyed by interned path symbol: a mutation resolves its
-/// deepest interned ancestor once, then hops parent symbols with plain
-/// array indexing — no hashing below the first hit — and a fired event
-/// costs two refcount bumps (path + token) instead of two string
-/// clones. The *charged* cost still counts every registered watch (what
-/// xenstored pays), reported via [`FireStats::checked`].
+/// Watches are keyed by the *store's* interned path symbols (no second
+/// interner): a mutation arrives as a symbol and hops parent symbols
+/// with plain array indexing — no hashing, no string traffic — and a
+/// fired event costs two refcount bumps (path + token) instead of two
+/// string clones. The *charged* cost still counts every registered
+/// watch (what xenstored pays), reported via [`FireStats::checked`].
 #[derive(Default, Debug)]
 pub struct WatchTable {
-    /// Symbols for registered watch paths (table-local, append-only).
-    interner: Interner,
-    /// Watch lists, indexed by symbol (dense; most slots are empty
+    /// Watch lists, indexed by store symbol (dense; most slots are empty
     /// ancestor entries).
     by_sym: Vec<Vec<(u32, Arc<str>)>>,
     count: usize,
@@ -62,17 +61,17 @@ impl WatchTable {
         self.count
     }
 
-    /// Registers a watch. As in xenstored, an initial event for the watch
-    /// path itself is queued immediately so the client can synchronise.
-    pub fn register(&mut self, conn: u32, path: XsPath, token: impl Into<Arc<str>>) {
+    /// Registers a watch on an interned path. As in xenstored, an
+    /// initial event for the watch path itself is queued immediately so
+    /// the client can synchronise.
+    pub fn register(&mut self, store: &Store, conn: u32, sym: XsSym, token: impl Into<Arc<str>>) {
         let token = token.into();
         self.pending.entry(conn).or_default().push_back(WatchEvent {
-            path: path.clone(),
+            path: store.path_of(sym),
             token: token.clone(),
         });
-        let sym = self.interner.intern(path.as_str());
-        if self.by_sym.len() < self.interner.len() {
-            self.by_sym.resize_with(self.interner.len(), Vec::new);
+        if self.by_sym.len() <= sym.index() {
+            self.by_sym.resize_with(sym.index() + 1, Vec::new);
         }
         self.by_sym[sym.index()].push((conn, token));
         self.count += 1;
@@ -80,8 +79,8 @@ impl WatchTable {
 
     /// Unregisters a watch by (connection, path, token). Returns true if
     /// one was removed.
-    pub fn unregister(&mut self, conn: u32, path: &XsPath, token: &str) -> bool {
-        let Some(sym) = self.interner.resolve(path.as_str()) else {
+    pub fn unregister(&mut self, store: &Store, conn: u32, path: &XsPath, token: &str) -> bool {
+        let Some(sym) = store.resolve(path.as_str()) else {
             return false;
         };
         let Some(list) = self.by_sym.get_mut(sym.index()) else {
@@ -107,43 +106,39 @@ impl WatchTable {
         self.pending.remove(&conn);
     }
 
-    /// Records that `path` was mutated, queueing events for every watch
-    /// on the path or one of its ancestors.
+    /// Records that the node at `sym` was mutated, queueing events for
+    /// every watch on it or one of its ancestors.
     ///
-    /// Only the interner-missing suffix of the ancestor chain costs a
-    /// hash probe: the first ancestor the watch interner knows anchors a
-    /// parent-symbol hop straight down to the root (array indexing, no
-    /// string traffic). A mutation that fires nothing allocates nothing.
-    pub fn note_mutation(&mut self, path: &XsPath) -> FireStats {
+    /// The walk is pure parent-symbol hopping (array indexing). The
+    /// event path is materialised once per *fired* event as a refcount
+    /// bump on the interner's `Arc`; a mutation that fires nothing
+    /// allocates nothing.
+    pub fn note_mutation_sym(&mut self, store: &Store, sym: XsSym) -> FireStats {
         if self.count == 0 {
             return FireStats { checked: 0, fired: 0 };
         }
-        let mut anchor = XsSym::ROOT;
-        for ancestor in path.ancestors() {
-            if let Some(sym) = self.interner.resolve(ancestor) {
-                anchor = sym;
-                break;
-            }
-        }
         let mut fired = 0;
-        let mut cur = anchor;
+        let mut cur = sym;
         loop {
             if let Some(list) = self.by_sym.get(cur.index()) {
-                for (conn, token) in list {
-                    self.pending
-                        .entry(*conn)
-                        .or_default()
-                        .push_back(WatchEvent {
-                            path: path.clone(),
-                            token: token.clone(),
-                        });
-                    fired += 1;
+                if !list.is_empty() {
+                    let path = store.path_of(sym);
+                    for (conn, token) in list {
+                        self.pending
+                            .entry(*conn)
+                            .or_default()
+                            .push_back(WatchEvent {
+                                path: path.clone(),
+                                token: token.clone(),
+                            });
+                        fired += 1;
+                    }
                 }
             }
             if cur == XsSym::ROOT {
                 break;
             }
-            cur = self.interner.parent(cur);
+            cur = store.parent_sym(cur);
         }
         FireStats {
             checked: self.count,
@@ -152,11 +147,36 @@ impl WatchTable {
     }
 
     /// Takes all pending events for a connection, in FIFO order.
+    /// Allocates the returned `Vec`; the hot paths use
+    /// [`WatchTable::take_events_into`] or [`WatchTable::drain_events`].
     pub fn take_events(&mut self, conn: u32) -> Vec<WatchEvent> {
         self.pending
             .get_mut(&conn)
             .map(|q| q.drain(..).collect())
             .unwrap_or_default()
+    }
+
+    /// Moves all pending events for a connection into `out` (cleared
+    /// first), in FIFO order. Reuses `out`'s capacity: zero allocations
+    /// in steady state.
+    pub fn take_events_into(&mut self, conn: u32, out: &mut Vec<WatchEvent>) {
+        out.clear();
+        if let Some(q) = self.pending.get_mut(&conn) {
+            out.extend(q.drain(..));
+        }
+    }
+
+    /// Discards all pending events for a connection, returning how many
+    /// there were. For callers that only need the count (and the charge).
+    pub fn drain_events(&mut self, conn: u32) -> usize {
+        match self.pending.get_mut(&conn) {
+            Some(q) => {
+                let n = q.len();
+                q.clear();
+                n
+            }
+            None => 0,
+        }
     }
 
     /// Number of events pending for a connection.
@@ -173,10 +193,20 @@ mod tests {
         XsPath::parse(s).unwrap()
     }
 
+    /// A store plus helpers: watches register on interned symbols.
+    fn store() -> Store {
+        Store::new()
+    }
+
+    fn sym(s: &Store, path: &str) -> XsSym {
+        s.sym(&p(path))
+    }
+
     #[test]
     fn registration_fires_initial_event() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a"), "tok");
+        t.register(&s, 1, sym(&s, "/a"), "tok");
         assert_eq!(
             t.take_events(1),
             vec![WatchEvent {
@@ -189,12 +219,13 @@ mod tests {
 
     #[test]
     fn mutation_fires_matching_watches_only() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a"), "a");
-        t.register(2, p("/b"), "b");
+        t.register(&s, 1, sym(&s, "/a"), "a");
+        t.register(&s, 2, sym(&s, "/b"), "b");
         t.take_events(1);
         t.take_events(2);
-        let stats = t.note_mutation(&p("/a/x"));
+        let stats = t.note_mutation_sym(&s, sym(&s, "/a/x"));
         assert_eq!(stats.checked, 2);
         assert_eq!(stats.fired, 1);
         assert_eq!(t.pending_count(1), 1);
@@ -206,35 +237,39 @@ mod tests {
 
     #[test]
     fn watch_on_exact_path_fires() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a/b"), "t");
+        t.register(&s, 1, sym(&s, "/a/b"), "t");
         t.take_events(1);
-        assert_eq!(t.note_mutation(&p("/a/b")).fired, 1);
-        assert_eq!(t.note_mutation(&p("/a")).fired, 0);
+        assert_eq!(t.note_mutation_sym(&s, sym(&s, "/a/b")).fired, 1);
+        assert_eq!(t.note_mutation_sym(&s, sym(&s, "/a")).fired, 0);
     }
 
     #[test]
     fn unregister_removes_watch() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a"), "t");
+        t.register(&s, 1, sym(&s, "/a"), "t");
         t.take_events(1);
-        assert!(t.unregister(1, &p("/a"), "t"));
-        assert!(!t.unregister(1, &p("/a"), "t"));
-        assert_eq!(t.note_mutation(&p("/a/x")).fired, 0);
+        assert!(t.unregister(&s, 1, &p("/a"), "t"));
+        assert!(!t.unregister(&s, 1, &p("/a"), "t"));
+        assert_eq!(t.note_mutation_sym(&s, sym(&s, "/a/x")).fired, 0);
     }
 
     #[test]
     fn unregister_of_never_watched_path_is_false() {
+        let s = store();
         let mut t = WatchTable::new();
-        assert!(!t.unregister(1, &p("/never"), "t"));
+        assert!(!t.unregister(&s, 1, &p("/never"), "t"));
     }
 
     #[test]
     fn drop_conn_clears_everything() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a"), "t");
-        t.register(2, p("/a"), "u");
-        t.note_mutation(&p("/a"));
+        t.register(&s, 1, sym(&s, "/a"), "t");
+        t.register(&s, 2, sym(&s, "/a"), "u");
+        t.note_mutation_sym(&s, sym(&s, "/a"));
         t.drop_conn(1);
         assert_eq!(t.count(), 1);
         assert_eq!(t.pending_count(1), 0);
@@ -243,13 +278,45 @@ mod tests {
 
     #[test]
     fn multiple_watches_same_conn_all_fire() {
+        let s = store();
         let mut t = WatchTable::new();
-        t.register(1, p("/a"), "t1");
-        t.register(1, p("/a/b"), "t2");
+        t.register(&s, 1, sym(&s, "/a"), "t1");
+        t.register(&s, 1, sym(&s, "/a/b"), "t2");
         t.take_events(1);
-        let stats = t.note_mutation(&p("/a/b/c"));
+        let stats = t.note_mutation_sym(&s, sym(&s, "/a/b/c"));
         assert_eq!(stats.fired, 2);
         let evs = t.take_events(1);
         assert_eq!(evs.len(), 2);
+        // Deepest watch first (the symbol walk goes child -> root).
+        assert_eq!(&*evs[0].token, "t2");
+        assert_eq!(&*evs[1].token, "t1");
+    }
+
+    #[test]
+    fn take_events_into_reuses_buffer_without_loss_or_dup() {
+        let s = store();
+        let mut t = WatchTable::new();
+        t.register(&s, 1, sym(&s, "/a"), "t");
+        let mut buf = Vec::new();
+        t.take_events_into(1, &mut buf);
+        assert_eq!(buf.len(), 1, "initial sync event");
+        t.note_mutation_sym(&s, sym(&s, "/a/x"));
+        t.note_mutation_sym(&s, sym(&s, "/a/y"));
+        t.take_events_into(1, &mut buf);
+        assert_eq!(buf.len(), 2, "old contents cleared, new delivered once");
+        assert_eq!(buf[0].path, p("/a/x"));
+        assert_eq!(buf[1].path, p("/a/y"));
+        t.take_events_into(1, &mut buf);
+        assert!(buf.is_empty(), "nothing pending, nothing re-delivered");
+    }
+
+    #[test]
+    fn drain_events_counts_and_clears() {
+        let s = store();
+        let mut t = WatchTable::new();
+        t.register(&s, 1, sym(&s, "/a"), "t");
+        assert_eq!(t.drain_events(1), 1);
+        assert_eq!(t.drain_events(1), 0);
+        assert_eq!(t.drain_events(99), 0);
     }
 }

@@ -16,14 +16,20 @@
 //! outcomes.
 
 use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
 
 use simcore::{Category, CostModel, Meter, SimRng, SimTime};
 
 use crate::log::{AccessLog, LogOutcome};
 use crate::path::XsPath;
 use crate::store::{Perms, Store, XsError};
+use crate::sym::XsSym;
 use crate::txn::{Txn, TxnId};
 use crate::watch::{WatchEvent, WatchTable};
+
+/// Finished transactions kept for reuse (overlay/log capacity).
+const TXN_POOL_MAX: usize = 32;
 
 /// A connection identifier (the domain id of the client).
 pub type ConnId = u32;
@@ -80,6 +86,17 @@ pub struct Xenstored {
     ambient_interference: f64,
     rng: SimRng,
     stats: XsStats,
+    /// Pre-interned path skeleton roots (`/local/domain`, `/vm`): every
+    /// domain/device path is composed from these by symbol hops.
+    local_domain: XsSym,
+    vm_root: XsSym,
+    /// Recycled transactions ([`Txn::reset`]) so steady-state
+    /// `txn_start` allocates nothing.
+    txn_pool: Vec<Txn>,
+    /// Scratch for commit-fired symbols (watch dispatch).
+    fired_scratch: Vec<XsSym>,
+    /// Scratch for interference victim candidates.
+    victim_scratch: Vec<XsSym>,
 }
 
 impl Xenstored {
@@ -87,8 +104,12 @@ impl Xenstored {
     pub fn new(flavor: Flavor, seed: u64) -> Xenstored {
         let mut conns = BTreeSet::new();
         conns.insert(0);
+        let store = Store::new();
+        let local = store.child_sym(XsSym::ROOT, "local");
+        let local_domain = store.child_sym(local, "domain");
+        let vm_root = store.child_sym(XsSym::ROOT, "vm");
         Xenstored {
-            store: Store::new(),
+            store,
             txns: HashMap::new(),
             watches: WatchTable::new(),
             conns,
@@ -98,6 +119,11 @@ impl Xenstored {
             ambient_interference: 0.0,
             rng: SimRng::new(seed),
             stats: XsStats::default(),
+            local_domain,
+            vm_root,
+            txn_pool: Vec::new(),
+            fired_scratch: Vec::new(),
+            victim_scratch: Vec::new(),
         }
     }
 
@@ -155,6 +181,81 @@ impl Xenstored {
         self.txns.retain(|_, t| t.conn != conn);
     }
 
+    // --- symbol composition (allocation-free path construction) ----------
+    //
+    // Callers compose request paths from cached roots by symbol hops
+    // instead of `format!` → parse → intern per request. Composition
+    // itself is free of protocol charges: it models the client knowing
+    // its own paths, not a wire exchange.
+
+    /// Interns a path, returning its symbol (composition entry point for
+    /// paths that arrive as strings).
+    pub fn sym(&self, path: &XsPath) -> XsSym {
+        self.store.sym(path)
+    }
+
+    /// The child `<parent>/<name>` (interned by composition).
+    pub fn child_sym(&self, parent: XsSym, name: &str) -> XsSym {
+        self.store.child_sym(parent, name)
+    }
+
+    /// The child `<parent>/<n>` with a numeric component.
+    pub fn child_u32_sym(&self, parent: XsSym, n: u32) -> XsSym {
+        self.store.child_u32_sym(parent, n)
+    }
+
+    /// Materialises a symbol back into a path (refcount bump, no copy).
+    pub fn path_of(&self, sym: XsSym) -> XsPath {
+        self.store.path_of(sym)
+    }
+
+    /// The parent symbol; the root's parent is the root.
+    pub fn parent_sym(&self, sym: XsSym) -> XsSym {
+        self.store.parent_sym(sym)
+    }
+
+    /// The symbol's final path component parsed as `u32`, if numeric
+    /// (the `xl` unique-name scan keys on this).
+    pub fn sym_name_u32(&self, sym: XsSym) -> Option<u32> {
+        self.store.sym_name_u32(sym)
+    }
+
+    /// `/local/domain` (pre-interned).
+    pub fn local_domain_sym(&self) -> XsSym {
+        self.local_domain
+    }
+
+    /// `/local/domain/<domid>`.
+    pub fn domain_dir_sym(&self, domid: u32) -> XsSym {
+        self.store.child_u32_sym(self.local_domain, domid)
+    }
+
+    /// `/vm/<domid>`.
+    pub fn vm_dir_sym(&self, domid: u32) -> XsSym {
+        self.store.child_u32_sym(self.vm_root, domid)
+    }
+
+    /// `/local/domain/<domid>/device/<kind>/<devid>` (frontend dir).
+    pub fn frontend_dir_sym(&self, domid: u32, kind: &str, devid: u32) -> XsSym {
+        let dev = self.store.child_sym(self.domain_dir_sym(domid), "device");
+        let kind = self.store.child_sym(dev, kind);
+        self.store.child_u32_sym(kind, devid)
+    }
+
+    /// `/local/domain/<backend>/backend/<kind>/<domid>/<devid>`.
+    pub fn backend_dir_sym(&self, backend: u32, kind: &str, domid: u32, devid: u32) -> XsSym {
+        let be = self.store.child_sym(self.domain_dir_sym(backend), "backend");
+        let kind = self.store.child_sym(be, kind);
+        let dom = self.store.child_u32_sym(kind, domid);
+        self.store.child_u32_sym(dom, devid)
+    }
+
+    /// `/local/domain/<domid>/control/shutdown`.
+    pub fn control_shutdown_sym(&self, domid: u32) -> XsSym {
+        let control = self.store.child_sym(self.domain_dir_sym(domid), "control");
+        self.store.child_sym(control, "shutdown")
+    }
+
     /// Charges the fixed protocol cost of one request/ack exchange.
     fn charge_protocol(&mut self, cost: &CostModel, meter: &mut Meter, payload: usize) {
         self.stats.requests += 1;
@@ -180,8 +281,8 @@ impl Xenstored {
         meter.charge(Category::Xenstore, dt);
     }
 
-    fn note_mutation(&mut self, cost: &CostModel, meter: &mut Meter, path: &XsPath) {
-        let stats = self.watches.note_mutation(path);
+    fn note_mutation_sym(&mut self, cost: &CostModel, meter: &mut Meter, sym: XsSym) {
+        let stats = self.watches.note_mutation_sym(&self.store, sym);
         self.stats.watch_events += stats.fired as u64;
         let dt = cost.xs_watch_check * stats.checked as u64
             + cost.xs_watch_fire * stats.fired as u64;
@@ -189,17 +290,35 @@ impl Xenstored {
     }
 
     // --- direct (non-transactional) operations ---------------------------
+    //
+    // Each path-keyed operation resolves/interns once and forwards to its
+    // `_s` symbol twin; the twins are the allocation-free hot path.
 
-    /// Reads a value.
+    /// Reads a value as a shared payload — a refcount bump, not a copy.
     pub fn read(
         &mut self,
         cost: &CostModel,
         meter: &mut Meter,
         conn: ConnId,
         path: &XsPath,
-    ) -> Result<Vec<u8>, XsError> {
+    ) -> Result<Rc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, path.len());
-        let v = self.store.read(conn, path)?.to_vec();
+        let sym = self.store.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        let v = self.store.read_rc_sym(conn, sym)?;
+        self.charge(meter, cost.xs_payload_per_byte * v.len() as u64);
+        Ok(v)
+    }
+
+    /// [`Xenstored::read`] on an interned symbol.
+    pub fn read_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+    ) -> Result<Rc<[u8]>, XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        let v = self.store.read_rc_sym(conn, sym)?;
         self.charge(meter, cost.xs_payload_per_byte * v.len() as u64);
         Ok(v)
     }
@@ -214,8 +333,27 @@ impl Xenstored {
         value: &[u8],
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len() + value.len());
-        self.store.write(conn, path, value)?;
-        self.note_mutation(cost, meter, path);
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        let sym = self.store.sym(path);
+        self.store.write_sym(conn, sym, value)?;
+        self.note_mutation_sym(cost, meter, sym);
+        Ok(())
+    }
+
+    /// [`Xenstored::write`] on an interned symbol.
+    pub fn write_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+        value: &[u8],
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym) + value.len());
+        self.store.write_sym(conn, sym, value)?;
+        self.note_mutation_sym(cost, meter, sym);
         Ok(())
     }
 
@@ -228,8 +366,33 @@ impl Xenstored {
         path: &XsPath,
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len());
-        self.store.mkdir(conn, path)?;
-        self.note_mutation(cost, meter, path);
+        self.mkdir_inner(cost, meter, conn, self.store.sym(path))
+    }
+
+    /// [`Xenstored::mkdir`] on an interned symbol.
+    pub fn mkdir_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.mkdir_inner(cost, meter, conn, sym)
+    }
+
+    fn mkdir_inner(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+    ) -> Result<(), XsError> {
+        if self.store.exists_sym(sym) {
+            return Err(XsError::AlreadyExists);
+        }
+        self.store.write_sym(conn, sym, b"")?;
+        self.note_mutation_sym(cost, meter, sym);
         Ok(())
     }
 
@@ -242,8 +405,26 @@ impl Xenstored {
         path: &XsPath,
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len());
-        self.store.rm(conn, path)?;
-        self.note_mutation(cost, meter, path);
+        if path.depth() == 0 {
+            return Err(XsError::Invalid);
+        }
+        let sym = self.store.resolve(path.as_str()).ok_or(XsError::NotFound)?;
+        self.store.rm_sym(conn, sym)?;
+        self.note_mutation_sym(cost, meter, sym);
+        Ok(())
+    }
+
+    /// [`Xenstored::rm`] on an interned symbol.
+    pub fn rm_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.store.rm_sym(conn, sym)?;
+        self.note_mutation_sym(cost, meter, sym);
         Ok(())
     }
 
@@ -262,6 +443,25 @@ impl Xenstored {
         Ok(entries)
     }
 
+    /// Allocation-free directory listing: appends each child's symbol to
+    /// `out` (cleared first), in sorted name order, with the same
+    /// per-entry charge as [`Xenstored::directory`].
+    pub fn directory_syms(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+        out: &mut Vec<XsSym>,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        out.clear();
+        let n = self.store.for_each_child_sym(conn, sym, |child| out.push(child))?;
+        self.store.sort_syms_by_name(out);
+        self.charge(meter, cost.xs_dir_per_entry * n as u64);
+        Ok(())
+    }
+
     /// Changes permissions on a node.
     pub fn set_perms(
         &mut self,
@@ -272,8 +472,24 @@ impl Xenstored {
         perms: Perms,
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len());
-        self.store.set_perms(conn, path, perms)?;
-        self.note_mutation(cost, meter, path);
+        let sym = self.store.sym(path);
+        self.store.set_perms_sym(conn, sym, perms)?;
+        self.note_mutation_sym(cost, meter, sym);
+        Ok(())
+    }
+
+    /// [`Xenstored::set_perms`] on an interned symbol.
+    pub fn set_perms_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+        perms: Perms,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.store.set_perms_sym(conn, sym, perms)?;
+        self.note_mutation_sym(cost, meter, sym);
         Ok(())
     }
 
@@ -289,7 +505,23 @@ impl Xenstored {
         token: &str,
     ) {
         self.charge_protocol(cost, meter, path.len() + token.len());
-        self.watches.register(conn, path.clone(), token);
+        let sym = self.store.sym(path);
+        self.watches.register(&self.store, conn, sym, token);
+        self.stats.watch_events += 1; // the initial synchronisation event
+    }
+
+    /// [`Xenstored::watch`] on an interned symbol; the token is shared,
+    /// not copied (callers keep a cache of reused tokens).
+    pub fn watch_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+        token: &Arc<str>,
+    ) {
+        self.charge_protocol(cost, meter, self.store.path_len(sym) + token.len());
+        self.watches.register(&self.store, conn, sym, Arc::clone(token));
         self.stats.watch_events += 1; // the initial synchronisation event
     }
 
@@ -303,10 +535,12 @@ impl Xenstored {
         token: &str,
     ) -> bool {
         self.charge_protocol(cost, meter, path.len() + token.len());
-        self.watches.unregister(conn, path, token)
+        self.watches.unregister(&self.store, conn, path, token)
     }
 
     /// Takes pending watch events for a connection, charging delivery.
+    /// Allocates the returned `Vec`; hot paths use
+    /// [`Xenstored::take_events_into`] or [`Xenstored::drain_events`].
     pub fn take_events(
         &mut self,
         cost: &CostModel,
@@ -318,6 +552,28 @@ impl Xenstored {
         evs
     }
 
+    /// Moves pending watch events into the caller's scratch buffer
+    /// (cleared first), charging delivery identically to
+    /// [`Xenstored::take_events`]. Zero allocations in steady state.
+    pub fn take_events_into(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        out: &mut Vec<WatchEvent>,
+    ) {
+        self.watches.take_events_into(conn, out);
+        self.charge(meter, cost.xs_watch_fire * out.len() as u64);
+    }
+
+    /// Discards pending watch events, charging delivery for each (the
+    /// client still received them; it just does not act on them).
+    pub fn drain_events(&mut self, cost: &CostModel, meter: &mut Meter, conn: ConnId) -> usize {
+        let n = self.watches.drain_events(conn);
+        self.charge(meter, cost.xs_watch_fire * n as u64);
+        n
+    }
+
     // --- transactions ----------------------------------------------------------
 
     /// Starts a transaction; the snapshot cost grows with store size.
@@ -325,7 +581,13 @@ impl Xenstored {
         self.charge_protocol(cost, meter, 0);
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let txn = Txn::start(id, conn, &self.store);
+        let txn = match self.txn_pool.pop() {
+            Some(mut t) => {
+                t.reset(id, conn, &self.store);
+                t
+            }
+            None => Txn::start(id, conn, &self.store),
+        };
         self.charge(
             meter,
             cost.xs_txn_snapshot_per_node
@@ -334,6 +596,12 @@ impl Xenstored {
         );
         self.txns.insert(id, txn);
         id
+    }
+
+    fn recycle_txn(&mut self, txn: Txn) {
+        if self.txn_pool.len() < TXN_POOL_MAX {
+            self.txn_pool.push(txn);
+        }
     }
 
     /// Runs `f` with the transaction and an immutable view of the main
@@ -355,7 +623,7 @@ impl Xenstored {
         Ok(out)
     }
 
-    /// Transactional read.
+    /// Transactional read (shared payload, no copy).
     pub fn txn_read(
         &mut self,
         cost: &CostModel,
@@ -363,9 +631,22 @@ impl Xenstored {
         conn: ConnId,
         id: TxnId,
         path: &XsPath,
-    ) -> Result<Vec<u8>, XsError> {
+    ) -> Result<Rc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, path.len());
         self.with_txn(conn, id, |txn, main| txn.read(main, path))?
+    }
+
+    /// [`Xenstored::txn_read`] on an interned symbol.
+    pub fn txn_read_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        sym: XsSym,
+    ) -> Result<Rc<[u8]>, XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.with_txn(conn, id, |txn, main| txn.read_sym(main, sym))?
     }
 
     /// Transactional write.
@@ -382,6 +663,20 @@ impl Xenstored {
         self.with_txn(conn, id, |txn, main| txn.write(main, path, value))?
     }
 
+    /// [`Xenstored::txn_write`] on an interned symbol.
+    pub fn txn_write_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        sym: XsSym,
+        value: &[u8],
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym) + value.len());
+        self.with_txn(conn, id, |txn, main| txn.write_sym(main, sym, value))?
+    }
+
     /// Transactional mkdir.
     pub fn txn_mkdir(
         &mut self,
@@ -393,6 +688,19 @@ impl Xenstored {
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len());
         self.with_txn(conn, id, |txn, main| txn.mkdir(main, path))?
+    }
+
+    /// [`Xenstored::txn_mkdir`] on an interned symbol.
+    pub fn txn_mkdir_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        sym: XsSym,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.with_txn(conn, id, |txn, main| txn.mkdir_sym(main, sym))?
     }
 
     /// Transactional directory listing.
@@ -423,6 +731,19 @@ impl Xenstored {
         self.with_txn(conn, id, |txn, main| txn.rm(main, path))?
     }
 
+    /// [`Xenstored::txn_rm`] on an interned symbol.
+    pub fn txn_rm_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        id: TxnId,
+        sym: XsSym,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym));
+        self.with_txn(conn, id, |txn, main| txn.rm_sym(main, sym))?
+    }
+
     /// Ends a transaction. With `commit = true` this validates and applies
     /// it; `Err(Again)` means the caller must retry from `txn_start`.
     pub fn txn_end(
@@ -434,7 +755,7 @@ impl Xenstored {
         commit: bool,
     ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, 0);
-        let txn = match self.txns.remove(&id) {
+        let mut txn = match self.txns.remove(&id) {
             Some(t) if t.conn == conn => t,
             Some(t) => {
                 self.txns.insert(id, t);
@@ -443,6 +764,7 @@ impl Xenstored {
             None => return Err(XsError::NoSuchTxn),
         };
         if !commit {
+            self.recycle_txn(txn);
             return Ok(());
         }
         // Ambient interference: guests' own xenbus traffic may have
@@ -454,24 +776,24 @@ impl Xenstored {
                 1.0 - (1.0 - self.ambient_interference).powi(txn.touched_nodes() as i32);
             if self.rng.chance(p_any) {
                 // Touched symbols come out of a hash map in arbitrary
-                // order; sort the materialised paths so the RNG draw
-                // below picks the same victim on every run (the old
-                // string-keyed map iterated in exactly this order).
-                let mut candidates: Vec<XsPath> = txn
-                    .touched_syms()
-                    .filter(|&s| self.store.exists_sym(s))
-                    .map(|s| self.store.path_of(s))
-                    .collect();
-                candidates.sort_unstable();
+                // order; sort by path string so the RNG draw below picks
+                // the same victim on every run (the exact order the old
+                // `Vec<XsPath>` lexicographic sort produced).
+                let mut candidates = std::mem::take(&mut self.victim_scratch);
+                candidates.clear();
+                candidates.extend(txn.touched_syms().filter(|&s| self.store.exists_sym(s)));
+                self.store.sort_syms_by_path(&mut candidates);
                 if !candidates.is_empty() {
-                    let victim = candidates[self.rng.index(candidates.len())].clone();
+                    let victim = candidates[self.rng.index(candidates.len())];
+                    // Rewrite the node with its own (shared) value: a
+                    // genuine generation bump, zero byte copies.
                     let value = self
                         .store
-                        .read(0, &victim)
-                        .map(|v| v.to_vec())
-                        .unwrap_or_default();
-                    let _ = self.store.write(0, &victim, &value);
+                        .read_rc_sym(0, victim)
+                        .unwrap_or_else(|_| self.store.empty_rc());
+                    let _ = self.store.write_rc_sym(0, victim, &value);
                 }
+                self.victim_scratch = candidates;
             }
         }
         // Validation cost per touched node.
@@ -481,11 +803,12 @@ impl Xenstored {
                 .scale(self.flavor.txn_mult())
                 * txn.touched_nodes() as u64,
         );
-        match txn.commit(&mut self.store) {
-            Ok(written) => {
+        let mut fired = std::mem::take(&mut self.fired_scratch);
+        let result = match txn.commit(&mut self.store, &mut fired) {
+            Ok(()) => {
                 self.stats.txn_commits += 1;
-                for path in &written {
-                    self.note_mutation(cost, meter, path);
+                for &sym in &fired {
+                    self.note_mutation_sym(cost, meter, sym);
                 }
                 Ok(())
             }
@@ -494,7 +817,10 @@ impl Xenstored {
                 Err(XsError::Again)
             }
             Err(e) => Err(e),
-        }
+        };
+        self.fired_scratch = fired;
+        self.recycle_txn(txn);
+        result
     }
 
     /// Runs `body` inside a transaction, retrying on `EAGAIN` up to
@@ -550,7 +876,7 @@ mod tests {
     fn read_write_round_trip_charges_xenstore_category() {
         let (mut xs, cost, mut meter) = setup();
         xs.write(&cost, &mut meter, 0, &p("/a"), b"v").unwrap();
-        assert_eq!(xs.read(&cost, &mut meter, 0, &p("/a")).unwrap(), b"v");
+        assert_eq!(&*xs.read(&cost, &mut meter, 0, &p("/a")).unwrap(), b"v");
         assert!(meter.of(Category::Xenstore) > SimTime::ZERO);
         assert_eq!(meter.total(), meter.of(Category::Xenstore));
     }
@@ -698,6 +1024,58 @@ mod tests {
                 .unwrap_err(),
             XsError::PermissionDenied
         );
+    }
+
+    #[test]
+    fn sym_ops_charge_identically_to_path_ops() {
+        // The figure pipeline's determinism rests on this: converting a
+        // caller from path strings to symbol composition must not change
+        // a single charged nanosecond.
+        let cost = CostModel::paper_defaults();
+        let mut a = Xenstored::new(Flavor::Oxenstored, 7);
+        let mut b = Xenstored::new(Flavor::Oxenstored, 7);
+        let mut ma = Meter::new();
+        let mut mb = Meter::new();
+
+        let path = p("/local/domain/3/device/vif/0/state");
+        a.write(&cost, &mut ma, 0, &path, b"4").unwrap();
+        let _ = a.read(&cost, &mut ma, 0, &path).unwrap();
+        a.mkdir(&cost, &mut ma, 0, &p("/local/domain/3/data")).unwrap();
+        let _ = a.directory(&cost, &mut ma, 0, &p("/local/domain/3/device/vif/0")).unwrap();
+        a.rm(&cost, &mut ma, 0, &path).unwrap();
+
+        let fe = b.frontend_dir_sym(3, "vif", 0);
+        let state = b.child_sym(fe, "state");
+        b.write_s(&cost, &mut mb, 0, state, b"4").unwrap();
+        let _ = b.read_s(&cost, &mut mb, 0, state).unwrap();
+        let data = b.child_sym(b.domain_dir_sym(3), "data");
+        b.mkdir_s(&cost, &mut mb, 0, data).unwrap();
+        let mut kids = Vec::new();
+        b.directory_syms(&cost, &mut mb, 0, fe, &mut kids).unwrap();
+        assert_eq!(kids.len(), 1);
+        b.rm_s(&cost, &mut mb, 0, state).unwrap();
+
+        assert_eq!(ma.total(), mb.total(), "charge parity path vs sym");
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn txn_pool_recycles_without_state_leak() {
+        let (mut xs, cost, mut meter) = setup();
+        xs.write(&cost, &mut meter, 0, &p("/a"), b"1").unwrap();
+        let id1 = xs.txn_start(&cost, &mut meter, 0);
+        xs.txn_write(&cost, &mut meter, 0, id1, &p("/b"), b"2").unwrap();
+        xs.txn_end(&cost, &mut meter, 0, id1, true).unwrap();
+        // The recycled txn must not replay /b or remember touched nodes.
+        let id2 = xs.txn_start(&cost, &mut meter, 0);
+        assert_ne!(id1, id2);
+        assert_eq!(
+            &*xs.txn_read(&cost, &mut meter, 0, id2, &p("/b")).unwrap(),
+            b"2"
+        );
+        xs.txn_end(&cost, &mut meter, 0, id2, true).unwrap();
+        assert_eq!(xs.stats().txn_commits, 2);
+        assert_eq!(xs.stats().txn_conflicts, 0);
     }
 
     #[test]
