@@ -28,7 +28,8 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR" \
 echo "== artefact check =="
 missing=0
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
-          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations; do
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+          faults; do
   for ext in json csv; do
     if [ ! -s "$FIG_DIR/$id.$ext" ]; then
       echo "MISSING: $FIG_DIR/$id.$ext" >&2
@@ -44,6 +45,38 @@ if [ "$missing" -ne 0 ]; then
   echo "ci: figure artefacts missing" >&2
   exit 1
 fi
+
+echo "== fault determinism gate (same seed => same artefact) =="
+# The fault plan is seeded: replaying the faults figure (quick scale,
+# standalone binary this time) must reproduce the runner's artefacts
+# byte for byte.
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/faults-replay" \
+  cargo run --release -p bench --bin faults > /dev/null
+for ext in json csv; do
+  if ! cmp -s "$FIG_DIR/faults.$ext" "$FIG_DIR/faults-replay/faults.$ext"; then
+    echo "ci: faults.$ext not reproducible from the same seed" >&2
+    exit 1
+  fi
+done
+
+echo "== fault-free baseline gate (full scale vs committed results/) =="
+# With the fault plan inactive the injection layer must consume zero
+# RNG draws and charge nothing: every committed figure artefact —
+# including the faults sweep itself, whose seed is fixed — stays byte
+# identical. Full (non-quick) scale, since that is what results/ holds.
+FULL_DIR="$FIG_DIR/full"
+LIGHTVM_FIG_DIR="$FULL_DIR" \
+  cargo run --release -p bench --bin runall -- --report "$FULL_DIR/bench_runner.json"
+for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+          faults; do
+  for ext in json csv; do
+    if ! cmp -s "results/$id.$ext" "$FULL_DIR/$id.$ext"; then
+      echo "ci: $id.$ext differs from committed results/$id.$ext" >&2
+      exit 1
+    fi
+  done
+done
 
 echo "== throughput gate (aggregate_events_per_sec) =="
 extract_rate() {

@@ -1,0 +1,9 @@
+//! Thin wrapper over the `faults` registry figure (see
+//! `bench::faultsweep`): sweeps the deterministic fault-injection rate
+//! against create latency/success rate and writes `faults.{json,csv}`.
+//! `runall` runs the same units on its thread pool alongside the paper
+//! figures.
+
+fn main() {
+    bench::runner::figure_main("faults");
+}

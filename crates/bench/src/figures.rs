@@ -969,6 +969,7 @@ pub fn all_specs(scale: Scale) -> Vec<FigureSpec> {
         fig17(scale),
         fig18(scale),
         crate::ablations::spec(scale),
+        crate::faultsweep::spec(scale),
     ]
 }
 

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod alloc;
+pub mod faultsweep;
 pub mod figures;
 pub mod runner;
 

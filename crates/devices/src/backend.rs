@@ -24,6 +24,12 @@ pub enum DevError {
     NotFound,
     /// Operation illegal in the current xenbus state.
     BadState,
+    /// The backend refused to allocate the device (resource exhaustion
+    /// on the backend side; injected by the fault plan).
+    Refused,
+    /// A watchdog timeout expired waiting for the other end (hotplug
+    /// daemon unresponsive, xenbus handshake stalled).
+    Timeout,
     /// Underlying hypercall failed.
     Hv(HvError),
 }
@@ -34,12 +40,23 @@ impl From<HvError> for DevError {
     }
 }
 
+impl From<crate::switch::SwitchError> for DevError {
+    fn from(e: crate::switch::SwitchError) -> Self {
+        match e {
+            crate::switch::SwitchError::PortExists => DevError::Exists,
+            crate::switch::SwitchError::NoSuchPort => DevError::NotFound,
+        }
+    }
+}
+
 impl std::fmt::Display for DevError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DevError::Exists => write!(f, "device already exists"),
             DevError::NotFound => write!(f, "no such device"),
             DevError::BadState => write!(f, "illegal xenbus state transition"),
+            DevError::Refused => write!(f, "backend refused device allocation"),
+            DevError::Timeout => write!(f, "timed out waiting for peer"),
             DevError::Hv(e) => write!(f, "hypervisor: {e}"),
         }
     }

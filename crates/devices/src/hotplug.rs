@@ -8,9 +8,38 @@
 //! pre-defined setup without forking or bash scripts".
 
 use hypervisor::DomId;
-use simcore::{Category, CostModel, Meter};
+use simcore::{Category, CostModel, FaultPlan, FaultSite, Meter, FAULT_RETRIES};
 
+use crate::backend::DevError;
 use crate::switch::{SoftwareSwitch, SwitchError};
+
+/// Gates a control-plane phase on the fault plan's watchdog.
+///
+/// Each injected stall at `site` charges the watchdog timeout plus
+/// exponential backoff before the phase is retried; `FAULT_RETRIES`
+/// consecutive stalls abandon it with [`DevError::Timeout`]. An inactive
+/// plan returns immediately without touching the RNG, which keeps
+/// fault-free runs byte-identical.
+pub fn watchdog_gate(
+    faults: &mut FaultPlan,
+    site: FaultSite,
+    cost: &CostModel,
+    meter: &mut Meter,
+) -> Result<(), DevError> {
+    if !faults.is_active() {
+        return Ok(());
+    }
+    for attempt in 0..=FAULT_RETRIES {
+        if !faults.should_inject(site) {
+            return Ok(());
+        }
+        meter.charge(
+            Category::Devices,
+            cost.fault_watchdog_timeout + FaultPlan::backoff(cost.fault_backoff_base, attempt),
+        );
+    }
+    Err(DevError::Timeout)
+}
 
 /// Which user-space hotplug mechanism handles device setup.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

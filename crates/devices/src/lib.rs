@@ -26,6 +26,6 @@ pub mod xenbus;
 pub mod xsdev;
 
 pub use backend::{Backend, BackendDevice, DevError};
-pub use hotplug::Hotplug;
+pub use hotplug::{watchdog_gate, Hotplug};
 pub use switch::SoftwareSwitch;
 pub use xenbus::XenbusState;

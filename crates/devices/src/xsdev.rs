@@ -16,11 +16,11 @@
 use std::sync::Arc;
 
 use hypervisor::{DeviceKind, DomId, Hypervisor};
-use simcore::{CostModel, Meter};
+use simcore::{CostModel, FaultPlan, FaultSite, Meter};
 use xenstore::{u32_str, WatchEvent, XsError, Xenstored};
 
 use crate::backend::{Backend, DevError};
-use crate::hotplug::Hotplug;
+use crate::hotplug::{watchdog_gate, Hotplug};
 use crate::switch::SoftwareSwitch;
 use crate::xenbus::XenbusState;
 
@@ -49,6 +49,17 @@ impl From<DevError> for XsDevError {
         XsDevError::Dev(e)
     }
 }
+
+impl std::fmt::Display for XsDevError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XsDevError::Xs(e) => write!(f, "xenstore: {e}"),
+            XsDevError::Dev(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XsDevError {}
 
 /// Registers the back-end's watch on its backend directory (done once at
 /// back-end start-up).
@@ -141,6 +152,7 @@ pub fn backend_process_events(
     cost: &CostModel,
     meter: &mut Meter,
     events: &mut Vec<WatchEvent>,
+    faults: &mut FaultPlan,
 ) -> Result<usize, XsDevError> {
     xs.take_events_into(cost, meter, 0, events);
     let mut handled = 0;
@@ -173,6 +185,13 @@ pub fn backend_process_events(
         let dom = DomId(dom_name.parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?);
         let devid: u32 = devid_name.parse().map_err(|_| XsDevError::Xs(XsError::Invalid))?;
         let kind = backend.kind();
+        if faults.should_inject(FaultSite::BackendRefusal) {
+            // The backend declines the allocation outright (resource
+            // exhaustion on its side). The toolstack observes the refusal
+            // and unwinds the whole create; the announcement written in
+            // step 1 is removed by the compensating teardown.
+            return Err(XsDevError::Dev(DevError::Refused));
+        }
         let (port, grant) = match backend.alloc_device(hv, cost, meter, dom, devid) {
             Ok(x) => x,
             Err(DevError::Exists) => continue, // re-delivered watch
@@ -186,10 +205,12 @@ pub fn backend_process_events(
         xs.write_s(cost, meter, 0, be_evtchn, u32_str(&mut buf, port.0).as_bytes())?;
         xs.write_s(cost, meter, 0, be_grant, u32_str(&mut buf, grant.0).as_bytes())?;
         xs.write_s(cost, meter, 0, be_state, XenbusState::InitWait.as_str().as_bytes())?;
+        watchdog_gate(faults, FaultSite::HotplugTimeout, cost, meter)
+            .map_err(XsDevError::Dev)?;
         if kind == DeviceKind::Net {
             hotplug
                 .plug_vif(cost, meter, switch, dom, devid)
-                .map_err(|_| XsDevError::Dev(DevError::Exists))?;
+                .map_err(|e| XsDevError::Dev(DevError::from(e)))?;
         } else {
             hotplug.plug_vbd(cost, meter);
         }
@@ -200,6 +221,7 @@ pub fn backend_process_events(
 
 /// Step 3: the booting guest contacts the XenStore, retrieves what the
 /// back-end published, connects, and both sides move to `Connected`.
+#[allow(clippy::too_many_arguments)]
 pub fn frontend_connect_via_xenstore(
     xs: &mut Xenstored,
     hv: &mut Hypervisor,
@@ -208,7 +230,12 @@ pub fn frontend_connect_via_xenstore(
     meter: &mut Meter,
     dom: DomId,
     devid: u32,
+    faults: &mut FaultPlan,
 ) -> Result<(), XsDevError> {
+    // The handshake can stall before reaching `Connected` (backend wedged
+    // between states); the guest's watchdog retries and eventually gives
+    // up with a timeout the toolstack turns into a failed boot.
+    watchdog_gate(faults, FaultSite::XenbusStall, cost, meter).map_err(XsDevError::Dev)?;
     let kind = backend.kind();
     let fe = xs.frontend_dir_sym(dom.0, kind.as_str(), devid);
     let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
@@ -244,9 +271,17 @@ pub fn destroy_device_via_xenstore(
     devid: u32,
 ) -> Result<(), XsDevError> {
     let kind = backend.kind();
-    backend.close_device(hv, cost, meter, dom, devid)?;
-    if kind == DeviceKind::Net {
-        let _ = hotplug.unplug_vif(cost, meter, switch, dom, devid);
+    match backend.close_device(hv, cost, meter, dom, devid) {
+        Ok(()) => {
+            if kind == DeviceKind::Net {
+                let _ = hotplug.unplug_vif(cost, meter, switch, dom, devid);
+            }
+        }
+        // The backend never allocated this device (a create aborted
+        // between announcement and allocation); teardown is idempotent
+        // and still removes whatever store records the announce left.
+        Err(DevError::NotFound) => {}
+        Err(e) => return Err(e.into()),
     }
     let fe = xs.frontend_dir_sym(dom.0, kind.as_str(), devid);
     let be = xs.backend_dir_sym(0, kind.as_str(), dom.0, devid);
@@ -303,14 +338,17 @@ mod tests {
             .unwrap();
         let handled = backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut FaultPlan::none(),
         )
         .unwrap();
         assert_eq!(handled, 1);
         assert_eq!(w.be.device(dom, 0).unwrap().state, XenbusState::InitWait);
         assert_eq!(w.sw.port_count(), 1);
-        frontend_connect_via_xenstore(&mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0)
-            .unwrap();
+        frontend_connect_via_xenstore(
+            &mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0,
+            &mut FaultPlan::none(),
+        )
+        .unwrap();
         assert_eq!(w.be.device(dom, 0).unwrap().state, XenbusState::Connected);
         // The handshake paid both XenStore and Devices costs.
         assert!(m.of(Category::Xenstore) > simcore::SimTime::ZERO);
@@ -333,14 +371,14 @@ mod tests {
             .unwrap();
         backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut FaultPlan::none(),
         )
         .unwrap();
         // The backend's own state write re-fires its watch; processing
         // again must not allocate a second device.
         let handled = backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut FaultPlan::none(),
         )
         .unwrap();
         assert_eq!(handled, 0);
@@ -355,11 +393,14 @@ mod tests {
             .unwrap();
         backend_process_events(
             &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
-            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(),
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut FaultPlan::none(),
         )
         .unwrap();
-        frontend_connect_via_xenstore(&mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0)
-            .unwrap();
+        frontend_connect_via_xenstore(
+            &mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0,
+            &mut FaultPlan::none(),
+        )
+        .unwrap();
         destroy_device_via_xenstore(
             &mut w.xs, &mut w.hv, &mut w.be, &mut w.sw,
             Hotplug::Xendevd, &w.cost, &mut m, dom, 0,
@@ -369,6 +410,74 @@ mod tests {
         assert_eq!(w.sw.port_count(), 0);
         assert!(!w.xs.store().exists(&layout::backend_dir(0, "vif", dom.0, 0)));
         assert!(!w.xs.store().exists(&layout::frontend_dir(dom.0, "vif", 0)));
+    }
+
+    #[test]
+    fn backend_refusal_fault_surfaces_as_typed_error() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        let mut faults = FaultPlan::at_site(3, FaultSite::BackendRefusal);
+        let err = backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut faults,
+        )
+        .unwrap_err();
+        assert_eq!(err, XsDevError::Dev(DevError::Refused));
+        // The backend allocated nothing: no device, no switch port, no
+        // grants to leak.
+        assert_eq!(w.be.count(), 0);
+        assert_eq!(w.sw.port_count(), 0);
+        assert!(w.hv.gnttab.is_empty());
+    }
+
+    #[test]
+    fn hotplug_timeout_fault_charges_watchdog_then_fails() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        let before = m.of(Category::Devices);
+        let mut faults = FaultPlan::at_site(3, FaultSite::HotplugTimeout);
+        let err = backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut faults,
+        )
+        .unwrap_err();
+        assert_eq!(err, XsDevError::Dev(DevError::Timeout));
+        // Every attempt (initial + retries) paid at least the watchdog
+        // timeout while the daemon stayed silent.
+        let waited = m.of(Category::Devices) - before;
+        let floor = w.cost.fault_watchdog_timeout * (simcore::FAULT_RETRIES as u64 + 1);
+        assert!(waited >= floor, "waited {waited:?} < watchdog floor {floor:?}");
+    }
+
+    #[test]
+    fn xenbus_stall_fault_times_out_frontend_connect() {
+        let (mut w, mut m, dom) = setup();
+        let mac = Backend::mac_for(dom, 0);
+        toolstack_announce_device(&mut w.xs, &w.cost, &mut m, DeviceKind::Net, dom, 0, &mac)
+            .unwrap();
+        backend_process_events(
+            &mut w.xs, &mut w.hv, &mut [&mut w.be], &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m, &mut Vec::new(), &mut FaultPlan::none(),
+        )
+        .unwrap();
+        let mut faults = FaultPlan::at_site(3, FaultSite::XenbusStall);
+        let err = frontend_connect_via_xenstore(
+            &mut w.xs, &mut w.hv, &mut w.be, &w.cost, &mut m, dom, 0, &mut faults,
+        )
+        .unwrap_err();
+        assert_eq!(err, XsDevError::Dev(DevError::Timeout));
+        // The device never reached Connected and can still be torn down.
+        assert_eq!(w.be.device(dom, 0).unwrap().state, XenbusState::InitWait);
+        destroy_device_via_xenstore(
+            &mut w.xs, &mut w.hv, &mut w.be, &mut w.sw,
+            Hotplug::Xendevd, &w.cost, &mut m, dom, 0,
+        )
+        .unwrap();
+        assert!(w.hv.gnttab.is_empty());
     }
 
     #[test]

@@ -161,16 +161,27 @@ impl EvtchnTable {
         Ok(())
     }
 
-    /// Closes every port belonging to a domain (domain destruction).
+    /// Closes every port belonging to a domain (domain destruction), and
+    /// every port another domain holds towards it: a bound peer half, or
+    /// an unbound offer the dead domain can no longer accept. Like grant
+    /// reaping, this is symmetric — otherwise each guest lifecycle leaks
+    /// the backend-owned offers it never bound (e.g. the sysctl channel).
     pub fn close_all(&mut self, dom: DomId) {
-        let ports: Vec<EvtchnPort> = self
+        let ports: Vec<(DomId, EvtchnPort)> = self
             .channels
-            .keys()
-            .filter(|(d, _)| *d == dom)
-            .map(|(_, p)| *p)
+            .iter()
+            .filter(|((owner, _), ch)| {
+                *owner == dom
+                    || match ch.state {
+                        ChannelState::Unbound { remote }
+                        | ChannelState::Interdomain { remote, .. } => remote == dom,
+                        ChannelState::Closed => false,
+                    }
+            })
+            .map(|(&key, _)| key)
             .collect();
-        for port in ports {
-            let _ = self.close(dom, port);
+        for (owner, port) in ports {
+            let _ = self.close(owner, port);
         }
     }
 

@@ -11,9 +11,9 @@
 //!    event channel; front- and back-end exchange state over the device
 //!    control page.
 
-use devices::{Backend, DevError, Hotplug, SoftwareSwitch};
+use devices::{watchdog_gate, Backend, DevError, Hotplug, SoftwareSwitch};
 use hypervisor::{DevicePageEntry, DeviceKind, DomId, HvError, Hypervisor};
-use simcore::{Category, CostModel, Meter};
+use simcore::{Category, CostModel, FaultPlan, FaultSite, Meter};
 
 /// noxs driver errors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,6 +76,7 @@ pub fn create_device(
     meter: &mut Meter,
     dom: DomId,
     devid: u32,
+    faults: &mut FaultPlan,
 ) -> Result<(), NoxsError> {
     if backend.backend_dom() != DomId::DOM0 {
         return Err(NoxsError::BackendNotDom0);
@@ -83,6 +84,11 @@ pub fn create_device(
     // Step 1: ioctl into the noxs module; the backend allocates the
     // channel + grant and returns the details.
     meter.charge(Category::Devices, cost.noxs_ioctl);
+    if faults.should_inject(FaultSite::BackendRefusal) {
+        // The ioctl returns the backend's refusal; nothing was allocated
+        // and the toolstack unwinds the create.
+        return Err(NoxsError::Dev(DevError::Refused));
+    }
     let (evtchn, grant) = backend.alloc_device(hv, cost, meter, dom, devid)?;
     // Step 2: hypercall writes the details into the device page.
     hv.devpage_write(
@@ -98,10 +104,11 @@ pub fn create_device(
             grant,
         },
     )?;
+    watchdog_gate(faults, FaultSite::HotplugTimeout, cost, meter).map_err(NoxsError::Dev)?;
     if backend.kind() == DeviceKind::Net {
         hotplug
             .plug_vif(cost, meter, switch, dom, devid)
-            .map_err(|_| NoxsError::Dev(DevError::Exists))?;
+            .map_err(|e| NoxsError::Dev(DevError::from(e)))?;
     }
     Ok(())
 }
@@ -114,6 +121,7 @@ pub fn guest_connect_devices(
     cost: &CostModel,
     meter: &mut Meter,
     dom: DomId,
+    faults: &mut FaultPlan,
 ) -> Result<usize, NoxsError> {
     // Step 3: ask the hypervisor for the device page and map it.
     let page = hv.devpage_read(cost, meter, dom)?;
@@ -127,6 +135,9 @@ pub fn guest_connect_devices(
             .iter_mut()
             .find(|b| b.kind() == entry.kind)
             .ok_or(NoxsError::Dev(DevError::NotFound))?;
+        // The control-page handshake can stall exactly like xenbus; the
+        // guest's watchdog bounds the wait.
+        watchdog_gate(faults, FaultSite::XenbusStall, cost, meter).map_err(NoxsError::Dev)?;
         // Step 4: map the grant, bind the channel, exchange parameters.
         backend.frontend_connect(hv, cost, meter, dom, entry.devid)?;
         connected += 1;
@@ -191,11 +202,13 @@ mod tests {
         let (mut w, mut m, dom) = setup();
         create_device(
             &mut w.hv, &mut w.net, &mut w.sw, Hotplug::Xendevd,
-            &w.cost, &mut m, dom, 0,
+            &w.cost, &mut m, dom, 0, &mut FaultPlan::none(),
         )
         .unwrap();
         assert_eq!(w.sw.port_count(), 1);
-        let n = guest_connect_devices(&mut w.hv, &mut [&mut w.net], &w.cost, &mut m, dom).unwrap();
+        let n = guest_connect_devices(
+            &mut w.hv, &mut [&mut w.net], &w.cost, &mut m, dom, &mut FaultPlan::none(),
+        ).unwrap();
         assert_eq!(n, 1);
         assert_eq!(
             w.net.device(dom, 0).unwrap().state,
@@ -208,10 +221,12 @@ mod tests {
         let (mut w, mut m, dom) = setup();
         create_device(
             &mut w.hv, &mut w.net, &mut w.sw, Hotplug::Xendevd,
-            &w.cost, &mut m, dom, 0,
+            &w.cost, &mut m, dom, 0, &mut FaultPlan::none(),
         )
         .unwrap();
-        guest_connect_devices(&mut w.hv, &mut [&mut w.net], &w.cost, &mut m, dom).unwrap();
+        guest_connect_devices(
+            &mut w.hv, &mut [&mut w.net], &w.cost, &mut m, dom, &mut FaultPlan::none(),
+        ).unwrap();
         assert_eq!(m.of(Category::Xenstore), SimTime::ZERO);
         assert!(m.of(Category::Devices) > SimTime::ZERO);
         assert!(m.of(Category::Hypervisor) > SimTime::ZERO);
@@ -222,7 +237,7 @@ mod tests {
         let (mut w, mut m, dom) = setup();
         create_device(
             &mut w.hv, &mut w.net, &mut w.sw, Hotplug::Xendevd,
-            &w.cost, &mut m, dom, 0,
+            &w.cost, &mut m, dom, 0, &mut FaultPlan::none(),
         )
         .unwrap();
         // The whole noxs device setup is well under 10 ms (vs ~40 ms for
@@ -235,7 +250,7 @@ mod tests {
         let (mut w, mut m, dom) = setup();
         create_device(
             &mut w.hv, &mut w.net, &mut w.sw, Hotplug::Xendevd,
-            &w.cost, &mut m, dom, 0,
+            &w.cost, &mut m, dom, 0, &mut FaultPlan::none(),
         )
         .unwrap();
         destroy_device(
@@ -256,7 +271,9 @@ mod tests {
         let mut m = Meter::new();
         let dom = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
         let mut net = Backend::new(DeviceKind::Net);
-        let err = guest_connect_devices(&mut hv, &mut [&mut net], &cost, &mut m, dom).unwrap_err();
+        let err = guest_connect_devices(
+            &mut hv, &mut [&mut net], &cost, &mut m, dom, &mut FaultPlan::none(),
+        ).unwrap_err();
         assert_eq!(err, NoxsError::Hv(HvError::NoSuchDomain));
     }
 }

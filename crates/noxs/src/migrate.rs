@@ -10,7 +10,7 @@
 use devices::{Backend, Hotplug, SoftwareSwitch};
 use hypervisor::{DomId, DomainConfig, Hypervisor};
 use lvnet::Link;
-use simcore::{Category, CostModel, Meter, SimTime};
+use simcore::{Category, CostModel, FaultPlan, Meter, SimTime};
 
 use crate::driver::{self, NoxsError};
 use crate::sysctl::{SysctlBackend, SysctlError};
@@ -95,7 +95,7 @@ pub fn migrate(
     for &devid in net_devids {
         driver::create_device(
             dst.hv, dst.net, dst.switch, Hotplug::Xendevd,
-            dst.cost, meter, new_dom, devid,
+            dst.cost, meter, new_dom, devid, &mut FaultPlan::none(),
         )?;
     }
 
@@ -184,11 +184,11 @@ mod tests {
             self.sysctl.setup(&mut self.hv, &self.cost, &mut m, dom).unwrap();
             driver::create_device(
                 &mut self.hv, &mut self.net, &mut self.switch, Hotplug::Xendevd,
-                &self.cost, &mut m, dom, 0,
+                &self.cost, &mut m, dom, 0, &mut FaultPlan::none(),
             )
             .unwrap();
             driver::guest_connect_devices(
-                &mut self.hv, &mut [&mut self.net], &self.cost, &mut m, dom,
+                &mut self.hv, &mut [&mut self.net], &self.cost, &mut m, dom, &mut FaultPlan::none(),
             )
             .unwrap();
             self.hv.unpause(&self.cost, &mut m, dom).unwrap();
@@ -238,7 +238,7 @@ mod tests {
         a.sysctl.setup(&mut a.hv, &a.cost, &mut m, dom).unwrap();
         driver::create_device(
             &mut a.hv, &mut a.net, &mut a.switch, Hotplug::Xendevd,
-            &a.cost, &mut m, dom, 0,
+            &a.cost, &mut m, dom, 0, &mut FaultPlan::none(),
         )
         .unwrap();
         a.hv.unpause(&a.cost, &mut m, dom).unwrap();

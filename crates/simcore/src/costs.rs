@@ -240,6 +240,20 @@ cost_model! {
     /// Front/back exchanging device parameters over a control page.
     ctrl_page_exchange = SimTime::from_micros_f64(35.0);
 
+    // --- Fault handling ----------------------------------------------------
+    /// Watchdog timeout the toolstack waits before declaring a
+    /// control-plane phase (hotplug dispatch, xenbus handshake) stalled.
+    fault_watchdog_timeout = SimTime::from_millis_f64(5.0);
+    /// Base backoff before retrying a failed phase; doubles per retry,
+    /// capped at 8x (see `FaultPlan::backoff`).
+    fault_backoff_base = SimTime::from_micros_f64(500.0);
+    /// Fixed cost of xenstored crashing and re-exec'ing (process spawn +
+    /// tdb open), before log replay.
+    xs_daemon_restart = SimTime::from_millis_f64(6.0);
+    /// Replaying one store node from the persisted database / access log
+    /// when xenstored restarts.
+    xs_restart_replay_per_node = SimTime::from_micros_f64(2.0);
+
     // --- Scheduling ------------------------------------------------------------
     /// Added wake-up latency per resident VM on the same core: each time a
     /// booting guest sleeps and wakes (udev settles, initramfs steps), it

@@ -19,12 +19,14 @@
 pub mod costs;
 pub mod cpu;
 pub mod engine;
+pub mod faults;
 pub mod machine;
 pub mod memory;
 pub mod rng;
 pub mod time;
 
 pub use costs::{Category, CostModel, Meter};
+pub use faults::{FaultPlan, FaultSite, FAULT_RETRIES};
 pub use cpu::{CpuSim, TaskId, TaskKind};
 pub use engine::{Engine, EventId};
 pub use machine::{Machine, MachinePreset};

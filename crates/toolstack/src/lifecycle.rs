@@ -124,6 +124,7 @@ impl ControlPlane {
                 };
                 xsdev::frontend_connect_via_xenstore(
                     &mut self.xs, &mut self.hv, backend, &cost, &mut meter, dom, devid.1,
+                    &mut self.faults,
                 )?;
             }
             // Device/driver reconnection wait (udev + xenbus settling).
@@ -146,13 +147,13 @@ impl ControlPlane {
             for devid in &guest.net_devids {
                 noxs::driver::create_device(
                     &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
-                    &cost, &mut meter, dom, *devid,
+                    &cost, &mut meter, dom, *devid, &mut self.faults,
                 )?;
             }
             if saved.image.needs_console {
                 noxs::driver::create_device(
                     &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
-                    &cost, &mut meter, dom, 0,
+                    &cost, &mut meter, dom, 0, &mut self.faults,
                 )?;
             }
             noxs::driver::guest_connect_devices(
@@ -161,6 +162,7 @@ impl ControlPlane {
                 &cost,
                 &mut meter,
                 dom,
+                &mut self.faults,
             )?;
             dom
         };
@@ -268,6 +270,7 @@ impl ControlPlane {
             };
             xsdev::frontend_connect_via_xenstore(
                 &mut dst.xs, &mut dst.hv, backend, &dst_cost, &mut meter, new_dom, devid.1,
+                &mut dst.faults,
             )?;
         }
         let reconnect = match self.mode {

@@ -16,7 +16,10 @@ use devices::{xsdev, Backend, Hotplug, SoftwareSwitch};
 use guests::GuestImage;
 use hypervisor::{DeviceKind, DomId, DomainConfig, Hypervisor, HvError};
 use noxs::{driver as noxs_driver, SysctlBackend};
-use simcore::{Category, CostModel, CpuSim, Machine, Meter, SimRng, SimTime, TaskId};
+use simcore::{
+    Category, CostModel, CpuSim, FaultPlan, FaultSite, Machine, Meter, SimRng, SimTime, TaskId,
+    FAULT_RETRIES,
+};
 use xenstore::{u32_str, Flavor, WatchEvent, XsError, XsSym, Xenstored};
 
 use crate::config::VmConfig;
@@ -24,6 +27,13 @@ use crate::split::{ChaosDaemon, VmShell};
 
 const GIB: u64 = 1 << 30;
 const MIB: u64 = 1 << 20;
+
+/// Conflict probability a transaction-storm fault drives the store to
+/// while the stormed phase runs: with ~6 touched nodes per registration
+/// transaction the per-commit conflict probability is effectively 1, so
+/// libxl's internal retries burn out and the phase-level retry (with
+/// backoff) takes over.
+const STORM_INTERFERENCE: f64 = 0.97;
 
 /// The five control-plane configurations evaluated in Figure 9.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,6 +94,9 @@ pub enum PlaneError {
     Xs(XsError),
     /// Device failure.
     Dev(String),
+    /// A control-plane phase timed out after bounded retries (names the
+    /// phase that gave up).
+    Timeout(&'static str),
 }
 
 impl From<HvError> for PlaneError {
@@ -98,12 +111,12 @@ impl From<XsError> for PlaneError {
 }
 impl From<xsdev::XsDevError> for PlaneError {
     fn from(e: xsdev::XsDevError) -> Self {
-        PlaneError::Dev(format!("{e:?}"))
+        PlaneError::Dev(e.to_string())
     }
 }
 impl From<noxs_driver::NoxsError> for PlaneError {
     fn from(e: noxs_driver::NoxsError) -> Self {
-        PlaneError::Dev(format!("{e:?}"))
+        PlaneError::Dev(e.to_string())
     }
 }
 impl From<noxs::sysctl::SysctlError> for PlaneError {
@@ -125,6 +138,7 @@ impl std::fmt::Display for PlaneError {
             PlaneError::Hv(e) => write!(f, "hypervisor: {e}"),
             PlaneError::Xs(e) => write!(f, "xenstore: {e}"),
             PlaneError::Dev(e) => write!(f, "device: {e}"),
+            PlaneError::Timeout(phase) => write!(f, "phase timed out: {phase}"),
         }
     }
 }
@@ -193,6 +207,11 @@ pub struct ControlPlane {
     pub cpu: CpuSim,
     /// The split-toolstack daemon (pool used in split modes).
     pub daemon: ChaosDaemon,
+    /// The deterministic fault plan (inactive by default: zero RNG
+    /// draws, zero charges, byte-identical artefacts).
+    pub faults: FaultPlan,
+    /// Creates (or create+boots) that failed and were rolled back.
+    pub(crate) create_failures: u64,
     pub(crate) dom0_cores: usize,
     pub(crate) vms: BTreeMap<DomId, Vm>,
     pub(crate) rng: SimRng,
@@ -240,6 +259,8 @@ impl ControlPlane {
             sysctl: SysctlBackend::new(),
             cpu,
             daemon: ChaosDaemon::new(8),
+            faults: FaultPlan::none(),
+            create_failures: 0,
             dom0_cores,
             vms: BTreeMap::new(),
             rng: SimRng::new(seed),
@@ -296,6 +317,19 @@ impl ControlPlane {
             }
             _ => image.mem_mib,
         }
+    }
+
+    /// Installs a fault plan. Pass [`FaultPlan::none()`] to disable
+    /// injection again; an inactive plan never touches the RNG, so
+    /// fault-free runs stay byte-identical with or without this call.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Creates that failed and were rolled back (per-domain failures;
+    /// the process never panics on an injected fault).
+    pub fn create_failures(&self) -> u64 {
+        self.create_failures
     }
 
     /// Number of VMs the control plane tracks.
@@ -377,13 +411,24 @@ impl ControlPlane {
             },
         );
 
-        let (dom, from_shell) = if self.mode.uses_split() {
+        let created = if self.mode.uses_split() {
             match self.daemon.take(image.mem_mib, image.needs_net) {
-                Some(shell) => (self.finish_from_shell(&cost, &mut meter, shell, name, image)?, true),
-                None => (self.full_create(&cost, &mut meter, name, image)?, false),
+                Some(shell) => self
+                    .finish_from_shell(&cost, &mut meter, shell, name, image)
+                    .map(|dom| (dom, true)),
+                None => self.full_create(&cost, &mut meter, name, image).map(|dom| (dom, false)),
             }
         } else {
-            (self.full_create(&cost, &mut meter, name, image)?, false)
+            self.full_create(&cost, &mut meter, name, image).map(|dom| (dom, false))
+        };
+        let (dom, from_shell) = match created {
+            Ok(v) => v,
+            // The failed create already rolled itself back; one domain
+            // failing must not take the host down, so record and return.
+            Err(e) => {
+                self.create_failures += 1;
+                return Err(e);
+            }
         };
 
         // Image build: parse the kernel image and lay it out in memory;
@@ -441,7 +486,9 @@ impl ControlPlane {
     }
 
     /// The non-pooled create path: hypervisor work, registration and
-    /// device creation.
+    /// device creation. A failure after the domain exists triggers a
+    /// compensating teardown, so a half-created guest never leaks store
+    /// nodes, watches, grants or event channels.
     fn full_create(
         &mut self,
         cost: &CostModel,
@@ -453,10 +500,8 @@ impl ControlPlane {
             self.xl_name_check(cost, meter, name)?;
         }
 
-        // Hypervisor reservation + memory preparation + vCPUs. Under
-        // page sharing, repeat instances only populate their unique
-        // pages.
-        let mem = self.effective_mem_mib(image);
+        // Hypervisor reservation + vCPUs. Everything past this point has
+        // state to unwind on failure.
         let dom = self.hv.create_domain(
             cost,
             meter,
@@ -465,6 +510,29 @@ impl ControlPlane {
                 vcpus: 1,
             },
         )?;
+        match self.provision(cost, meter, dom, name, image) {
+            Ok(()) => Ok(dom),
+            Err(e) => {
+                self.rollback_partial_create(cost, meter, dom, image);
+                Err(e)
+            }
+        }
+    }
+
+    /// Everything `full_create` does once the domain exists: memory
+    /// preparation, registration and device creation. Split out so any
+    /// mid-create failure funnels through `rollback_partial_create`.
+    fn provision(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<(), PlaneError> {
+        // Under page sharing, repeat instances only populate their
+        // unique pages.
+        let mem = self.effective_mem_mib(image);
         self.hv.populate_physmap(cost, meter, dom, mem)?;
 
         if self.mode.uses_xenstore() {
@@ -501,7 +569,7 @@ impl ControlPlane {
             for devid in net_ids(image) {
                 noxs_driver::create_device(
                     &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
-                    cost, meter, dom, devid,
+                    cost, meter, dom, devid, &mut self.faults,
                 )?;
             }
             for devid in blk_ids(image) {
@@ -509,7 +577,7 @@ impl ControlPlane {
                 let (evtchn, grant) = self
                     .blk
                     .alloc_device(&mut self.hv, cost, meter, dom, devid)
-                    .map_err(|e| PlaneError::Dev(format!("{e:?}")))?;
+                    .map_err(|e| PlaneError::Dev(e.to_string()))?;
                 self.hv.devpage_write(
                     cost,
                     meter,
@@ -529,7 +597,7 @@ impl ControlPlane {
                 let (evtchn, grant) = self
                     .console
                     .alloc_device(&mut self.hv, cost, meter, dom, 0)
-                    .map_err(|e| PlaneError::Dev(format!("{e:?}")))?;
+                    .map_err(|e| PlaneError::Dev(e.to_string()))?;
                 self.hv.devpage_write(
                     cost,
                     meter,
@@ -545,11 +613,12 @@ impl ControlPlane {
                 )?;
             }
         }
-        Ok(dom)
+        Ok(())
     }
 
     /// Execute-phase completion when a shell is available: only the
-    /// VM-specific work remains.
+    /// VM-specific work remains. On failure the shell — which is a fully
+    /// provisioned domain — is rolled back, not returned to the pool.
     fn finish_from_shell(
         &mut self,
         cost: &CostModel,
@@ -559,6 +628,23 @@ impl ControlPlane {
         image: &GuestImage,
     ) -> Result<DomId, PlaneError> {
         let dom = shell.dom;
+        match self.finish_from_shell_inner(cost, meter, dom, name, image) {
+            Ok(()) => Ok(dom),
+            Err(e) => {
+                self.rollback_partial_create(cost, meter, dom, image);
+                Err(e)
+            }
+        }
+    }
+
+    fn finish_from_shell_inner(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<(), PlaneError> {
         if self.mode.uses_xenstore() {
             self.xs.connect(dom.0);
             // Finalise naming and device initialisation in a transaction:
@@ -571,14 +657,15 @@ impl ControlPlane {
             let d_mem_target = self.xs.child_sym(self.xs.child_sym(d, "memory"), "target");
             let d_con_ring = self.xs.child_sym(self.xs.child_sym(d, "console"), "ring-ref");
             let d_devinit = self.xs.child_sym(d, "device-init");
-            self.xs
-                .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
+            self.stormy_registration(cost, meter, "shell finalisation", |xs, cost, meter| {
+                xs.transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
                     xs.txn_write_s(cost, meter, 0, id, d_name, name.as_bytes())?;
                     xs.txn_write_s(cost, meter, 0, id, d_image, b"kernel")?;
                     xs.txn_write_s(cost, meter, 0, id, d_mem_target, b"mem")?;
                     xs.txn_write_s(cost, meter, 0, id, d_con_ring, b"1")?;
                     xs.txn_write_s(cost, meter, 0, id, d_devinit, b"done")
-                })?;
+                })
+            })?;
         } else {
             // Finalise device initialisation over the control pages.
             meter.charge(
@@ -586,7 +673,53 @@ impl ControlPlane {
                 cost.ctrl_page_exchange * (image.device_count().max(1)) as u64,
             );
         }
-        Ok(dom)
+        Ok(())
+    }
+
+    /// Registration phase under fault injection: an injected daemon
+    /// crash costs a restart + log replay before the phase runs (the
+    /// toolstack's transaction died with the old daemon process and is
+    /// simply re-issued); an injected transaction storm drives the
+    /// store's conflict probability to `STORM_INTERFERENCE` for the
+    /// duration of one attempt. The phase is retried with exponential
+    /// backoff up to `FAULT_RETRIES` times before the create is
+    /// abandoned. With an inactive plan this is exactly one plain
+    /// attempt: no draws, no extra charges.
+    fn stormy_registration(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        phase: &'static str,
+        mut body: impl FnMut(&mut Xenstored, &CostModel, &mut Meter) -> Result<(), XsError>,
+    ) -> Result<(), PlaneError> {
+        if self.faults.should_inject(FaultSite::XsCrash) {
+            self.xs.crash_and_restart(cost, meter);
+        }
+        for attempt in 0..=FAULT_RETRIES {
+            let storm = self.faults.should_inject(FaultSite::TxnStorm);
+            let saved = self.xs.ambient_interference();
+            if storm {
+                self.xs.set_ambient_interference(STORM_INTERFERENCE);
+                self.xs.set_storm(true);
+            }
+            let result = body(&mut self.xs, cost, meter);
+            if storm {
+                self.xs.set_ambient_interference(saved);
+                self.xs.set_storm(false);
+            }
+            match result {
+                Ok(()) => return Ok(()),
+                Err(XsError::Again) if attempt < FAULT_RETRIES => {
+                    meter.charge(
+                        Category::Xenstore,
+                        FaultPlan::backoff(cost.fault_backoff_base, attempt),
+                    );
+                }
+                Err(XsError::Again) => return Err(PlaneError::Timeout(phase)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("loop returns on its final attempt");
     }
 
     /// xl's unique-name check: list every domain and read its name.
@@ -665,8 +798,8 @@ impl ControlPlane {
         } else {
             None
         };
-        self.xs
-            .transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
+        self.stormy_registration(cost, meter, "domain registration", |xs, cost, meter| {
+            xs.transaction(cost, meter, 0, xsdev::TXN_RETRIES, |xs, cost, meter, id| {
                 xs.txn_write_s(cost, meter, 0, id, d_name, name.as_bytes())?;
                 xs.txn_write_s(cost, meter, 0, id, d_domid, dom_s.as_bytes())?;
                 xs.txn_write_s(cost, meter, 0, id, d_mem_target, b"mem")?;
@@ -684,7 +817,8 @@ impl ControlPlane {
                     xs.txn_write_s(cost, meter, 0, id, d_store_port, b"1")?;
                 }
                 Ok(())
-            })?;
+            })
+        })?;
         Ok(())
     }
 
@@ -703,6 +837,7 @@ impl ControlPlane {
             &mut self.xs, &mut self.hv,
             &mut [&mut self.net, &mut self.blk, &mut self.console],
             &mut self.switch, self.mode.hotplug(), cost, meter, &mut events,
+            &mut self.faults,
         );
         self.xs_events = events;
         result?;
@@ -730,21 +865,26 @@ impl ControlPlane {
                         self.background_meter.charge(cat, dt);
                     }
                 }
-                Err(_) => break, // e.g. out of memory: stop refilling
+                // e.g. out of memory or an injected fault: the failed
+                // prepare rolled itself back; stop this refill round.
+                Err(_) => {
+                    self.daemon.note_refill_failure();
+                    break;
+                }
             }
         }
     }
 
     /// Prepare phase (paper Figure 8, steps 1-5): hypervisor
     /// reservation, compute allocation, memory reservation and
-    /// preparation, device pre-creation.
+    /// preparation, device pre-creation. A failed prepare rolls its
+    /// half-built shell back instead of leaking the domain.
     fn prepare_shell(
         &mut self,
         cost: &CostModel,
         meter: &mut Meter,
         image: &GuestImage,
     ) -> Result<VmShell, PlaneError> {
-        let mem = self.effective_mem_mib(image);
         let dom = self.hv.create_domain(
             cost,
             meter,
@@ -753,6 +893,27 @@ impl ControlPlane {
                 vcpus: 1,
             },
         )?;
+        match self.prepare_shell_inner(cost, meter, dom, image) {
+            Ok(()) => Ok(VmShell {
+                dom,
+                mem_mib: image.mem_mib,
+                has_net: image.needs_net,
+            }),
+            Err(e) => {
+                self.rollback_partial_create(cost, meter, dom, image);
+                Err(e)
+            }
+        }
+    }
+
+    fn prepare_shell_inner(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        image: &GuestImage,
+    ) -> Result<(), PlaneError> {
+        let mem = self.effective_mem_mib(image);
         self.hv.populate_physmap(cost, meter, dom, mem)?;
         if self.mode.uses_xenstore() {
             self.xs.connect(dom.0);
@@ -776,21 +937,76 @@ impl ControlPlane {
             for devid in net_ids(image) {
                 noxs_driver::create_device(
                     &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
-                    cost, meter, dom, devid,
+                    cost, meter, dom, devid, &mut self.faults,
                 )?;
             }
             if image.needs_console {
                 noxs_driver::create_device(
                     &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
-                    cost, meter, dom, 0,
+                    cost, meter, dom, 0, &mut self.faults,
                 )?;
             }
         }
-        Ok(VmShell {
-            dom,
-            mem_mib: image.mem_mib,
-            has_net: image.needs_net,
-        })
+        Ok(())
+    }
+
+    /// Compensating teardown for a create/prepare that failed after its
+    /// domain existed. Undoes, in reverse creation order, everything the
+    /// aborted create *may* have set up — backend devices, switch ports,
+    /// store nodes and watches, the store connection, and the domain
+    /// itself (whose destruction reaps memory, event channels, grants
+    /// and the device page). Every step tolerates never-created state,
+    /// so the host ends byte-for-byte where it started regardless of
+    /// which phase failed.
+    fn rollback_partial_create(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        image: &GuestImage,
+    ) {
+        if self.mode.uses_xenstore() {
+            for devid in net_ids(image) {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.net, &mut self.switch,
+                    self.mode.hotplug(), cost, meter, dom, devid,
+                );
+            }
+            for devid in blk_ids(image) {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.blk, &mut self.switch,
+                    self.mode.hotplug(), cost, meter, dom, devid,
+                );
+            }
+            if image.needs_console {
+                let _ = xsdev::destroy_device_via_xenstore(
+                    &mut self.xs, &mut self.hv, &mut self.console, &mut self.switch,
+                    self.mode.hotplug(), cost, meter, dom, 0,
+                );
+            }
+            let d = self.xs.domain_dir_sym(dom.0);
+            let _ = self.xs.rm_s(cost, meter, 0, d);
+            let v = self.xs.vm_dir_sym(dom.0);
+            let _ = self.xs.rm_s(cost, meter, 0, v);
+            self.xs.disconnect(dom.0);
+        } else {
+            for devid in net_ids(image) {
+                let _ = noxs_driver::destroy_device(
+                    &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
+                    cost, meter, dom, devid,
+                );
+            }
+            if image.needs_console {
+                let _ = noxs_driver::destroy_device(
+                    &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
+                    cost, meter, dom, 0,
+                );
+            }
+            self.blk.drop_domain(dom);
+            self.sysctl.drop_domain(dom);
+        }
+        self.switch.drop_domain(dom);
+        let _ = self.hv.destroy(cost, meter, dom);
     }
 
     // --- boot -----------------------------------------------------------------
@@ -825,20 +1041,20 @@ impl ControlPlane {
                     .watch_s(&cost, &mut meter, dom.0, d, &self.fe_tokens[w]);
             }
             self.xs.drain_events(&cost, &mut meter, dom.0);
-            for devid in net_devids {
-                xsdev::frontend_connect_via_xenstore(
-                    &mut self.xs, &mut self.hv, &mut self.net, &cost, &mut meter, dom, devid,
-                )?;
-            }
-            for devid in blk_devids {
-                xsdev::frontend_connect_via_xenstore(
-                    &mut self.xs, &mut self.hv, &mut self.blk, &cost, &mut meter, dom, devid,
-                )?;
-            }
-            if image.needs_console {
-                xsdev::frontend_connect_via_xenstore(
-                    &mut self.xs, &mut self.hv, &mut self.console, &cost, &mut meter, dom, 0,
-                )?;
+            if let Err(e) =
+                self.connect_frontends(&cost, &mut meter, dom, &net_devids, &blk_devids, &image)
+            {
+                // Aborted boot: unregister the watches registered above
+                // and drop any events they fired, so the watch table and
+                // queues return to their pre-boot state. The domain
+                // itself stays created; the caller decides its fate.
+                for w in 0..image.watches as usize {
+                    let _ = self
+                        .xs
+                        .unwatch_s(&cost, &mut meter, dom.0, d, &self.fe_tokens[w]);
+                }
+                self.xs.drain_events(&cost, &mut meter, dom.0);
+                return Err(e);
             }
         } else {
             noxs_driver::guest_connect_devices(
@@ -847,12 +1063,18 @@ impl ControlPlane {
                 &cost,
                 &mut meter,
                 dom,
+                &mut self.faults,
             )?;
         }
 
         // Guest boot work under processor sharing on its core.
         let probe = self.cpu.add_finite(core, image.boot_work.max(1e-9));
-        let rate = self.cpu.rate_of(probe).expect("finite task has a rate");
+        // Invariant: `add_finite` just inserted the probe, so it must
+        // have a rate; a miss means CpuSim's bookkeeping is corrupt.
+        let rate = self
+            .cpu
+            .rate_of(probe)
+            .expect("CpuSim lost a finite task it just admitted");
         self.cpu.remove(probe);
         let peers = self.cpu.tasks_on_core(core);
         meter.charge(Category::Other, image.boot_latency(&cost, rate, peers));
@@ -860,22 +1082,65 @@ impl ControlPlane {
         // The guest is now resident: register its idle churn.
         let bg = self.cpu.add_background(core, image.idle_demand);
         self.dom0_load_total += image.dom0_load;
-        let vm = self.vms.get_mut(&dom).expect("checked above");
+        // Re-fetch fallibly: the connect phase above can in principle
+        // tear state down, and a vanished record should surface as an
+        // error, not a panic.
+        let vm = self.vms.get_mut(&dom).ok_or(PlaneError::NoSuchVm)?;
         vm.bg = Some(bg);
         vm.booted = true;
         self.refresh_interference();
         Ok(meter.total())
     }
 
-    /// `create_vm` + `boot_vm`.
+    /// Front-end connection for every device of a booting guest; split
+    /// out so `boot_vm` can unwind its watch registrations on failure.
+    fn connect_frontends(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom: DomId,
+        net_devids: &[u32],
+        blk_devids: &[u32],
+        image: &GuestImage,
+    ) -> Result<(), PlaneError> {
+        for &devid in net_devids {
+            xsdev::frontend_connect_via_xenstore(
+                &mut self.xs, &mut self.hv, &mut self.net, cost, meter, dom, devid,
+                &mut self.faults,
+            )?;
+        }
+        for &devid in blk_devids {
+            xsdev::frontend_connect_via_xenstore(
+                &mut self.xs, &mut self.hv, &mut self.blk, cost, meter, dom, devid,
+                &mut self.faults,
+            )?;
+        }
+        if image.needs_console {
+            xsdev::frontend_connect_via_xenstore(
+                &mut self.xs, &mut self.hv, &mut self.console, cost, meter, dom, 0,
+                &mut self.faults,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// `create_vm` + `boot_vm`. A guest that created but failed to boot
+    /// is torn down in full: the failure is recorded and the host keeps
+    /// running, with nothing of the dead guest left behind.
     pub fn create_and_boot(
         &mut self,
         name: &str,
         image: &GuestImage,
     ) -> Result<(DomId, SimTime, SimTime), PlaneError> {
         let report = self.create_vm(name, image)?;
-        let boot = self.boot_vm(report.dom)?;
-        Ok((report.dom, report.total(), boot))
+        match self.boot_vm(report.dom) {
+            Ok(boot) => Ok((report.dom, report.total(), boot)),
+            Err(e) => {
+                self.create_failures += 1;
+                let _ = self.destroy_vm(report.dom);
+                Err(e)
+            }
+        }
     }
 
     // --- destroy --------------------------------------------------------------

@@ -31,6 +31,7 @@ pub struct ChaosDaemon {
     pub target: usize,
     hits: u64,
     misses: u64,
+    refill_failures: u64,
 }
 
 impl ChaosDaemon {
@@ -41,6 +42,7 @@ impl ChaosDaemon {
             target,
             hits: 0,
             misses: 0,
+            refill_failures: 0,
         }
     }
 
@@ -80,6 +82,18 @@ impl ChaosDaemon {
     /// (pool hits, pool misses) since start.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Records a background prepare that failed (and was rolled back);
+    /// the daemon stops the current refill round and tries again on the
+    /// next create.
+    pub fn note_refill_failure(&mut self) {
+        self.refill_failures += 1;
+    }
+
+    /// Background prepares that failed since start.
+    pub fn refill_failures(&self) -> u64 {
+        self.refill_failures
     }
 }
 

@@ -418,7 +418,7 @@ fn driver_domain_backend_works_on_xs_path_only() {
     cp.hv.devpage_setup(&cost, &mut m, hypervisor::DomId::DOM0, guest).unwrap();
     let err = noxs::driver::create_device(
         &mut cp.hv, &mut drv_net, &mut cp.switch, devices::Hotplug::Xendevd,
-        &cost, &mut m, guest, 0,
+        &cost, &mut m, guest, 0, &mut simcore::FaultPlan::none(),
     )
     .unwrap_err();
     assert_eq!(err, noxs::driver::NoxsError::BackendNotDom0);

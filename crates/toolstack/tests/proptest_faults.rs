@@ -1,0 +1,203 @@
+//! Property tests of the fault-injection plan and compensating teardown
+//! (DESIGN.md § Fault model): for every injection site, a failed create
+//! rolls the world back byte-for-byte, a successful create is fully
+//! undone by destroy, and identical seeds yield identical artefacts.
+//!
+//! Randomness comes from the workspace's own seeded `SimRng`-backed
+//! `FaultPlan` (the build environment is offline, so no proptest), with
+//! fixed seeds per case: failures reproduce exactly.
+
+use guests::GuestImage;
+use simcore::faults::{FaultPlan, FaultSite};
+use simcore::{Machine, MachinePreset, Meter};
+use toolstack::plane::{ControlPlane, ToolstackMode};
+use xenstore::XsPath;
+
+fn plane(mode: ToolstackMode) -> ControlPlane {
+    ControlPlane::new(Machine::preset(MachinePreset::XeonE5_1630V3), 1, mode, 42)
+}
+
+/// Append one line per store node under `path` (depth-first, child order
+/// as the store reports it). Values are compared verbatim; generations
+/// are deliberately excluded — they are a monotone clock, and ambient or
+/// storm interference rewrites a node with its own value, bumping the
+/// generation without changing observable content.
+fn walk(cp: &ControlPlane, path: &XsPath, out: &mut String) {
+    out.push_str(path.as_str());
+    if let Ok(value) = cp.xs.store().read(0, path) {
+        out.push('=');
+        out.push_str(&String::from_utf8_lossy(value));
+    }
+    out.push('\n');
+    if let Ok(children) = cp.xs.store().directory(0, path) {
+        for child in children {
+            walk(cp, &path.child(&child).unwrap(), out);
+        }
+    }
+}
+
+/// A byte-for-byte digest of everything a create can allocate: the
+/// store tree (paths and values), watch registrations and undelivered
+/// events, device backends, switch ports, and hypervisor-side state
+/// (domains, guest memory, event channels, grants).
+fn digest(cp: &mut ControlPlane) -> String {
+    // Dom0's toolstack watches receive events whenever any neighbour is
+    // created or destroyed; those deliveries are normal background work,
+    // not state the victim allocated. Drain them so the snapshots
+    // compare allocations, while guest connections stay untouched.
+    let cost = cp.cost();
+    let mut m = Meter::new();
+    cp.xs.drain_events(&cost, &mut m, 0);
+
+    let mut d = String::new();
+    walk(cp, &XsPath::root(), &mut d);
+    d.push_str(&format!(
+        "nodes={} watches={} conns={}\n",
+        cp.xs.store().node_count(),
+        cp.xs.watch_count(),
+        cp.xs.conn_count(),
+    ));
+    for conn in 0..16 {
+        let pending = cp.xs.pending_events(conn);
+        if pending != 0 {
+            d.push_str(&format!("pending[{conn}]={pending}\n"));
+        }
+    }
+    d.push_str(&format!(
+        "net={} blk={} console={} ports={}\n",
+        cp.net.count(),
+        cp.blk.count(),
+        cp.console.count(),
+        cp.switch.port_count(),
+    ));
+    d.push_str(&format!(
+        "domains={} guest_mem={} evtchns={} grants={}\n",
+        cp.hv.domain_count(),
+        cp.guest_memory_used(),
+        cp.hv.evtchn.open_channels(),
+        cp.hv.gnttab.len(),
+    ));
+    d.push_str(&format!("running={}\n", cp.running_count()));
+    d
+}
+
+/// One full scenario: boot a healthy resident VM, snapshot the world,
+/// then attempt a victim create with certain injection at `site`.
+/// Whatever the outcome, the world must return to the snapshot — via
+/// compensating rollback on failure, or via destroy on success (sites
+/// that only add latency, or that the mode never exercises). Returns
+/// the outcome string and the final digest for determinism checks.
+fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, String) {
+    let mut cp = plane(mode);
+    let img = GuestImage::unikernel_daytime();
+    cp.prewarm(&img);
+    cp.create_and_boot("resident", &img)
+        .expect("fault-free resident VM boots");
+    let before = digest(&mut cp);
+
+    cp.set_fault_plan(FaultPlan::at_site(seed, site));
+    let outcome = match cp.create_and_boot("victim", &img) {
+        Ok((dom, create, boot)) => {
+            cp.destroy_vm(dom).expect("victim destroy succeeds");
+            format!("ok dom={} create={create} boot={boot}", dom.0)
+        }
+        Err(e) => {
+            assert!(
+                cp.create_failures() >= 1,
+                "{mode:?}/{}: failure not recorded",
+                site.name()
+            );
+            format!("err {e:?}")
+        }
+    };
+    cp.set_fault_plan(FaultPlan::none());
+    // A split-mode daemon may have aborted (and rolled back) a shell
+    // refill under injection, leaving the pool legitimately one short;
+    // top it back up fault-free so the snapshots compare like with like.
+    cp.prewarm(&img);
+
+    let after = digest(&mut cp);
+    assert_eq!(
+        before,
+        after,
+        "{mode:?}/{} seed {seed}: leaked state after `{outcome}`",
+        site.name()
+    );
+    (outcome, after)
+}
+
+/// Every injection site, in every representative mode, with several
+/// seeds: no leaks, and the resident VM is untouched by its neighbour's
+/// failure.
+#[test]
+fn injection_at_every_site_leaves_no_leaks() {
+    for mode in [
+        ToolstackMode::Xl,
+        ToolstackMode::ChaosXs,
+        ToolstackMode::ChaosNoxs,
+        ToolstackMode::LightVm,
+    ] {
+        for site in FaultSite::ALL {
+            for seed in [1, 7, 0xfa17] {
+                run_case(mode, site, seed);
+            }
+        }
+    }
+}
+
+/// Identical seeds yield identical artefacts: same outcome (including
+/// the exact error and charged times) and same final digest.
+#[test]
+fn identical_seeds_give_identical_artefacts() {
+    for mode in [ToolstackMode::ChaosXs, ToolstackMode::LightVm] {
+        for site in FaultSite::ALL {
+            let a = run_case(mode, site, 0xdead);
+            let b = run_case(mode, site, 0xdead);
+            assert_eq!(a, b, "{mode:?}/{} replay diverged", site.name());
+        }
+    }
+}
+
+/// Sites with guaranteed-fatal semantics do fail at rate 1.0 in the
+/// modes that exercise them — the no-leak property above is vacuous if
+/// rollback never runs.
+#[test]
+fn fatal_sites_actually_fail() {
+    let fatal_xs = [
+        FaultSite::TxnStorm,
+        FaultSite::HotplugTimeout,
+        FaultSite::XenbusStall,
+        FaultSite::BackendRefusal,
+    ];
+    for site in fatal_xs {
+        let (outcome, _) = run_case(ToolstackMode::ChaosXs, site, 3);
+        assert!(outcome.starts_with("err"), "chaos[XS]/{}: {outcome}", site.name());
+    }
+    // ChaosNoxs creates domains directly, so device-path sites are hit
+    // on the victim's own create/boot.
+    for site in [
+        FaultSite::HotplugTimeout,
+        FaultSite::XenbusStall,
+        FaultSite::BackendRefusal,
+    ] {
+        let (outcome, _) = run_case(ToolstackMode::ChaosNoxs, site, 3);
+        assert!(outcome.starts_with("err"), "chaos[NoXS]/{}: {outcome}", site.name());
+    }
+    // In LightVm the victim still connects its frontends at boot, so the
+    // xenbus-stall site fails it there.
+    let (outcome, _) = run_case(ToolstackMode::LightVm, FaultSite::XenbusStall, 3);
+    assert!(outcome.starts_with("err"), "lightvm/xenbus-stall: {outcome}");
+    // Store-side sites never touch a noxs-mode host; and the remaining
+    // create-path sites land on the daemon's pool refill (recorded
+    // there), not on the victim, which is finished from a healthy
+    // pre-warmed shell.
+    for site in [
+        FaultSite::XsCrash,
+        FaultSite::TxnStorm,
+        FaultSite::HotplugTimeout,
+        FaultSite::BackendRefusal,
+    ] {
+        let (outcome, _) = run_case(ToolstackMode::LightVm, site, 3);
+        assert!(outcome.starts_with("ok"), "lightvm/{}: {outcome}", site.name());
+    }
+}

@@ -83,6 +83,14 @@ impl WatchTable {
         let Some(sym) = store.resolve(path.as_str()) else {
             return false;
         };
+        self.unregister_sym(conn, sym, token)
+    }
+
+    /// [`WatchTable::unregister`] on an interned symbol. A symbol that was
+    /// never watched (or whose watch was already removed) is a no-op
+    /// returning false — the table is never corrupted by a double
+    /// unregister.
+    pub fn unregister_sym(&mut self, conn: u32, sym: XsSym, token: &str) -> bool {
         let Some(list) = self.by_sym.get_mut(sym.index()) else {
             return false;
         };
@@ -261,6 +269,26 @@ mod tests {
         let s = store();
         let mut t = WatchTable::new();
         assert!(!t.unregister(&s, 1, &p("/never"), "t"));
+    }
+
+    #[test]
+    fn unregister_sym_is_noop_on_unknown_and_exact_on_known() {
+        let s = store();
+        let mut t = WatchTable::new();
+        let a = sym(&s, "/a");
+        // Never registered: clean no-op, count untouched.
+        assert!(!t.unregister_sym(1, a, "t"));
+        assert_eq!(t.count(), 0);
+        t.register(&s, 1, a, "t");
+        t.register(&s, 2, a, "t");
+        // Wrong token / wrong conn leave the other entries intact.
+        assert!(!t.unregister_sym(1, a, "other"));
+        assert!(t.unregister_sym(1, a, "t"));
+        assert_eq!(t.count(), 1, "conn 2's watch survives");
+        // Double unregister after the fact: no-op, no corruption.
+        assert!(!t.unregister_sym(1, a, "t"));
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.note_mutation_sym(&s, sym(&s, "/a/x")).fired, 1);
     }
 
     #[test]

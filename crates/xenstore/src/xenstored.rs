@@ -70,6 +70,8 @@ pub struct XsStats {
     pub txn_conflicts: u64,
     /// Watch events queued.
     pub watch_events: u64,
+    /// Daemon crash/restart cycles survived (fault injection).
+    pub restarts: u64,
 }
 
 /// The simulated xenstored daemon.
@@ -84,6 +86,10 @@ pub struct Xenstored {
     /// Probability that a touched node was dirtied by ambient guest
     /// xenbus traffic while a transaction was open.
     ambient_interference: f64,
+    /// Fault injection: while set, interfering writers may also race the
+    /// *creation* of touched nodes (not just rewrite existing ones), so
+    /// transactions writing a fresh subtree can conflict too.
+    storm: bool,
     rng: SimRng,
     stats: XsStats,
     /// Pre-interned path skeleton roots (`/local/domain`, `/vm`): every
@@ -117,6 +123,7 @@ impl Xenstored {
             flavor,
             next_txn: 1,
             ambient_interference: 0.0,
+            storm: false,
             rng: SimRng::new(seed),
             stats: XsStats::default(),
             local_domain,
@@ -166,6 +173,51 @@ impl Xenstored {
     /// The control plane raises this with guest density.
     pub fn set_ambient_interference(&mut self, p: f64) {
         self.ambient_interference = p.clamp(0.0, 1.0);
+    }
+
+    /// Current ambient-interference probability (saved/restored around
+    /// injected transaction-conflict storms).
+    pub fn ambient_interference(&self) -> f64 {
+        self.ambient_interference
+    }
+
+    /// Toggles transaction-storm mode (fault injection): while set,
+    /// interfering writers may also race node *creation*, so even
+    /// transactions writing only fresh subtrees (domain registration)
+    /// conflict. Always pair with a raised ambient-interference level
+    /// and restore both afterwards.
+    pub fn set_storm(&mut self, on: bool) {
+        self.storm = on;
+    }
+
+    /// Pending (queued, undelivered) watch events for a connection.
+    pub fn pending_events(&self, conn: ConnId) -> usize {
+        self.watches.pending_count(conn)
+    }
+
+    /// Crashes the daemon and restarts it from its persisted state,
+    /// replaying one record per live node (tdb / access-log replay).
+    ///
+    /// Connections, registered watches and queued events survive — this
+    /// models oxenstored's live-update/restart path where clients keep
+    /// their sockets — but every open transaction is aborted: its
+    /// snapshot died with the old process, so the owner sees
+    /// `ENOENT(txn)` on the next op and must restart the transaction.
+    /// The replay cost scales with store size, which is what makes a
+    /// crash at high guest density expensive (the log-rotation spike's
+    /// evil twin).
+    pub fn crash_and_restart(&mut self, cost: &CostModel, meter: &mut Meter) {
+        for (_, txn) in self.txns.drain() {
+            if self.txn_pool.len() < TXN_POOL_MAX {
+                self.txn_pool.push(txn);
+            }
+        }
+        self.charge(
+            meter,
+            cost.xs_daemon_restart
+                + cost.xs_restart_replay_per_node * self.store.node_count() as u64,
+        );
+        self.stats.restarts += 1;
     }
 
     /// Opens a connection for a domain.
@@ -526,6 +578,12 @@ impl Xenstored {
     }
 
     /// Unregisters a watch.
+    ///
+    /// Unwatching a `(path, token)` pair this connection never registered
+    /// — or already unregistered, e.g. after a crash-recovery double
+    /// teardown — is a clean `ENOENT`: the request is still charged (the
+    /// daemon parsed it and searched the table) and the table is left
+    /// untouched, exactly like real xenstored's `EINVAL`-free unwatch.
     pub fn unwatch(
         &mut self,
         cost: &CostModel,
@@ -533,9 +591,31 @@ impl Xenstored {
         conn: ConnId,
         path: &XsPath,
         token: &str,
-    ) -> bool {
+    ) -> Result<(), XsError> {
         self.charge_protocol(cost, meter, path.len() + token.len());
-        self.watches.unregister(&self.store, conn, path, token)
+        if self.watches.unregister(&self.store, conn, path, token) {
+            Ok(())
+        } else {
+            Err(XsError::NotFound)
+        }
+    }
+
+    /// [`Xenstored::unwatch`] on an interned symbol (teardown twin of
+    /// [`Xenstored::watch_s`]; identical charges).
+    pub fn unwatch_s(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        conn: ConnId,
+        sym: XsSym,
+        token: &str,
+    ) -> Result<(), XsError> {
+        self.charge_protocol(cost, meter, self.store.path_len(sym) + token.len());
+        if self.watches.unregister_sym(conn, sym, token) {
+            Ok(())
+        } else {
+            Err(XsError::NotFound)
+        }
     }
 
     /// Takes pending watch events for a connection, charging delivery.
@@ -781,7 +861,16 @@ impl Xenstored {
                 // `Vec<XsPath>` lexicographic sort produced).
                 let mut candidates = std::mem::take(&mut self.victim_scratch);
                 candidates.clear();
-                candidates.extend(txn.touched_syms().filter(|&s| self.store.exists_sym(s)));
+                // Normally only pre-existing nodes can be dirtied (a
+                // guest rewriting its own records). Under an injected
+                // transaction storm the racing writer may also *create*
+                // a node this transaction was about to create — the
+                // creation race `Txn::commit` detects.
+                let storm = self.storm;
+                candidates.extend(
+                    txn.touched_syms()
+                        .filter(|&s| storm || self.store.exists_sym(s)),
+                );
                 self.store.sort_syms_by_path(&mut candidates);
                 if !candidates.is_empty() {
                     let victim = candidates[self.rng.index(candidates.len())];
