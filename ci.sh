@@ -2,7 +2,8 @@
 # CI gate: build everything, run the whole test suite, smoke-run the
 # hot-path microbenches, then regenerate all figures at quick scale
 # through the parallel runner. Fails if any expected artefact is
-# missing, if runner throughput collapsed (>5x below the committed
+# missing, if disabling the world-snapshot cache changes any artefact
+# byte, if runner throughput collapsed (>5x below the committed
 # baseline in results/bench_runner.json — a coarse band that only trips
 # on real regressions, not machine-to-machine noise), or if the density
 # hot path allocates again (deterministic allocs/event > 1.0; the
@@ -57,6 +58,26 @@ for ext in json csv; do
     echo "ci: faults.$ext not reproducible from the same seed" >&2
     exit 1
   fi
+done
+
+echo "== snapshot-cache gate (cached vs --no-snapshot-cache) =="
+# Figure units share worlds through bench::worldcache (snapshot/fork
+# chains + memoized probe walks). Caching must be invisible in the
+# artefacts: re-running with the cache disabled — every unit
+# re-simulates its world from scratch — must reproduce the cached
+# run's bytes exactly.
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/nocache" \
+  cargo run --release -p bench --bin runall -- --no-snapshot-cache \
+  --report "$FIG_DIR/nocache/bench_runner.json" > /dev/null
+for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+          faults; do
+  for ext in json csv; do
+    if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/nocache/$id.$ext"; then
+      echo "ci: $id.$ext differs with the snapshot cache disabled" >&2
+      exit 1
+    fi
+  done
 done
 
 echo "== fault-free baseline gate (full scale vs committed results/) =="

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq]
-//!        [--report PATH]
+//!        [--report PATH] [--no-snapshot-cache]
 //! ```
 //!
 //! * `--jobs N`   worker threads (default: available parallelism)
@@ -11,6 +11,10 @@
 //! * `--list`     print figure ids and unit counts, run nothing
 //! * `--seq`      force a single worker (equivalent to `--jobs 1`)
 //! * `--report`   perf-report path (default `results/bench_runner.json`)
+//! * `--no-snapshot-cache`  disable the world snapshot cache: every
+//!   unit re-simulates its world from scratch. Artefacts are
+//!   byte-identical either way (`ci.sh` gates it); the flag exists to
+//!   prove that and to time the uncached path.
 //!
 //! Figure artefacts go to `LIGHTVM_FIG_DIR` (default `target/figures`)
 //! exactly as the individual `figNN` binaries write them; the merged
@@ -46,7 +50,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq] [--report PATH]"
+        "usage: runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq] [--report PATH] [--no-snapshot-cache]"
     );
     std::process::exit(2);
 }
@@ -78,6 +82,7 @@ fn parse_args() -> Args {
             "--report" => {
                 args.report = std::path::PathBuf::from(it.next().unwrap_or_else(|| usage()));
             }
+            "--no-snapshot-cache" => bench::worldcache::set_enabled(false),
             _ => usage(),
         }
     }
@@ -138,6 +143,7 @@ fn main() -> ExitCode {
         }
     }
 
+    say!("# {}", bench::worldcache::summary());
     match report.write(&args.report) {
         Ok(()) => say!("# perf report -> {}", args.report.display()),
         Err(e) => {

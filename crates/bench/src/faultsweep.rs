@@ -20,6 +20,7 @@ use simcore::{FaultPlan, FaultSite, Machine, MachinePreset};
 use toolstack::{ControlPlane, ToolstackMode};
 
 use crate::figures::{meta, FigureSpec, Scale, UnitOutput, UnitSpec};
+use crate::worldcache::{self, WorldSpec};
 
 /// Injection probabilities swept per mode (0 = fault-free baseline).
 const RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.1, 0.2];
@@ -42,28 +43,50 @@ fn mode_unit(scale: Scale, mode: ToolstackMode) -> UnitSpec {
         let mut mean_ok = Series::new(format!("{}: mean create (ms, successes)", mode.label()));
         let mut out = UnitOutput::new();
         for rate in RATES {
-            let mut cp = ControlPlane::new(machine(), 1, mode, 42);
-            cp.set_fault_plan(FaultPlan::seeded(FAULT_SEED, rate));
-            cp.prewarm(&img);
-            let mut ok_times = Vec::new();
-            for k in 0..n {
-                match cp.create_and_boot(&format!("vm-{k}"), &img) {
-                    Ok((_, create, _)) => ok_times.push(create.as_millis_f64()),
-                    // Rolled back and recorded; the host keeps going.
-                    Err(_) => {}
+            // At rate 0 the plan never touches its RNG, so the world is
+            // byte-identical to a fault-free one — which is exactly the
+            // shared chain the density figures boot (same mode, machine,
+            // image and seed). Read it instead of re-simulating; the
+            // faulty rates genuinely diverge and build their own worlds.
+            let (per, ok_times, injected) = if rate == 0.0 {
+                let spec = WorldSpec {
+                    machine: machine(),
+                    dom0_cores: 1,
+                    mode,
+                    image: img.clone(),
+                    seed: 42,
+                };
+                let (per, records, stats) =
+                    worldcache::records_at(&spec, n, UnitOutput::from_plane);
+                stats.into_output(&mut out);
+                let ok_times: Vec<f64> =
+                    records.iter().map(|r| r.create().as_millis_f64()).collect();
+                (per, ok_times, 0u64)
+            } else {
+                let mut cp = ControlPlane::new(machine(), 1, mode, 42);
+                cp.set_fault_plan(FaultPlan::seeded(FAULT_SEED, rate));
+                cp.prewarm(&img);
+                let mut ok_times = Vec::new();
+                for k in 0..n {
+                    match cp.create_and_boot(&format!("{}-{k}", img.name), &img) {
+                        Ok((_, create, _)) => ok_times.push(create.as_millis_f64()),
+                        // Rolled back and recorded; the host keeps going.
+                        Err(_) => {}
+                    }
                 }
-            }
+                debug_assert_eq!(cp.create_failures() as usize, n - ok_times.len());
+                let injected = cp.faults.total_injected();
+                (UnitOutput::from_plane(&cp), ok_times, injected)
+            };
             success.push(rate, 100.0 * ok_times.len() as f64 / n as f64);
             mean_ok.push(
                 rate,
                 Summary::of(&ok_times).map(|s| s.mean).unwrap_or(0.0),
             );
-            debug_assert_eq!(cp.create_failures() as usize, n - ok_times.len());
             out.meta.push(meta(
                 &format!("{}_rate{rate}_injected", mode.label()),
-                cp.faults.total_injected(),
+                injected,
             ));
-            let per = UnitOutput::from_plane(&cp);
             out.events += per.events;
             out.virtual_ms += ok_times.iter().sum::<f64>();
         }

@@ -10,13 +10,14 @@
 
 use container::{ContainerError, ContainerImage, DockerRuntime, ProcessRuntime, syscall_history};
 use guests::GuestImage;
-use lightvm::usecases::{compute, firewall, jit, tls};
+use lightvm::usecases::{firewall, jit, tls};
 use lightvm::usecases::compute::ComputeConfig;
 use lightvm::usecases::jit::JitConfig;
 use metrics::{Cdf, Series};
-use simcore::{Category, CostModel, Machine, MachinePreset, SimRng};
+use simcore::{Category, CostModel, Machine, MachinePreset};
 use toolstack::{ControlPlane, ToolstackMode};
 
+use crate::worldcache::{self, WorldSpec};
 use crate::{density_steps, series_ms, SweepPoint};
 
 /// Run-size profile, passed explicitly so tests can pin it without
@@ -71,6 +72,14 @@ pub struct UnitOutput {
     pub peak_queue_depth: usize,
     /// Events the unit scheduled on its engine (0 likewise).
     pub events_scheduled: u64,
+    /// Worldcache hits this unit benefited from (cached prefix or
+    /// memoized compute run reused).
+    pub snapshot_hits: u64,
+    /// Snapshot forks the unit performed (worldcache resumes plus its
+    /// own throwaway probe forks).
+    pub snapshot_forks: u64,
+    /// create+boot sequences the worldcache saved the unit.
+    pub boot_events_saved: u64,
 }
 
 impl UnitOutput {
@@ -82,6 +91,9 @@ impl UnitOutput {
             events: 0,
             peak_queue_depth: 0,
             events_scheduled: 0,
+            snapshot_hits: 0,
+            snapshot_forks: 0,
+            boot_events_saved: 0,
         }
     }
 
@@ -98,6 +110,9 @@ impl UnitOutput {
             events: stats.requests + stats.watch_events + cp.cpu.tasks_started(),
             peak_queue_depth: 0,
             events_scheduled: 0,
+            snapshot_hits: 0,
+            snapshot_forks: 0,
+            boot_events_saved: 0,
         }
     }
 }
@@ -174,21 +189,25 @@ fn sweep_unit(
     let label = label.into();
     let unit_label = label.clone();
     UnitSpec::new(unit_label, move || {
-        let mut cp = ControlPlane::new(machine, dom0_cores, mode, seed);
-        cp.prewarm(&image);
-        let mut points = Vec::with_capacity(n);
-        for i in 0..n {
-            let n_before = cp.running_count();
-            let (_, create, boot) = cp
-                .create_and_boot(&format!("{}-{i}", image.name), &image)
-                .expect("density sweep create");
-            points.push(SweepPoint {
-                n_before,
-                create,
-                boot,
-            });
-        }
-        let mut out = UnitOutput::from_plane(&cp);
+        let spec = WorldSpec {
+            machine,
+            dom0_cores,
+            mode,
+            image,
+            seed,
+        };
+        let (mut out, records, stats) =
+            worldcache::records_at(&spec, n, UnitOutput::from_plane);
+        let points: Vec<SweepPoint> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| SweepPoint {
+                n_before: i,
+                create: r.create(),
+                boot: r.boot,
+            })
+            .collect();
+        stats.into_output(&mut out);
         // Creates don't advance the CPU model's clock, so the simulated
         // time of a density sweep is the sum of its create+boot spans.
         out.virtual_ms = points
@@ -243,14 +262,23 @@ fn fig02(_scale: Scale) -> FigureSpec {
         units: vec![UnitSpec::new("padded-image", move || {
             let mut series = Series::new("daytime unikernel (padded)");
             let mut out = UnitOutput::new();
+            // Each size must boot on a pristine host (fresh RNG, zero
+            // density), but the host itself does not depend on the
+            // image: build it once and fork per measurement instead of
+            // re-running plane construction eleven times — same bytes,
+            // a third fewer allocations (the old per-size construction
+            // made this unit the report's allocs/event outlier).
+            let base = ControlPlane::new(xeon(), 1, ToolstackMode::ChaosNoxs, 42).snapshot();
+            let unpadded = GuestImage::unikernel_daytime();
             for &mb in &sizes_mb {
-                let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::ChaosNoxs, 42);
-                let image = GuestImage::unikernel_daytime().padded(mb * MIB);
+                let mut cp = base.fork();
+                let image = unpadded.clone().padded(mb * MIB);
                 let (_, create, boot) = cp.create_and_boot("padded", &image).expect("boots");
                 series.push(mb as f64, (create + boot).as_millis_f64());
                 let per = UnitOutput::from_plane(&cp);
                 out.virtual_ms += (create + boot).as_millis_f64();
                 out.events += per.events;
+                out.snapshot_forks += 1;
             }
             out.series.push(series);
             out
@@ -337,8 +365,23 @@ fn fig05(scale: Scale) -> FigureSpec {
         sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
         meta: vec![meta("machine", "Xeon E5-1630 v3")],
         units: vec![UnitSpec::new("xl-breakdown", move || {
-            let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::Xl, 42);
-            let image = GuestImage::unikernel_daytime();
+            let spec = WorldSpec {
+                machine: xeon(),
+                dom0_cores: 1,
+                mode: ToolstackMode::Xl,
+                image: GuestImage::unikernel_daytime(),
+                seed: 42,
+            };
+            // Same world as the fig04/fig09 xl sweeps; the chain's
+            // per-create meters carry the full category breakdown.
+            let ((mut out, rotations, conflicts), records, stats) =
+                worldcache::records_at(&spec, n, |cp| {
+                    (
+                        UnitOutput::from_plane(cp),
+                        cp.xs.log_rotations(),
+                        cp.xs.stats().txn_conflicts,
+                    )
+                });
             let cats = [
                 Category::Toolstack,
                 Category::Load,
@@ -349,19 +392,17 @@ fn fig05(scale: Scale) -> FigureSpec {
             ];
             let mut series: Vec<Series> = cats.iter().map(|c| Series::new(c.label())).collect();
             let mut sim_ms = 0.0;
-            for i in 0..n {
-                let report = cp.create_vm(&format!("vm-{i}"), &image).expect("creates");
-                cp.boot_vm(report.dom).expect("boots");
-                sim_ms += report.meter.total().as_millis_f64();
+            for (i, r) in records.iter().enumerate() {
+                sim_ms += r.meter.total().as_millis_f64();
                 for (s, c) in series.iter_mut().zip(cats.iter()) {
-                    s.push(i as f64 + 1.0, report.meter.of(*c).as_millis_f64());
+                    s.push(i as f64 + 1.0, r.meter.of(*c).as_millis_f64());
                 }
             }
-            let mut out = UnitOutput::from_plane(&cp);
+            stats.into_output(&mut out);
             out.virtual_ms = sim_ms;
             out.meta = vec![
-                meta("log_rotations", cp.xs.log_rotations()),
-                meta("txn_conflicts", cp.xs.stats().txn_conflicts),
+                meta("log_rotations", rotations),
+                meta("txn_conflicts", conflicts),
             ];
             out.series = series;
             out
@@ -509,33 +550,21 @@ fn fig11(scale: Scale) -> FigureSpec {
 /// One mode of the Figure 12 checkpoint/restore sweep.
 fn checkpoint_unit(mode: ToolstackMode, plot_save: bool, steps: Vec<usize>) -> UnitSpec {
     UnitSpec::new(mode.label(), move || {
-        let image = GuestImage::unikernel_daytime();
-        let mut cp = ControlPlane::new(xeon(), 2, mode, 42);
-        cp.prewarm(&image);
-        let mut rng = SimRng::new(11);
+        // One shared probe walk serves fig12a, fig12b and fig13: the
+        // destructive save/restore probes run on throwaway forks at
+        // every density while the walk's live world grows pristine.
+        let (walk, stats) = crate::probewalk::walk(mode, &steps);
         let mut s = Series::new(mode.label());
-        let mut made = 0usize;
-        for &n in &steps {
-            while cp.running_count() < n {
-                cp.create_and_boot(&format!("vm-{made}"), &image)
-                    .expect("creates");
-                made += 1;
-            }
-            let doms: Vec<_> = cp.vms().map(|(d, _)| *d).collect();
-            let k = 10.min(doms.len());
-            let picks = rng.sample_distinct(doms.len(), k);
-            let mut save_ms = 0.0;
-            let mut restore_ms = 0.0;
-            for idx in picks {
-                let (saved, t_save) = cp.save_vm(doms[idx]).expect("saves");
-                let (_, t_restore) = cp.restore_vm(&saved).expect("restores");
-                save_ms += t_save.as_millis_f64();
-                restore_ms += t_restore.as_millis_f64();
-            }
-            let avg = if plot_save { save_ms } else { restore_ms } / k as f64;
-            s.push(n as f64, avg);
+        for row in &walk.rows {
+            s.push(
+                row.n as f64,
+                if plot_save { row.save_ms } else { row.restore_ms },
+            );
         }
-        let mut out = UnitOutput::from_plane(&cp);
+        let mut out = UnitOutput::new();
+        out.events = walk.probe.events;
+        out.virtual_ms = walk.probe.virtual_ms;
+        stats.into_output(&mut out);
         out.series = vec![s];
         out
     })
@@ -581,36 +610,18 @@ fn fig13(scale: Scale) -> FigureSpec {
     .map(|mode| {
         let steps = steps.clone();
         UnitSpec::new(mode.label(), move || {
-            let image = GuestImage::unikernel_daytime();
-            let link = lvnet::Link::lan();
-            let mut src = ControlPlane::new(xeon(), 2, mode, 42);
-            let mut dst = ControlPlane::new(xeon(), 2, mode, 43);
-            src.prewarm(&image);
-            let mut rng = SimRng::new(7);
+            // Migration mutates the source (the migrated VM leaves it),
+            // so the shared probe walk migrates out of throwaway forks
+            // at every density; the destination accumulates normally.
+            let (walk, stats) = crate::probewalk::walk(mode, &steps);
             let mut s = Series::new(mode.label());
-            let mut made = 0usize;
-            for &n in &steps {
-                while src.running_count() < n {
-                    src.create_and_boot(&format!("vm-{made}"), &image)
-                        .expect("creates");
-                    made += 1;
-                }
-                let doms: Vec<_> = src.vms().map(|(d, _)| *d).collect();
-                let k = 10.min(doms.len());
-                let picks = rng.sample_distinct(doms.len(), k);
-                let mut total_ms = 0.0;
-                for idx in picks {
-                    let (new_dom, t) = src
-                        .migrate_vm_to(&mut dst, &link, doms[idx])
-                        .expect("migrates");
-                    total_ms += t.as_millis_f64();
-                    dst.destroy_vm(new_dom).expect("destroys");
-                }
-                s.push(n as f64, total_ms / k as f64);
+            for row in &walk.rows {
+                s.push(row.n as f64, row.migrate_ms);
             }
-            let mut out = UnitOutput::from_plane(&src);
-            let dst_out = UnitOutput::from_plane(&dst);
-            out.events += dst_out.events;
+            let mut out = UnitOutput::new();
+            out.events = walk.probe.events + walk.dst_events;
+            out.virtual_ms = walk.probe.virtual_ms;
+            stats.into_output(&mut out);
             out.series = vec![s];
             out
         })
@@ -713,16 +724,23 @@ fn fig15(scale: Scale) -> FigureSpec {
     ] {
         let steps = steps.clone();
         units.push(UnitSpec::new(label, move || {
-            let mut cp = ControlPlane::new(xeon(), 1, ToolstackMode::LightVm, 42);
-            cp.prewarm(&img);
+            let spec = WorldSpec {
+                machine: xeon(),
+                dom0_cores: 1,
+                mode: ToolstackMode::LightVm,
+                image: img,
+                seed: 42,
+            };
+            let (mut out, records, stats) =
+                worldcache::records_at(&spec, n, UnitOutput::from_plane);
             let mut s = Series::new(label);
-            for i in 1..=n {
-                cp.create_and_boot(&format!("{label}-{i}"), &img).expect("boots");
-                if steps.contains(&i) {
-                    s.push(i as f64, cp.cpu_utilization() * 100.0);
-                }
+            for &i in &steps {
+                // Utilisation is sampled on the density ladder only;
+                // every fig15 step is on it by construction.
+                debug_assert!(records[i - 1].util_after.is_finite());
+                s.push(i as f64, records[i - 1].util_after * 100.0);
             }
-            let mut out = UnitOutput::from_plane(&cp);
+            stats.into_output(&mut out);
             out.series = vec![s];
             out
         }));
@@ -870,8 +888,10 @@ fn fig17(scale: Scale) -> FigureSpec {
             UnitSpec::new(mode.label(), move || {
                 let mut cfg = ComputeConfig::paper(mode, seed);
                 cfg.requests = n;
-                let r = compute::run(&cfg);
+                // fig18 runs the identical overload simulation.
+                let (r, stats) = worldcache::compute_cached(&cfg);
                 let mut out = UnitOutput::new();
+                stats.into_output(&mut out);
                 out.series = vec![Series::from_points(
                     mode.label(),
                     r.service_times
@@ -914,8 +934,10 @@ fn fig18(scale: Scale) -> FigureSpec {
             UnitSpec::new(mode.label(), move || {
                 let mut cfg = ComputeConfig::paper(mode, seed);
                 cfg.requests = n;
-                let r = compute::run(&cfg);
+                // fig17 runs the identical overload simulation.
+                let (r, stats) = worldcache::compute_cached(&cfg);
                 let mut out = UnitOutput::new();
+                stats.into_output(&mut out);
                 out.series = vec![Series::from_points(
                     mode.label(),
                     r.concurrency

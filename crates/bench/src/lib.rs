@@ -5,7 +5,9 @@ pub mod ablations;
 pub mod alloc;
 pub mod faultsweep;
 pub mod figures;
+pub mod probewalk;
 pub mod runner;
+pub mod worldcache;
 
 use std::path::PathBuf;
 
@@ -44,6 +46,15 @@ pub fn density_steps(max: usize) -> Vec<usize> {
         steps.push(max);
     }
     steps
+}
+
+/// Whether `n` is on the density ladder — i.e. would appear in
+/// [`density_steps`]`(max)` for every `max >= n` that is itself on the
+/// ladder. The world cache samples expensive per-density observables
+/// (CPU utilisation is O(guests)) only at ladder points, so the rule
+/// must not depend on any particular sweep's target.
+pub fn on_density_ladder(n: usize) -> bool {
+    matches!(n, 1 | 2 | 5 | 10 | 20 | 35 | 50 | 75 | 100) || (n >= 150 && n % 50 == 0)
 }
 
 /// Whether a quick (reduced-scale) run was requested.

@@ -85,7 +85,12 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
         perf.push(
             UnitPerf::new(heads[fi].id, label, wall_ms, out.virtual_ms, out.events)
                 .with_queue_stats(out.peak_queue_depth as u64, out.events_scheduled)
-                .with_allocs(allocs),
+                .with_allocs(allocs)
+                .with_snapshot_stats(
+                    out.snapshot_hits,
+                    out.snapshot_forks,
+                    out.boot_events_saved,
+                ),
         );
         outputs[fi].push(out);
     }

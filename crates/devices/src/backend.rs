@@ -86,7 +86,7 @@ pub struct BackendDevice {
 /// A back-end driver instance, normally in Dom0 but optionally in a
 /// dedicated *driver domain* (paper §4.1 footnote: "this functionality
 /// can be put in a separate VM called a driver domain").
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Backend {
     kind: DeviceKind,
     backend_dom: DomId,

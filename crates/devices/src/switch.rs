@@ -19,7 +19,7 @@ pub enum SwitchError {
 }
 
 /// A software switch: named ports mapping to guest domains.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct SoftwareSwitch {
     ports: BTreeMap<String, DomId>,
 }

@@ -30,7 +30,7 @@ struct Channel {
 }
 
 /// Per-host event channel table, keyed by (domain, port).
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct EvtchnTable {
     channels: HashMap<(DomId, EvtchnPort), Channel>,
     next_port: HashMap<DomId, u32>,

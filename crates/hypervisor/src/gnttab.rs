@@ -36,7 +36,7 @@ struct Grant {
 }
 
 /// Per-host grant table keyed by (granter, reference).
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct GrantTable {
     grants: HashMap<(DomId, GrantRef), Grant>,
     next_ref: HashMap<DomId, u32>,

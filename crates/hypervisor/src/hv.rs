@@ -69,6 +69,7 @@ impl From<OutOfMemory> for HvError {
 }
 
 /// The simulated hypervisor.
+#[derive(Clone, Debug)]
 pub struct Hypervisor {
     domains: BTreeMap<DomId, Domain>,
     next_domid: u32,

@@ -36,6 +36,14 @@ pub struct UnitPerf {
     /// counting allocator is not installed — see
     /// [`RunnerReport::alloc_counting`]).
     pub allocs: u64,
+    /// World/compute-cache hits the unit benefited from (cached prefix
+    /// or memoized result reused; 0 with the cache disabled).
+    pub snapshot_hits: u64,
+    /// Snapshot forks the unit performed (cache resumes plus its own
+    /// throwaway probe forks).
+    pub snapshot_forks: u64,
+    /// create+boot sequences the world cache saved the unit.
+    pub boot_events_saved: u64,
 }
 
 impl UnitPerf {
@@ -62,6 +70,9 @@ impl UnitPerf {
             peak_queue_depth: 0,
             events_scheduled: 0,
             allocs: 0,
+            snapshot_hits: 0,
+            snapshot_forks: 0,
+            boot_events_saved: 0,
         }
     }
 
@@ -75,6 +86,19 @@ impl UnitPerf {
     /// Attaches the unit's host allocation count.
     pub fn with_allocs(mut self, allocs: u64) -> UnitPerf {
         self.allocs = allocs;
+        self
+    }
+
+    /// Attaches the unit's world-cache statistics.
+    pub fn with_snapshot_stats(
+        mut self,
+        snapshot_hits: u64,
+        snapshot_forks: u64,
+        boot_events_saved: u64,
+    ) -> UnitPerf {
+        self.snapshot_hits = snapshot_hits;
+        self.snapshot_forks = snapshot_forks;
+        self.boot_events_saved = boot_events_saved;
         self
     }
 
@@ -110,6 +134,18 @@ impl UnitPerf {
             (
                 "allocs_per_event".to_string(),
                 Json::Num(round3(self.allocs_per_event())),
+            ),
+            (
+                "snapshot_hits".to_string(),
+                Json::Num(self.snapshot_hits as f64),
+            ),
+            (
+                "snapshot_forks".to_string(),
+                Json::Num(self.snapshot_forks as f64),
+            ),
+            (
+                "boot_events_saved".to_string(),
+                Json::Num(self.boot_events_saved as f64),
             ),
         ])
     }
@@ -164,6 +200,11 @@ impl RunnerReport {
         }
     }
 
+    /// Total create+boot sequences the world cache saved across units.
+    pub fn total_boots_saved(&self) -> u64 {
+        self.units.iter().map(|u| u.boot_events_saved).sum()
+    }
+
     /// Aggregate throughput: total events over summed unit wall-clock.
     pub fn aggregate_events_per_sec(&self) -> f64 {
         let wall_s = self.total_unit_wall_ms() / 1e3;
@@ -215,6 +256,10 @@ impl RunnerReport {
             (
                 "allocs_per_event".to_string(),
                 Json::Num(round3(self.allocs_per_event())),
+            ),
+            (
+                "total_boot_events_saved".to_string(),
+                Json::Num(self.total_boots_saved() as f64),
             ),
             (
                 "units".to_string(),

@@ -21,7 +21,7 @@ struct SharedPage {
 }
 
 /// The sysctl back-end driver in Dom0.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct SysctlBackend {
     pages: HashMap<u32, SharedPage>,
 }

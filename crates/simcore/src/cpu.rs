@@ -44,6 +44,7 @@ struct Task {
 }
 
 /// Per-core processor-sharing simulator over virtual time.
+#[derive(Clone)]
 pub struct CpuSim {
     tasks: HashMap<TaskId, Task>,
     per_core: Vec<Vec<TaskId>>,

@@ -15,6 +15,7 @@
 pub mod config;
 pub mod lifecycle;
 pub mod plane;
+pub mod snapshot;
 pub mod split;
 
 pub use config::{ConfigError, VmConfig};

@@ -184,6 +184,7 @@ pub struct Vm {
 }
 
 /// Dom0 and everything in it.
+#[derive(Clone)]
 pub struct ControlPlane {
     /// Which toolstack drives this host.
     pub mode: ToolstackMode,

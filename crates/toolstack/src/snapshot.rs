@@ -1,0 +1,157 @@
+//! World snapshots: copy-on-write forks of a booted control plane.
+//!
+//! A [`Snapshot`] captures the full simulated world — xenstored (node
+//! table, sibling chains, interner, watch table, transaction log),
+//! hypervisor (domains, memory reservations, grants, event channels),
+//! device back-ends and the software switch, and toolstack bookkeeping
+//! (shell pool, RNG streams, meters, per-image counters). The capture
+//! is a structure-sharing clone: node values are `Arc<[u8]>` and the
+//! interner's symbols are `Arc<str>`, so most of the store copies as
+//! reference bumps; the flat tables (nodes, domains, grants, channels)
+//! memcpy. Forking a snapshot yields a [`ControlPlane`] that is
+//! digest-identical to one freshly simulated to the same point — the
+//! simulation is fully seeded and the clone is faithful, which
+//! `crates/toolstack/tests/proptest_snapshot.rs` pins per mode, density
+//! step and seed.
+//!
+//! The engine's timing wheel is *not* part of a snapshot: pending
+//! events hold boxed closures (uncloneable), and a `ControlPlane`
+//! advances purely on virtual time (`CpuSim`) without owning an
+//! engine, so there is nothing to capture. Units that drive an engine
+//! (jit) keep their own state and do not fork.
+//!
+//! Mutating a fork never disturbs the snapshot (or other forks): writes
+//! that would edit a shared `Arc<[u8]>` in place fail the
+//! `Arc::get_mut` uniqueness check and fall back to a fresh buffer, so
+//! sharing is invisible except as saved allocations.
+
+use crate::plane::ControlPlane;
+use simcore::Meter;
+use xenstore::XsPath;
+
+/// A captured world state that can be forked into new control planes.
+///
+/// Cheap to hold (one structure-sharing clone) and cheap to fork
+/// (another). Create one with [`ControlPlane::snapshot`].
+#[derive(Clone)]
+pub struct Snapshot {
+    world: ControlPlane,
+}
+
+impl Snapshot {
+    /// Resumes simulation from the captured state: returns a control
+    /// plane byte-identical to the world at capture time.
+    pub fn fork(&self) -> ControlPlane {
+        self.world.clone()
+    }
+}
+
+impl ControlPlane {
+    /// Captures the current world state as a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            world: self.clone(),
+        }
+    }
+
+    /// Forks the live world directly: a throwaway copy for destructive
+    /// probes (save/restore, migration) that must not disturb the
+    /// original. Equivalent to `self.snapshot().fork()` in one clone.
+    pub fn fork(&self) -> ControlPlane {
+        self.clone()
+    }
+
+    /// A byte-for-byte digest of everything a create can allocate: the
+    /// store tree (paths and values), watch registrations and
+    /// undelivered events, device back-ends, switch ports, and
+    /// hypervisor-side state (domains, guest memory, event channels,
+    /// grants). Generations are deliberately excluded — they are a
+    /// monotone clock, and ambient or storm interference rewrites a
+    /// node with its own value, bumping the generation without changing
+    /// observable content. Dom0's pending toolstack watch events are
+    /// drained first (they are background deliveries, not state), so
+    /// this takes `&mut self`.
+    pub fn world_digest(&mut self) -> String {
+        let cost = self.cost();
+        let mut m = Meter::new();
+        self.xs.drain_events(&cost, &mut m, 0);
+
+        let mut d = String::new();
+        digest_walk(self, &XsPath::root(), &mut d);
+        d.push_str(&format!(
+            "nodes={} watches={} conns={}\n",
+            self.xs.store().node_count(),
+            self.xs.watch_count(),
+            self.xs.conn_count(),
+        ));
+        for conn in 0..16 {
+            let pending = self.xs.pending_events(conn);
+            if pending != 0 {
+                d.push_str(&format!("pending[{conn}]={pending}\n"));
+            }
+        }
+        d.push_str(&format!(
+            "net={} blk={} console={} ports={}\n",
+            self.net.count(),
+            self.blk.count(),
+            self.console.count(),
+            self.switch.port_count(),
+        ));
+        d.push_str(&format!(
+            "domains={} guest_mem={} evtchns={} grants={}\n",
+            self.hv.domain_count(),
+            self.guest_memory_used(),
+            self.hv.evtchn.open_channels(),
+            self.hv.gnttab.len(),
+        ));
+        d.push_str(&format!("running={}\n", self.running_count()));
+        d
+    }
+}
+
+/// Append one line per store node under `path` (depth-first, child
+/// order as the store reports it). Values are compared verbatim.
+fn digest_walk(cp: &ControlPlane, path: &XsPath, out: &mut String) {
+    out.push_str(path.as_str());
+    if let Ok(value) = cp.xs.store().read(0, path) {
+        out.push('=');
+        out.push_str(&String::from_utf8_lossy(value));
+    }
+    out.push('\n');
+    if let Ok(children) = cp.xs.store().directory(0, path) {
+        for child in children {
+            digest_walk(cp, &path.child(&child).unwrap(), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sanity {
+    use super::*;
+
+    // The worldcache shares snapshots across runner threads.
+    fn _assert_send<T: Send>() {}
+    fn _snapshot_is_send() {
+        _assert_send::<Snapshot>();
+        _assert_send::<ControlPlane>();
+    }
+
+    #[test]
+    fn fork_is_digest_identical() {
+        use guests::GuestImage;
+        use simcore::{Machine, MachinePreset};
+        let mut cp = ControlPlane::new(
+            Machine::preset(MachinePreset::XeonE5_1630V3),
+            1,
+            crate::plane::ToolstackMode::Xl,
+            42,
+        );
+        let img = GuestImage::unikernel_daytime();
+        for i in 0..3 {
+            cp.create_and_boot(&format!("daytime-{i}"), &img).unwrap();
+        }
+        let snap = cp.snapshot();
+        let mut fork = snap.fork();
+        assert_eq!(cp.world_digest(), fork.world_digest());
+    }
+}

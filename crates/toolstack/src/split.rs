@@ -24,7 +24,7 @@ pub struct VmShell {
 }
 
 /// The chaos daemon's shell pool.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ChaosDaemon {
     pool: VecDeque<VmShell>,
     /// Shells the daemon keeps ready.

@@ -9,76 +9,11 @@
 
 use guests::GuestImage;
 use simcore::faults::{FaultPlan, FaultSite};
-use simcore::{Machine, MachinePreset, Meter};
+use simcore::{Machine, MachinePreset};
 use toolstack::plane::{ControlPlane, ToolstackMode};
-use xenstore::XsPath;
 
 fn plane(mode: ToolstackMode) -> ControlPlane {
     ControlPlane::new(Machine::preset(MachinePreset::XeonE5_1630V3), 1, mode, 42)
-}
-
-/// Append one line per store node under `path` (depth-first, child order
-/// as the store reports it). Values are compared verbatim; generations
-/// are deliberately excluded — they are a monotone clock, and ambient or
-/// storm interference rewrites a node with its own value, bumping the
-/// generation without changing observable content.
-fn walk(cp: &ControlPlane, path: &XsPath, out: &mut String) {
-    out.push_str(path.as_str());
-    if let Ok(value) = cp.xs.store().read(0, path) {
-        out.push('=');
-        out.push_str(&String::from_utf8_lossy(value));
-    }
-    out.push('\n');
-    if let Ok(children) = cp.xs.store().directory(0, path) {
-        for child in children {
-            walk(cp, &path.child(&child).unwrap(), out);
-        }
-    }
-}
-
-/// A byte-for-byte digest of everything a create can allocate: the
-/// store tree (paths and values), watch registrations and undelivered
-/// events, device backends, switch ports, and hypervisor-side state
-/// (domains, guest memory, event channels, grants).
-fn digest(cp: &mut ControlPlane) -> String {
-    // Dom0's toolstack watches receive events whenever any neighbour is
-    // created or destroyed; those deliveries are normal background work,
-    // not state the victim allocated. Drain them so the snapshots
-    // compare allocations, while guest connections stay untouched.
-    let cost = cp.cost();
-    let mut m = Meter::new();
-    cp.xs.drain_events(&cost, &mut m, 0);
-
-    let mut d = String::new();
-    walk(cp, &XsPath::root(), &mut d);
-    d.push_str(&format!(
-        "nodes={} watches={} conns={}\n",
-        cp.xs.store().node_count(),
-        cp.xs.watch_count(),
-        cp.xs.conn_count(),
-    ));
-    for conn in 0..16 {
-        let pending = cp.xs.pending_events(conn);
-        if pending != 0 {
-            d.push_str(&format!("pending[{conn}]={pending}\n"));
-        }
-    }
-    d.push_str(&format!(
-        "net={} blk={} console={} ports={}\n",
-        cp.net.count(),
-        cp.blk.count(),
-        cp.console.count(),
-        cp.switch.port_count(),
-    ));
-    d.push_str(&format!(
-        "domains={} guest_mem={} evtchns={} grants={}\n",
-        cp.hv.domain_count(),
-        cp.guest_memory_used(),
-        cp.hv.evtchn.open_channels(),
-        cp.hv.gnttab.len(),
-    ));
-    d.push_str(&format!("running={}\n", cp.running_count()));
-    d
 }
 
 /// One full scenario: boot a healthy resident VM, snapshot the world,
@@ -93,7 +28,7 @@ fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, String)
     cp.prewarm(&img);
     cp.create_and_boot("resident", &img)
         .expect("fault-free resident VM boots");
-    let before = digest(&mut cp);
+    let before = cp.world_digest();
 
     cp.set_fault_plan(FaultPlan::at_site(seed, site));
     let outcome = match cp.create_and_boot("victim", &img) {
@@ -116,7 +51,7 @@ fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, String)
     // top it back up fault-free so the snapshots compare like with like.
     cp.prewarm(&img);
 
-    let after = digest(&mut cp);
+    let after = cp.world_digest();
     assert_eq!(
         before,
         after,

@@ -19,7 +19,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::path::XsPath;
 use crate::sym::{Interner, XsSym};
@@ -109,10 +109,10 @@ impl Perms {
 #[derive(Clone, Debug)]
 struct Node {
     /// Shared immutable payload: a read hands out a refcount bump, never
-    /// a byte copy. A write replaces the `Rc` (or, when it is the sole
+    /// a byte copy. A write replaces the `Arc` (or, when it is the sole
     /// owner and the length matches, overwrites in place) — snapshots
     /// held by readers and transaction overlays are never mutated.
-    value: Rc<[u8]>,
+    value: Arc<[u8]>,
     perms: Perms,
     generation: u64,
     /// Head of this node's child list — an intrusive chain threaded
@@ -128,7 +128,7 @@ struct Node {
 }
 
 impl Node {
-    fn new(empty: &Rc<[u8]>, perms: Perms, generation: u64) -> Node {
+    fn new(empty: &Arc<[u8]>, perms: Perms, generation: u64) -> Node {
         Node {
             value: empty.clone(),
             perms,
@@ -143,24 +143,24 @@ impl Node {
 /// Stores `value` into `slot` without allocating when avoidable: empty
 /// values share the store-wide empty buffer, and a same-length value
 /// overwrites in place when `slot` is unaliased (refcount 1). Aliased
-/// slots — a reader or overlay still holds the old `Rc` — always get a
+/// slots — a reader or overlay still holds the old `Arc` — always get a
 /// fresh allocation, preserving snapshot immutability.
-fn set_value(empty: &Rc<[u8]>, slot: &mut Rc<[u8]>, value: &[u8]) {
+fn set_value(empty: &Arc<[u8]>, slot: &mut Arc<[u8]>, value: &[u8]) {
     if value.is_empty() {
         *slot = empty.clone();
         return;
     }
-    if let Some(buf) = Rc::get_mut(slot) {
+    if let Some(buf) = Arc::get_mut(slot) {
         if buf.len() == value.len() {
             buf.copy_from_slice(value);
             return;
         }
     }
-    *slot = Rc::from(value);
+    *slot = Arc::from(value);
 }
 
 /// Payloads the toolstack writes over and over (xenbus states, boolean
-/// flags, lifecycle markers). The store keeps one shared `Rc` per entry
+/// flags, lifecycle markers). The store keeps one shared `Arc` per entry
 /// so writing any of these is a refcount bump, never an allocation.
 const CONST_VALS: &[&[u8]] = &[
     b"0",
@@ -185,14 +185,14 @@ const CONST_VALS: &[&[u8]] = &[
 /// the transaction-commit path).
 pub(crate) enum ValSrc<'a> {
     Bytes(&'a [u8]),
-    Shared(&'a Rc<[u8]>),
+    Shared(&'a Arc<[u8]>),
 }
 
 impl ValSrc<'_> {
-    fn assign(&self, empty: &Rc<[u8]>, slot: &mut Rc<[u8]>) {
+    fn assign(&self, empty: &Arc<[u8]>, slot: &mut Arc<[u8]>) {
         match self {
             ValSrc::Bytes(b) => set_value(empty, slot, b),
-            ValSrc::Shared(rc) => *slot = Rc::clone(rc),
+            ValSrc::Shared(rc) => *slot = Arc::clone(rc),
         }
     }
 }
@@ -204,17 +204,17 @@ pub struct Store {
     /// (`&self`) can still intern paths they encounter; borrows are
     /// short-scoped and never escape a method.
     interner: RefCell<Interner>,
-    /// The shared empty value; every empty node clones this `Rc` instead
+    /// The shared empty value; every empty node clones this `Arc` instead
     /// of allocating.
-    empty: Rc<[u8]>,
+    empty: Arc<[u8]>,
     /// Pre-built payloads for [`CONST_VALS`], index-aligned.
-    consts: Vec<Rc<[u8]>>,
+    consts: Vec<Arc<[u8]>>,
     /// Lazily grown shared payloads for short decimal strings (domids,
     /// device ids, ports, ring refs), indexed by numeric value: each
     /// distinct value allocates once per store lifetime, after which
     /// every write of it is a refcount bump. Interior mutability so
     /// read-side value wrapping (`&self`) can populate it.
-    digit_cache: RefCell<Vec<Option<Rc<[u8]>>>>,
+    digit_cache: RefCell<Vec<Option<Arc<[u8]>>>>,
     /// Reusable ancestor-chain buffer for the node-creating write path.
     chain_scratch: Vec<XsSym>,
     /// Node slots, indexed by symbol; `None` = no node at that path.
@@ -236,12 +236,12 @@ impl Default for Store {
 impl Store {
     /// Creates a store containing only the root node.
     pub fn new() -> Store {
-        let empty: Rc<[u8]> = Rc::from(&b""[..]);
+        let empty: Arc<[u8]> = Arc::from(&b""[..]);
         Store {
             interner: RefCell::new(Interner::new()),
             nodes: vec![Some(Node::new(&empty, Perms::dom0(), 0))],
             empty,
-            consts: CONST_VALS.iter().map(|&v| Rc::from(v)).collect(),
+            consts: CONST_VALS.iter().map(|&v| Arc::from(v)).collect(),
             digit_cache: RefCell::new(Vec::new()),
             chain_scratch: Vec::new(),
             node_count: 1,
@@ -453,28 +453,28 @@ impl Store {
     /// Reads a node's value as a shared payload — a refcount bump, not a
     /// byte copy. The snapshot stays stable even if the node is written
     /// or removed afterwards.
-    pub fn read_rc(&self, dom: u32, path: &XsPath) -> Result<Rc<[u8]>, XsError> {
+    pub fn read_rc(&self, dom: u32, path: &XsPath) -> Result<Arc<[u8]>, XsError> {
         let sym = self.resolve(path.as_str()).ok_or(XsError::NotFound)?;
         self.read_rc_sym(dom, sym)
     }
 
-    pub(crate) fn read_rc_sym(&self, dom: u32, sym: XsSym) -> Result<Rc<[u8]>, XsError> {
+    pub(crate) fn read_rc_sym(&self, dom: u32, sym: XsSym) -> Result<Arc<[u8]>, XsError> {
         let node = self.node(sym).ok_or(XsError::NotFound)?;
         if !node.perms.may_read(dom) {
             return Err(XsError::PermissionDenied);
         }
-        Ok(Rc::clone(&node.value))
+        Ok(Arc::clone(&node.value))
     }
 
     /// Wraps `value` as a shareable payload (the store-wide empty buffer
     /// when empty — no allocation).
-    pub(crate) fn rc_value(&self, value: &[u8]) -> Rc<[u8]> {
+    pub(crate) fn rc_value(&self, value: &[u8]) -> Arc<[u8]> {
         if value.is_empty() {
             self.empty.clone()
         } else if let Some(rc) = self.shared_const(value) {
             rc
         } else {
-            Rc::from(value)
+            Arc::from(value)
         }
     }
 
@@ -482,12 +482,12 @@ impl Store {
     /// decimal string, if any. The constant scan is a handful of short
     /// byte compares and the digit probe a table index — far cheaper
     /// than the allocation they avoid, and a cheap miss otherwise.
-    fn shared_const(&self, value: &[u8]) -> Option<Rc<[u8]>> {
+    fn shared_const(&self, value: &[u8]) -> Option<Arc<[u8]>> {
         if value.len() > 9 {
             return None;
         }
         if let Some(i) = CONST_VALS.iter().position(|&c| c == value) {
-            return Some(Rc::clone(&self.consts[i]));
+            return Some(Arc::clone(&self.consts[i]));
         }
         // Canonical (no leading zero) decimal strings up to 4 digits:
         // the cache is keyed by numeric value, so "07" must not hit the
@@ -504,11 +504,11 @@ impl Store {
         if cache.len() <= n {
             cache.resize(n + 1, None);
         }
-        Some(Rc::clone(cache[n].get_or_insert_with(|| Rc::from(value))))
+        Some(Arc::clone(cache[n].get_or_insert_with(|| Arc::from(value))))
     }
 
     /// The store-wide shared empty payload.
-    pub(crate) fn empty_rc(&self) -> Rc<[u8]> {
+    pub(crate) fn empty_rc(&self) -> Arc<[u8]> {
         self.empty.clone()
     }
 
@@ -532,12 +532,12 @@ impl Store {
     }
 
     /// Writes an already-shared payload (transaction commit, ambient
-    /// interference): the node adopts the `Rc` — no byte copy.
+    /// interference): the node adopts the `Arc` — no byte copy.
     pub(crate) fn write_rc_sym(
         &mut self,
         dom: u32,
         sym: XsSym,
-        value: &Rc<[u8]>,
+        value: &Arc<[u8]>,
     ) -> Result<(), XsError> {
         self.write_val_sym(dom, sym, ValSrc::Shared(value))
     }

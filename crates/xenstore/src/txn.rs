@@ -22,7 +22,7 @@
 //! integer-keyed — no path clones, no string comparisons.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::path::XsPath;
 use crate::store::{Perms, Store, XsError};
@@ -34,9 +34,9 @@ pub struct TxnId(pub u64);
 
 #[derive(Clone, Debug)]
 enum WriteOp {
-    /// The payload `Rc` is shared with the overlay entry (and, after
+    /// The payload `Arc` is shared with the overlay entry (and, after
     /// commit, with the store node) — one allocation per written value.
-    Write(XsSym, Rc<[u8]>),
+    Write(XsSym, Arc<[u8]>),
     Rm(XsSym),
     SetPerms(XsSym, Perms),
 }
@@ -45,17 +45,17 @@ enum WriteOp {
 enum Overlay {
     /// Value written in this transaction over a visible path: the main
     /// store's children below it remain visible.
-    Value(Rc<[u8]>),
+    Value(Arc<[u8]>),
     /// Value written over a path that this transaction had removed (or
     /// that lies under a removed ancestor): it exists, but the main
     /// store's children below it stay hidden — they were deleted.
-    Recreated(Rc<[u8]>),
+    Recreated(Arc<[u8]>),
     /// Subtree removed in this transaction.
     Removed,
 }
 
 /// An in-flight transaction.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Txn {
     /// Id handed to the client.
     pub id: TxnId,
@@ -166,16 +166,16 @@ impl Txn {
 
     /// Transactional read: sees the transaction's own writes. Returns a
     /// shared payload — a refcount bump, never a byte copy.
-    pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Rc<[u8]>, XsError> {
+    pub fn read(&mut self, main: &Store, path: &XsPath) -> Result<Arc<[u8]>, XsError> {
         let sym = main.sym(path);
         self.read_sym(main, sym)
     }
 
     /// [`Txn::read`] on an already-interned symbol.
-    pub fn read_sym(&mut self, main: &Store, sym: XsSym) -> Result<Rc<[u8]>, XsError> {
+    pub fn read_sym(&mut self, main: &Store, sym: XsSym) -> Result<Arc<[u8]>, XsError> {
         self.touch(main, sym);
         match self.overlay.get(&sym) {
-            Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(Rc::clone(v)),
+            Some(Overlay::Value(v) | Overlay::Recreated(v)) => Ok(Arc::clone(v)),
             Some(Overlay::Removed) => Err(XsError::NotFound),
             None => {
                 if self.exists_view(main, sym) {
@@ -272,9 +272,9 @@ impl Txn {
         self.scratch = chain;
         let rc = main.rc_value(value);
         let marker = if self.is_cut(main, sym) {
-            Overlay::Recreated(Rc::clone(&rc))
+            Overlay::Recreated(Arc::clone(&rc))
         } else {
-            Overlay::Value(Rc::clone(&rc))
+            Overlay::Value(Arc::clone(&rc))
         };
         self.overlay.insert(sym, marker);
         self.write_log.push(WriteOp::Write(sym, rc));

@@ -32,7 +32,7 @@ pub struct WatchEvent {
 /// fired event costs two refcount bumps (path + token) instead of two
 /// string clones. The *charged* cost still counts every registered
 /// watch (what xenstored pays), reported via [`FireStats::checked`].
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct WatchTable {
     /// Watch lists, indexed by store symbol (dense; most slots are empty
     /// ancestor entries).

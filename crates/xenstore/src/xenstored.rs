@@ -16,7 +16,6 @@
 //! outcomes.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
 use std::sync::Arc;
 
 use simcore::{Category, CostModel, Meter, SimRng, SimTime};
@@ -75,6 +74,7 @@ pub struct XsStats {
 }
 
 /// The simulated xenstored daemon.
+#[derive(Clone)]
 pub struct Xenstored {
     store: Store,
     txns: HashMap<TxnId, Txn>,
@@ -353,7 +353,7 @@ impl Xenstored {
         meter: &mut Meter,
         conn: ConnId,
         path: &XsPath,
-    ) -> Result<Rc<[u8]>, XsError> {
+    ) -> Result<Arc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, path.len());
         let sym = self.store.resolve(path.as_str()).ok_or(XsError::NotFound)?;
         let v = self.store.read_rc_sym(conn, sym)?;
@@ -368,7 +368,7 @@ impl Xenstored {
         meter: &mut Meter,
         conn: ConnId,
         sym: XsSym,
-    ) -> Result<Rc<[u8]>, XsError> {
+    ) -> Result<Arc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, self.store.path_len(sym));
         let v = self.store.read_rc_sym(conn, sym)?;
         self.charge(meter, cost.xs_payload_per_byte * v.len() as u64);
@@ -711,7 +711,7 @@ impl Xenstored {
         conn: ConnId,
         id: TxnId,
         path: &XsPath,
-    ) -> Result<Rc<[u8]>, XsError> {
+    ) -> Result<Arc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, path.len());
         self.with_txn(conn, id, |txn, main| txn.read(main, path))?
     }
@@ -724,7 +724,7 @@ impl Xenstored {
         conn: ConnId,
         id: TxnId,
         sym: XsSym,
-    ) -> Result<Rc<[u8]>, XsError> {
+    ) -> Result<Arc<[u8]>, XsError> {
         self.charge_protocol(cost, meter, self.store.path_len(sym));
         self.with_txn(conn, id, |txn, main| txn.read_sym(main, sym))?
     }

@@ -6,7 +6,7 @@
 //! environment is offline, so no proptest), with a fixed seed per test:
 //! failures reproduce exactly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use simcore::SimRng;
 use xenstore::txn::{Txn, TxnId};
@@ -207,7 +207,7 @@ fn read_snapshots_are_immutable_under_mutation() {
     let mut rng = SimRng::new(0x5705);
     for _case in 0..64 {
         let mut store = Store::new();
-        let mut snapshots: Vec<(XsPath, Rc<[u8]>, Vec<u8>)> = Vec::new();
+        let mut snapshots: Vec<(XsPath, Arc<[u8]>, Vec<u8>)> = Vec::new();
         let n_ops = rng.index(80);
         for _ in 0..n_ops {
             match random_op(&mut rng) {
