@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# CI gate: build everything, run the whole test suite, smoke-run the
-# hot-path microbenches, then regenerate all figures at quick scale
-# through the parallel runner. Fails if any expected artefact is
+# CI gate: build everything, run the whole test suite (with a
+# suite-count guard so lost --workspace coverage fails loudly),
+# smoke-run the hot-path microbenches, then regenerate all figures at
+# quick scale through the DAG runner. Fails if any expected artefact is
 # missing, if disabling the world-snapshot cache changes any artefact
-# byte, if runner throughput collapsed (>5x below the committed
-# baseline in results/bench_runner.json — a coarse band that only trips
-# on real regressions, not machine-to-machine noise), or if the density
-# hot path allocates again (deterministic allocs/event > 1.0; the
-# allocation-free request path landed at 0.432).
+# byte, if any scheduler width changes any artefact byte (quick scale
+# at --jobs 2; full scale at --jobs 1/2/8 against the committed
+# sequential reference in results/), if runner throughput collapsed
+# (>5x below the committed baseline in results/bench_runner.json — a
+# coarse band that only trips on real regressions, not
+# machine-to-machine noise), or if the density hot path allocates again
+# (deterministic allocs/event > 1.0; the allocation-free request path
+# landed at 0.432).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,16 +19,27 @@ echo "== build (release, workspace) =="
 cargo build --release --workspace
 
 echo "== tests (workspace) =="
-cargo test -q --workspace
+test_log="$(mktemp)"
+cargo test -q --workspace 2>&1 | tee "$test_log"
+# Suite-count guard: a botched invocation (or a workspace edit that
+# drops crates from the build) silently shrinks coverage. The workspace
+# runs 60+ test binaries; fail loudly if most of them did not run.
+suites=$(grep -c '^test result: ok' "$test_log" || true)
+rm -f "$test_log"
+echo "workspace test suites: $suites (guard: >= 60)"
+if [ "$suites" -lt 60 ]; then
+  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 60)" >&2
+  exit 1
+fi
 
 echo "== microbenches (quick smoke: scheduler + xenstore hot paths) =="
 LIGHTVM_BENCH_QUICK=1 cargo bench -p bench --bench hotpath
 LIGHTVM_BENCH_QUICK=1 cargo bench -p bench --bench simcore_hot
 
-echo "== figures (runall, quick scale) =="
+echo "== figures (runall, quick scale, --seq reference) =="
 FIG_DIR="${LIGHTVM_FIG_DIR:-target/ci-figures}"
 LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR" \
-  cargo run --release -p bench --bin runall -- --report "$FIG_DIR/bench_runner.json"
+  cargo run --release -p bench --bin runall -- --seq --report "$FIG_DIR/bench_runner.json"
 
 echo "== artefact check =="
 missing=0
@@ -46,6 +61,24 @@ if [ "$missing" -ne 0 ]; then
   echo "ci: figure artefacts missing" >&2
   exit 1
 fi
+
+echo "== scheduler determinism gate (quick scale, --jobs 2 vs --seq) =="
+# The DAG scheduler must be invisible in the artefacts: the same quick
+# run on two workers — chains, probe walks and units genuinely
+# interleaving — must reproduce the sequential reference byte for byte.
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/jobs2" \
+  cargo run --release -p bench --bin runall -- --jobs 2 \
+  --report "$FIG_DIR/jobs2/bench_runner.json" > /dev/null
+for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+          faults; do
+  for ext in json csv; do
+    if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/jobs2/$id.$ext"; then
+      echo "ci: $id.$ext differs between --seq and --jobs 2" >&2
+      exit 1
+    fi
+  done
+done
 
 echo "== fault determinism gate (same seed => same artefact) =="
 # The fault plan is seeded: replaying the faults figure (quick scale,
@@ -84,18 +117,24 @@ echo "== fault-free baseline gate (full scale vs committed results/) =="
 # With the fault plan inactive the injection layer must consume zero
 # RNG draws and charge nothing: every committed figure artefact —
 # including the faults sweep itself, whose seed is fixed — stays byte
-# identical. Full (non-quick) scale, since that is what results/ holds.
-FULL_DIR="$FIG_DIR/full"
-LIGHTVM_FIG_DIR="$FULL_DIR" \
-  cargo run --release -p bench --bin runall -- --report "$FULL_DIR/bench_runner.json"
-for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
-          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults; do
-  for ext in json csv; do
-    if ! cmp -s "results/$id.$ext" "$FULL_DIR/$id.$ext"; then
-      echo "ci: $id.$ext differs from committed results/$id.$ext" >&2
-      exit 1
-    fi
+# identical. Full (non-quick) scale, since that is what results/ holds,
+# and at every scheduler width that matters: the committed artefacts
+# are the sequential reference, so --jobs 1, 2 and 8 matching them is
+# the full-scale byte-identity guarantee.
+for J in 1 2 8; do
+  FULL_DIR="$FIG_DIR/full-j$J"
+  LIGHTVM_FIG_DIR="$FULL_DIR" \
+    cargo run --release -p bench --bin runall -- --jobs "$J" \
+    --report "$FULL_DIR/bench_runner.json"
+  for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+            fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+            faults; do
+    for ext in json csv; do
+      if ! cmp -s "results/$id.$ext" "$FULL_DIR/$id.$ext"; then
+        echo "ci: $id.$ext (--jobs $J) differs from committed results/$id.$ext" >&2
+        exit 1
+      fi
+    done
   done
 done
 

@@ -66,6 +66,7 @@ fn log_rotation_unit(scale: Scale) -> UnitSpec {
         out.series = vec![mean, p99, max];
         out
     })
+    .cost(95.0)
 }
 
 fn flavor_unit(_scale: Scale) -> UnitSpec {
@@ -87,6 +88,7 @@ fn flavor_unit(_scale: Scale) -> UnitSpec {
         out.series = vec![s];
         out
     })
+    .cost(2.0)
 }
 
 fn pool_size_unit(scale: Scale) -> UnitSpec {
@@ -113,6 +115,7 @@ fn pool_size_unit(scale: Scale) -> UnitSpec {
         out.series = vec![mean, p99];
         out
     })
+    .cost(5.0)
 }
 
 fn hotplug_unit(_scale: Scale) -> UnitSpec {
@@ -133,6 +136,7 @@ fn hotplug_unit(_scale: Scale) -> UnitSpec {
         out.series = vec![s];
         out
     })
+    .cost(1.0)
 }
 
 fn interference_unit(scale: Scale) -> UnitSpec {
@@ -174,6 +178,7 @@ fn interference_unit(scale: Scale) -> UnitSpec {
         out.series = vec![conflicts, retried];
         out
     })
+    .cost(6.0)
 }
 
 fn page_sharing_unit(scale: Scale) -> UnitSpec {
@@ -205,6 +210,7 @@ fn page_sharing_unit(scale: Scale) -> UnitSpec {
         out.series = vec![s];
         out
     })
+    .cost(5.0)
 }
 
 fn sensitivity_unit(scale: Scale) -> UnitSpec {
@@ -242,6 +248,7 @@ fn sensitivity_unit(scale: Scale) -> UnitSpec {
         }
         out
     })
+    .cost(177.0)
 }
 
 /// The ablation suite as a registry figure: seven units, one per ablation.

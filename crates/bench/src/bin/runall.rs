@@ -143,7 +143,13 @@ fn main() -> ExitCode {
         }
     }
 
-    say!("# {}", bench::worldcache::summary());
+    say!(
+        "# {} | scheduler: {} tasks, width {}, critical path {:.1} ms",
+        bench::worldcache::summary(),
+        report.tasks.len(),
+        report.max_width(),
+        report.critical_path_ms()
+    );
     match report.write(&args.report) {
         Ok(()) => say!("# perf report -> {}", args.report.display()),
         Err(e) => {
@@ -152,10 +158,11 @@ fn main() -> ExitCode {
         }
     }
     say!(
-        "# wall {:.1} ms, unit wall {:.1} ms, speedup {:.2}x ({} of {} cores), {} events, {:.0} events/sec aggregate, {:.3} allocs/event",
+        "# wall {:.1} ms, task wall {:.1} ms, speedup {:.2}x (bound {:.2}x, {} of {} cores), {} events, {:.0} events/sec aggregate, {:.3} allocs/event",
         report.wall_ms,
-        report.total_unit_wall_ms(),
+        report.total_task_wall_ms(),
         report.speedup(),
+        report.speedup_bound(),
         report.jobs,
         report.host_cores,
         report.total_events(),

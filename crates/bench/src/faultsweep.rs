@@ -19,7 +19,7 @@ use metrics::{Series, Summary};
 use simcore::{FaultPlan, FaultSite, Machine, MachinePreset};
 use toolstack::{ControlPlane, ToolstackMode};
 
-use crate::figures::{meta, FigureSpec, Scale, UnitOutput, UnitSpec};
+use crate::figures::{meta, Dep, FigureSpec, Scale, UnitOutput, UnitSpec};
 use crate::worldcache::{self, WorldSpec};
 
 /// Injection probabilities swept per mode (0 = fault-free baseline).
@@ -37,6 +37,20 @@ fn machine() -> Machine {
 /// failures and averaging the successes' creation latency.
 fn mode_unit(scale: Scale, mode: ToolstackMode) -> UnitSpec {
     let n = scale.scaled(200);
+    // The rate-0 baseline reads the shared fault-free chain (same
+    // world as the density figures); the faulty rates build their own.
+    let zero_rate_spec = WorldSpec {
+        machine: machine(),
+        dom0_cores: 1,
+        mode,
+        image: GuestImage::unikernel_daytime(),
+        seed: 42,
+    };
+    let cost = match mode {
+        ToolstackMode::Xl => 60.0,
+        ToolstackMode::ChaosXs => 40.0,
+        _ => 10.0,
+    };
     UnitSpec::new(mode.label(), move || {
         let img = GuestImage::unikernel_daytime();
         let mut success = Series::new(format!("{}: success rate (%)", mode.label()));
@@ -49,15 +63,8 @@ fn mode_unit(scale: Scale, mode: ToolstackMode) -> UnitSpec {
             // image and seed). Read it instead of re-simulating; the
             // faulty rates genuinely diverge and build their own worlds.
             let (per, ok_times, injected) = if rate == 0.0 {
-                let spec = WorldSpec {
-                    machine: machine(),
-                    dom0_cores: 1,
-                    mode,
-                    image: img.clone(),
-                    seed: 42,
-                };
-                let (per, records, stats) =
-                    worldcache::records_at(&spec, n, UnitOutput::from_plane);
+                let (info, records, stats) = worldcache::records_at(&zero_rate_spec, n);
+                let per = UnitOutput::from_info(&info);
                 stats.into_output(&mut out);
                 let ok_times: Vec<f64> =
                     records.iter().map(|r| r.create().as_millis_f64()).collect();
@@ -93,6 +100,17 @@ fn mode_unit(scale: Scale, mode: ToolstackMode) -> UnitSpec {
         out.series = vec![success, mean_ok];
         out
     })
+    .dep(Dep::Chain {
+        spec: WorldSpec {
+            machine: machine(),
+            dom0_cores: 1,
+            mode,
+            image: GuestImage::unikernel_daytime(),
+            seed: 42,
+        },
+        rung: n,
+    })
+    .cost(cost)
 }
 
 /// Drives every named injection site at rate 1.0 against a small pool:

@@ -115,12 +115,45 @@ impl UnitOutput {
             boot_events_saved: 0,
         }
     }
+
+    /// The observables [`from_plane`] would read off the live world,
+    /// served instead from the [`worldcache::RungInfo`] a chain task
+    /// published — same numbers, no world contact.
+    pub(crate) fn from_info(info: &worldcache::RungInfo) -> UnitOutput {
+        let mut out = UnitOutput::new();
+        out.virtual_ms = info.virtual_ms;
+        out.events = info.events;
+        out
+    }
+}
+
+/// A shared resource a unit consumes. Units declare these instead of
+/// lazily racing to build caches: the planner (`crate::sched`) turns
+/// each distinct dependency into exactly one producing task and gates
+/// the unit on it, so the expensive builds are scheduled explicitly —
+/// pipelined, critical-path first — and units run as pure readers.
+/// With the snapshot cache disabled no producer tasks exist and the
+/// unit bodies fall back to building inline, byte-identically.
+pub enum Dep {
+    /// Rung `rung` of `spec`'s worldcache chain must be published.
+    Chain { spec: WorldSpec, rung: usize },
+    /// The memoized probe walk for (mode, steps) must be complete.
+    Walk { mode: ToolstackMode, steps: Vec<usize> },
+    /// The memoized overload simulation for `cfg` must have run.
+    Compute { cfg: ComputeConfig },
 }
 
 /// One independently runnable slice of a figure.
 pub struct UnitSpec {
     /// Label, unique within the figure (e.g. the mode or image name).
     pub label: String,
+    /// Shared resources this unit reads (empty for self-contained
+    /// units). The scheduler orders the unit after their producers.
+    pub deps: Vec<Dep>,
+    /// Rough expected wall-clock in milliseconds at full scale, for
+    /// critical-path-first ordering. Only relative magnitude matters;
+    /// mis-estimates cost schedule quality, never correctness.
+    pub cost_hint: f64,
     /// The computation. Runs on an arbitrary worker thread.
     pub run: Box<dyn FnOnce() -> UnitOutput + Send>,
 }
@@ -129,8 +162,22 @@ impl UnitSpec {
     pub(crate) fn new(label: impl Into<String>, run: impl FnOnce() -> UnitOutput + Send + 'static) -> UnitSpec {
         UnitSpec {
             label: label.into(),
+            deps: Vec::new(),
+            cost_hint: 1.0,
             run: Box::new(run),
         }
+    }
+
+    /// Declares a resource dependency.
+    pub(crate) fn dep(mut self, dep: Dep) -> UnitSpec {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Sets the cost hint (ms at full scale, from the perf report).
+    pub(crate) fn cost(mut self, ms: f64) -> UnitSpec {
+        self.cost_hint = ms;
+        self
     }
 }
 
@@ -188,16 +235,17 @@ fn sweep_unit(
 ) -> UnitSpec {
     let label = label.into();
     let unit_label = label.clone();
+    let spec = WorldSpec {
+        machine,
+        dom0_cores,
+        mode,
+        image,
+        seed,
+    };
+    let dep_spec = spec.clone();
     UnitSpec::new(unit_label, move || {
-        let spec = WorldSpec {
-            machine,
-            dom0_cores,
-            mode,
-            image,
-            seed,
-        };
-        let (mut out, records, stats) =
-            worldcache::records_at(&spec, n, UnitOutput::from_plane);
+        let (info, records, stats) = worldcache::records_at(&spec, n);
+        let mut out = UnitOutput::from_info(&info);
         let points: Vec<SweepPoint> = records
             .iter()
             .enumerate()
@@ -217,6 +265,7 @@ fn sweep_unit(
         out.series = series_of(&label, &points);
         out
     })
+    .dep(Dep::Chain { spec: dep_spec, rung: n })
 }
 
 // ---------------------------------------------------------------------
@@ -364,7 +413,7 @@ fn fig05(scale: Scale) -> FigureSpec {
         ylabel: "time (ms)",
         sample_xs: density_steps(n).iter().map(|&v| v as f64).collect(),
         meta: vec![meta("machine", "Xeon E5-1630 v3")],
-        units: vec![UnitSpec::new("xl-breakdown", move || {
+        units: vec![{
             let spec = WorldSpec {
                 machine: xeon(),
                 dom0_cores: 1,
@@ -372,16 +421,14 @@ fn fig05(scale: Scale) -> FigureSpec {
                 image: GuestImage::unikernel_daytime(),
                 seed: 42,
             };
+            let dep_spec = spec.clone();
+            UnitSpec::new("xl-breakdown", move || {
             // Same world as the fig04/fig09 xl sweeps; the chain's
-            // per-create meters carry the full category breakdown.
-            let ((mut out, rotations, conflicts), records, stats) =
-                worldcache::records_at(&spec, n, |cp| {
-                    (
-                        UnitOutput::from_plane(cp),
-                        cp.xs.log_rotations(),
-                        cp.xs.stats().txn_conflicts,
-                    )
-                });
+            // per-create meters carry the full category breakdown, and
+            // the rung observables carry the store-health metadata.
+            let (info, records, stats) = worldcache::records_at(&spec, n);
+            let mut out = UnitOutput::from_info(&info);
+            let (rotations, conflicts) = (info.log_rotations, info.txn_conflicts);
             let cats = [
                 Category::Toolstack,
                 Category::Load,
@@ -406,7 +453,9 @@ fn fig05(scale: Scale) -> FigureSpec {
             ];
             out.series = series;
             out
-        })],
+            })
+            .dep(Dep::Chain { spec: dep_spec, rung: n })
+        }],
     }
 }
 
@@ -549,6 +598,10 @@ fn fig11(scale: Scale) -> FigureSpec {
 
 /// One mode of the Figure 12 checkpoint/restore sweep.
 fn checkpoint_unit(mode: ToolstackMode, plot_save: bool, steps: Vec<usize>) -> UnitSpec {
+    let dep = Dep::Walk {
+        mode,
+        steps: steps.clone(),
+    };
     UnitSpec::new(mode.label(), move || {
         // One shared probe walk serves fig12a, fig12b and fig13: the
         // destructive save/restore probes run on throwaway forks at
@@ -568,6 +621,7 @@ fn checkpoint_unit(mode: ToolstackMode, plot_save: bool, steps: Vec<usize>) -> U
         out.series = vec![s];
         out
     })
+    .dep(dep)
 }
 
 fn fig12(scale: Scale, id: &'static str, title: &'static str, plot_save: bool) -> FigureSpec {
@@ -609,6 +663,10 @@ fn fig13(scale: Scale) -> FigureSpec {
     .into_iter()
     .map(|mode| {
         let steps = steps.clone();
+        let dep = Dep::Walk {
+            mode,
+            steps: steps.clone(),
+        };
         UnitSpec::new(mode.label(), move || {
             // Migration mutates the source (the migrated VM leaves it),
             // so the shared probe walk migrates out of throwaway forks
@@ -625,6 +683,7 @@ fn fig13(scale: Scale) -> FigureSpec {
             out.series = vec![s];
             out
         })
+        .dep(dep)
     })
     .collect();
     FigureSpec {
@@ -723,27 +782,31 @@ fn fig15(scale: Scale) -> FigureSpec {
         (GuestImage::unikernel_noop(), "Unikernel"),
     ] {
         let steps = steps.clone();
-        units.push(UnitSpec::new(label, move || {
-            let spec = WorldSpec {
-                machine: xeon(),
-                dom0_cores: 1,
-                mode: ToolstackMode::LightVm,
-                image: img,
-                seed: 42,
-            };
-            let (mut out, records, stats) =
-                worldcache::records_at(&spec, n, UnitOutput::from_plane);
-            let mut s = Series::new(label);
-            for &i in &steps {
-                // Utilisation is sampled on the density ladder only;
-                // every fig15 step is on it by construction.
-                debug_assert!(records[i - 1].util_after.is_finite());
-                s.push(i as f64, records[i - 1].util_after * 100.0);
-            }
-            stats.into_output(&mut out);
-            out.series = vec![s];
-            out
-        }));
+        let spec = WorldSpec {
+            machine: xeon(),
+            dom0_cores: 1,
+            mode: ToolstackMode::LightVm,
+            image: img,
+            seed: 42,
+        };
+        let dep_spec = spec.clone();
+        units.push(
+            UnitSpec::new(label, move || {
+                let (info, records, stats) = worldcache::records_at(&spec, n);
+                let mut out = UnitOutput::from_info(&info);
+                let mut s = Series::new(label);
+                for &i in &steps {
+                    // Utilisation is sampled on the density ladder only;
+                    // every fig15 step is on it by construction.
+                    debug_assert!(records[i - 1].util_after.is_finite());
+                    s.push(i as f64, records[i - 1].util_after * 100.0);
+                }
+                stats.into_output(&mut out);
+                out.series = vec![s];
+                out
+            })
+            .dep(Dep::Chain { spec: dep_spec, rung: n }),
+        );
     }
     {
         let steps = steps.clone();
@@ -810,7 +873,8 @@ fn fig16a(_scale: Scale) -> FigureSpec {
             ];
             out.events = r.booted as u64;
             out
-        })],
+        })
+        .cost(8.0)],
     }
 }
 
@@ -834,6 +898,7 @@ fn fig16b(_scale: Scale) -> FigureSpec {
                 out.events_scheduled = r.events_scheduled;
                 out
             })
+            .cost(15.0)
         })
         .collect();
     FigureSpec {
@@ -876,7 +941,8 @@ fn fig16c(_scale: Scale) -> FigureSpec {
                 out.events += s.points.len() as u64;
             }
             out
-        })],
+        })
+        .cost(11.0)],
     }
 }
 
@@ -885,9 +951,10 @@ fn fig17(scale: Scale) -> FigureSpec {
     let units = [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)]
         .into_iter()
         .map(|(mode, seed)| {
+            let mut cfg = ComputeConfig::paper(mode, seed);
+            cfg.requests = n;
+            let dep_cfg = cfg.clone();
             UnitSpec::new(mode.label(), move || {
-                let mut cfg = ComputeConfig::paper(mode, seed);
-                cfg.requests = n;
                 // fig18 runs the identical overload simulation.
                 let (r, stats) = worldcache::compute_cached(&cfg);
                 let mut out = UnitOutput::new();
@@ -913,6 +980,7 @@ fn fig17(scale: Scale) -> FigureSpec {
                     .sum();
                 out
             })
+            .dep(Dep::Compute { cfg: dep_cfg })
         })
         .collect();
     FigureSpec {
@@ -931,9 +999,10 @@ fn fig18(scale: Scale) -> FigureSpec {
     let units = [(ToolstackMode::ChaosXs, 1u64), (ToolstackMode::LightVm, 2)]
         .into_iter()
         .map(|(mode, seed)| {
+            let mut cfg = ComputeConfig::paper(mode, seed);
+            cfg.requests = n;
+            let dep_cfg = cfg.clone();
             UnitSpec::new(mode.label(), move || {
-                let mut cfg = ComputeConfig::paper(mode, seed);
-                cfg.requests = n;
                 // fig17 runs the identical overload simulation.
                 let (r, stats) = worldcache::compute_cached(&cfg);
                 let mut out = UnitOutput::new();
@@ -947,6 +1016,7 @@ fn fig18(scale: Scale) -> FigureSpec {
                 out.events = r.concurrency.len() as u64;
                 out
             })
+            .dep(Dep::Compute { cfg: dep_cfg })
         })
         .collect();
     FigureSpec {

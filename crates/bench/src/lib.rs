@@ -7,6 +7,7 @@ pub mod faultsweep;
 pub mod figures;
 pub mod probewalk;
 pub mod runner;
+pub mod sched;
 pub mod worldcache;
 
 use std::path::PathBuf;

@@ -1,21 +1,33 @@
-//! Parallel figure runner: executes registry work units on a thread
-//! pool and deterministically reassembles the figures.
+//! Parallel figure runner: plans registry work as a dependency DAG
+//! (see [`crate::sched`]) and deterministically reassembles the
+//! figures.
 //!
-//! Units are claimed from a shared queue (an atomic cursor over the
-//! flattened unit list), so threads stay busy regardless of how uneven
-//! unit costs are. Results are written into per-unit slots; the merge
-//! then walks figures and units in *declared* order, which makes the
-//! output bit-for-bit independent of scheduling. Determinism is also
-//! guaranteed per unit: each unit owns its whole simulation (control
-//! plane, RNG, clocks), so no simulated state crosses threads.
+//! The planner turns every distinct resource the units declare —
+//! worldcache chain rungs, probe walks, memoized compute runs — into
+//! explicit producer tasks, and gates the consuming units on them; the
+//! executor then runs the graph critical-path first on `jobs` workers.
+//! Results are written into per-unit slots and the merge walks figures
+//! and units in *declared* order, which makes the output bit-for-bit
+//! independent of scheduling (`--seq`, `--jobs 1` and `--jobs N` all
+//! produce identical artefacts; ci.sh gates this). Determinism is also
+//! guaranteed per task: each task owns the simulated state it touches
+//! (a unit its whole simulation, a chain task its chain under the
+//! chain lock), so no simulated state races across threads.
+//!
+//! Allocation and wall-time attribution: counting is per thread and a
+//! task runs entirely on the thread that claimed it, so each task's
+//! delta is exact. Because the shared builds are now their own tasks,
+//! a unit's `wall_ms`/`allocs` cover only its own execution — chain
+//! climbing, probe walks and compute runs are billed to the `chain`/
+//! `probe`/`compute` rows of the task trace, not to whichever unit
+//! happened to arrive first.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use metrics::{Figure, RunnerReport, UnitPerf};
 
 use crate::figures::{FigureSpec, UnitOutput};
+use crate::sched;
 
 /// A completed figure plus the x positions its table is sampled at.
 pub struct FigureRun {
@@ -24,68 +36,28 @@ pub struct FigureRun {
 }
 
 /// Executes every unit of `specs` on `jobs` worker threads and merges
-/// the results. Returns the figures in registry order and the per-unit
-/// perf report (also in registry order).
+/// the results. Returns the figures in registry order and the perf
+/// report: per-unit rows in registry order plus the full task trace.
 pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>, RunnerReport) {
     let started = Instant::now();
 
-    // Flatten to a work list, remembering each unit's home figure.
-    let mut heads = Vec::with_capacity(specs.len());
-    let mut work: Vec<Box<dyn FnOnce() -> UnitOutput + Send>> = Vec::new();
-    let mut unit_ids: Vec<(usize, String)> = Vec::new(); // (figure idx, label)
-    for (fi, mut spec) in specs.into_iter().enumerate() {
-        for unit in spec.units.drain(..) {
-            unit_ids.push((fi, unit.label));
-            work.push(unit.run);
-        }
-        heads.push(spec);
-    }
+    let (heads, plan) = sched::plan(specs);
+    let jobs = jobs.max(1).min(plan.len().max(1));
+    let (trace, unit_results) = sched::execute(plan, jobs, started);
 
-    let n_units = work.len();
-    let jobs = jobs.max(1).min(n_units.max(1));
-    let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> UnitOutput + Send>>>> =
-        work.into_iter().map(|w| Mutex::new(Some(w))).collect();
-    let results: Vec<Mutex<Option<(UnitOutput, f64, u64)>>> =
-        (0..n_units).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n_units {
-                    break;
-                }
-                let unit = slots[i]
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("unit claimed once");
-                // Allocation counting is per thread, and a unit runs
-                // entirely on the thread that claimed it, so the delta
-                // is the unit's own count even under parallel workers.
-                let a0 = crate::alloc::thread_allocs();
-                let t0 = Instant::now();
-                let out = unit();
-                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let allocs = crate::alloc::thread_allocs() - a0;
-                *results[i].lock().expect("result lock") = Some((out, wall_ms, allocs));
-            });
-        }
-    });
-
-    // Reassemble in declared order.
+    // Reassemble in declared order. Unit task ids follow declaration
+    // order, so the results arrive (figure, unit)-sorted already; the
+    // slot assertion pins that.
     let mut outputs: Vec<Vec<UnitOutput>> = heads.iter().map(|_| Vec::new()).collect();
-    let mut perf = Vec::with_capacity(n_units);
-    for (slot, (fi, label)) in results.into_iter().zip(unit_ids) {
-        let (out, wall_ms, allocs) = slot
-            .into_inner()
-            .expect("result lock")
-            .expect("every unit ran");
+    let mut perf = Vec::with_capacity(unit_results.len());
+    for r in unit_results {
+        let (fi, ui) = r.slot;
+        debug_assert_eq!(ui, outputs[fi].len(), "unit results in declared order");
+        let out = r.out;
         perf.push(
-            UnitPerf::new(heads[fi].id, label, wall_ms, out.virtual_ms, out.events)
+            UnitPerf::new(heads[fi].id, r.label, r.wall_ms, out.virtual_ms, out.events)
                 .with_queue_stats(out.peak_queue_depth as u64, out.events_scheduled)
-                .with_allocs(allocs)
+                .with_allocs(r.allocs)
                 .with_snapshot_stats(
                     out.snapshot_hits,
                     out.snapshot_forks,
@@ -111,23 +83,22 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
         quick,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         units: perf,
+        tasks: trace,
     };
     (figures, report)
 }
 
-/// Runs a single figure's units sequentially, in declared order — the
-/// driver behind the per-figure `figNN` binaries.
-pub fn run_single(mut spec: FigureSpec) -> FigureRun {
-    let units = std::mem::take(&mut spec.units);
-    let outputs: Vec<UnitOutput> = units.into_iter().map(|u| (u.run)()).collect();
-    FigureRun {
-        sample_xs: spec.sample_xs.clone(),
-        figure: spec.merge(outputs),
-    }
+/// Runs a single figure through the same planner/executor as the full
+/// registry — a one-figure DAG on the caller thread — so per-figure
+/// binaries exercise exactly the shipping scheduler path.
+pub fn run_single(spec: FigureSpec) -> FigureRun {
+    let (mut runs, _) = run(vec![spec], 1, false);
+    runs.pop().expect("one figure in, one figure out")
 }
 
 /// Per-figure binary entry point: builds the spec at the environment's
-/// scale, runs it sequentially and prints/writes the usual artefacts.
+/// scale, runs it through the scheduler and prints/writes the usual
+/// artefacts.
 pub fn figure_main(id: &str) {
     let scale = crate::figures::Scale::from_env();
     let spec = crate::figures::spec_by_id(scale, id)

@@ -69,12 +69,23 @@ impl WorldSpec {
         cp
     }
 
+    /// Short human-readable identity for scheduler labels/traces.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}c/{}/s{}",
+            self.mode.label(),
+            self.dom0_cores,
+            self.image.name,
+            self.seed
+        )
+    }
+
     /// Cache key. The mode/cores/image-name/seed tuple is the human-
     /// readable identity; the fingerprint hashes the full machine and
     /// image parameters (cost model included) so that two specs which
     /// merely *print* alike — say, an ablation's perturbed cost model
     /// on the stock machine name — can never share a chain.
-    fn key(&self) -> Key {
+    pub(crate) fn key(&self) -> Key {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         format!("{:?}|{:?}", self.machine, self.image).hash(&mut h);
         Key {
@@ -88,7 +99,7 @@ impl WorldSpec {
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct Key {
+pub(crate) struct Key {
     mode: &'static str,
     dom0_cores: usize,
     image: String,
@@ -138,6 +149,38 @@ impl CacheStats {
     }
 }
 
+/// Cheap world-level observables captured when a chain passes a rung:
+/// everything a pure *reader* of the chain consumes besides the
+/// per-create records. Capturing these as the chain climbs lets a
+/// reader gated on "rung d published" serve its figure without
+/// touching (or replaying) the live world at all — even after the tip
+/// has grown past d.
+#[derive(Clone, Copy, Debug)]
+pub struct RungInfo {
+    /// Simulated clock at this density, in milliseconds.
+    pub virtual_ms: f64,
+    /// Discrete simulation events processed so far (xenstored requests
+    /// + watch deliveries + CPU-model task registrations).
+    pub events: u64,
+    /// XenStore access-log rotations so far (fig05 metadata).
+    pub log_rotations: u64,
+    /// Transaction conflicts so far (fig05 metadata).
+    pub txn_conflicts: u64,
+}
+
+impl RungInfo {
+    /// Reads the observables off a live world.
+    pub fn capture(cp: &ControlPlane) -> RungInfo {
+        let stats = cp.xs.stats();
+        RungInfo {
+            virtual_ms: cp.cpu.now().as_millis_f64(),
+            events: stats.requests + stats.watch_events + cp.cpu.tasks_started(),
+            log_rotations: cp.xs.log_rotations(),
+            txn_conflicts: stats.txn_conflicts,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Chain {
     records: Vec<CreateRecord>,
@@ -145,6 +188,9 @@ struct Chain {
     base: Option<Snapshot>,
     /// Deepest world built so far: (guests booted, live world).
     tip: Option<(usize, ControlPlane)>,
+    /// Observables published per density-ladder rung as the chain
+    /// climbed (plus every explicitly requested target).
+    info: HashMap<usize, RungInfo>,
 }
 
 type ChainRef = Arc<Mutex<Chain>>;
@@ -226,13 +272,18 @@ fn chain_for(key: Key) -> ChainRef {
 }
 
 /// Boots guests `from..to` with canonical names, recording measurements
-/// for indices the chain has not seen.
+/// for indices the chain has not seen and publishing [`RungInfo`] at
+/// every density-ladder rung crossed (and at `to` itself). Capturing
+/// rung observables is read-only — the world's evolution is identical
+/// with or without it, which is what keeps cached and uncached
+/// artefacts byte-identical.
 fn advance(
     cp: &mut ControlPlane,
     image: &GuestImage,
     from: usize,
     to: usize,
     records: &mut Vec<CreateRecord>,
+    mut info: Option<&mut HashMap<usize, RungInfo>>,
 ) {
     for i in from..to {
         let report = cp
@@ -240,8 +291,8 @@ fn advance(
             .expect("world chain create");
         let boot = cp.boot_vm(report.dom).expect("world chain boot");
         note_boot();
+        let done = i + 1;
         if i >= records.len() {
-            let done = i + 1;
             records.push(CreateRecord {
                 meter: report.meter,
                 boot,
@@ -252,6 +303,14 @@ fn advance(
                 },
             });
         }
+        if crate::on_density_ladder(done) {
+            if let Some(info) = info.as_deref_mut() {
+                info.entry(done).or_insert_with(|| RungInfo::capture(cp));
+            }
+        }
+    }
+    if let Some(info) = info {
+        info.entry(to).or_insert_with(|| RungInfo::capture(cp));
     }
 }
 
@@ -268,7 +327,7 @@ fn with_world_at<T>(
     if !enabled() {
         let mut cp = spec.build_base();
         let mut records = Vec::new();
-        advance(&mut cp, &spec.image, 0, target, &mut records);
+        advance(&mut cp, &spec.image, 0, target, &mut records, None);
         let out = consume(&cp, &records);
         return (out, records, stats);
     }
@@ -284,6 +343,7 @@ fn with_world_at<T>(
         records,
         base,
         tip: Some((at, world)),
+        info,
     } = &mut *chain
     else {
         unreachable!("tip installed above")
@@ -295,7 +355,7 @@ fn with_world_at<T>(
             stats.boots_saved = *at as u64;
             note_reuse(*at as u64);
         }
-        advance(world, &spec.image, *at, target, records);
+        advance(world, &spec.image, *at, target, records, Some(info));
         *at = target;
         consume(world, records)
     } else {
@@ -303,7 +363,7 @@ fn with_world_at<T>(
         // the records for this prefix are, and the tip stays deep for
         // the consumers that want it.
         let mut cp = base.as_ref().expect("base set with tip").fork();
-        advance(&mut cp, &spec.image, 0, target, records);
+        advance(&mut cp, &spec.image, 0, target, records, Some(info));
         consume(&cp, records)
     };
     (out, records[..target].to_vec(), stats)
@@ -327,17 +387,104 @@ pub fn world_at(spec: &WorldSpec, target: usize) -> (ControlPlane, Vec<CreateRec
     (cp, records, stats)
 }
 
-/// Like [`world_at`], but returns only the records plus the perf
-/// numbers `f` extracts from a borrow of the world — no fork. This is
-/// the sweep-figure path: their artefacts are functions of the records
-/// alone, and the world is only consulted for the perf report.
-pub fn records_at<T>(
-    spec: &WorldSpec,
-    target: usize,
-    f: impl FnOnce(&ControlPlane) -> T,
-) -> (T, Vec<CreateRecord>, CacheStats) {
-    with_world_at(spec, target, |world, _| f(world))
+/// Chain-task entry point: advances `spec`'s chain tip in place to
+/// `target`, publishing records and rung observables on the way, and
+/// returns how many boots this call simulated. A tip already at or
+/// past `target` makes this a no-op — the scheduler orders rung tasks
+/// so each one climbs exactly its own span. No-op when the cache is
+/// disabled (the planner emits no chain tasks then, but a stray call
+/// must not populate a cache the run has sworn off).
+pub fn build_to(spec: &WorldSpec, target: usize) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let chain = chain_for(spec.key());
+    let mut chain = chain.lock().expect("worldcache chain lock");
+    if chain.tip.is_none() {
+        let cp = spec.build_base();
+        chain.base = Some(cp.snapshot());
+        chain.tip = Some((0, cp));
+    }
+    let Chain {
+        records,
+        tip: Some((at, world)),
+        info,
+        ..
+    } = &mut *chain
+    else {
+        unreachable!("tip installed above")
+    };
+    if *at < target {
+        let boots = (target - *at) as u64;
+        advance(world, &spec.image, *at, target, records, Some(info));
+        *at = target;
+        boots
+    } else {
+        // Ensure the rung is published even when a warm cache already
+        // sits exactly at the target.
+        if *at == target {
+            info.entry(target).or_insert_with(|| RungInfo::capture(world));
+        }
+        0
+    }
 }
+
+/// Whether `spec`'s chain already has `target` records and the rung
+/// observables for `target` published, i.e. a [`records_at`] reader
+/// would be served without touching the live world. The planner skips
+/// emitting chain tasks for rungs that are already warm from an
+/// earlier in-process run. Never creates a chain entry.
+pub fn rung_published(spec: &WorldSpec, target: usize) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let Some(map) = CACHE.get() else {
+        return false;
+    };
+    let Some(chain) = map
+        .lock()
+        .expect("worldcache map lock")
+        .get(&spec.key())
+        .map(Arc::clone)
+    else {
+        return false;
+    };
+    let chain = chain.lock().expect("worldcache chain lock");
+    chain.records.len() >= target && chain.info.contains_key(&target)
+}
+
+/// Like [`world_at`], but returns only the per-create records plus the
+/// rung observables ([`RungInfo`]) at `target` — no fork, and, when a
+/// chain task already published the rung, no contact with the live
+/// world at all: the reader serves entirely from captured state, even
+/// if the tip has long climbed past `target`. This is the sweep-figure
+/// path; its artefacts are functions of the records and the rung
+/// observables alone.
+pub fn records_at(spec: &WorldSpec, target: usize) -> (RungInfo, Vec<CreateRecord>, CacheStats) {
+    if enabled() {
+        let chain = chain_for(spec.key());
+        let chain = chain.lock().expect("worldcache chain lock");
+        if chain.records.len() >= target {
+            if let Some(&info) = chain.info.get(&target) {
+                // Pure read: every boot below `target` is served from
+                // the chain, whoever built it.
+                let mut stats = CacheStats::default();
+                if target > 0 {
+                    stats.hits = 1;
+                    stats.boots_saved = target as u64;
+                    note_reuse(target as u64);
+                }
+                let records = chain.records[..target].to_vec();
+                return (info, records, stats);
+            }
+        }
+        drop(chain);
+    }
+    with_world_at(spec, target, |world, _| RungInfo::capture(world))
+}
+
+static COMPUTE_MEMO: OnceLock<Mutex<HashMap<String, lightvm::usecases::compute::ComputeResult>>> =
+    OnceLock::new();
 
 /// Memoizes `compute::run` for the figures that share a config
 /// (fig17 and fig18 run the identical overload simulation). Same
@@ -345,13 +492,12 @@ pub fn records_at<T>(
 pub fn compute_cached(
     cfg: &lightvm::usecases::compute::ComputeConfig,
 ) -> (lightvm::usecases::compute::ComputeResult, CacheStats) {
-    use lightvm::usecases::compute::{self, ComputeResult};
-    static MEMO: OnceLock<Mutex<HashMap<String, ComputeResult>>> = OnceLock::new();
+    use lightvm::usecases::compute;
     if !enabled() {
         return (compute::run(cfg), CacheStats::default());
     }
     let key = format!("{:?}", cfg);
-    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let memo = COMPUTE_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     let mut memo = memo.lock().expect("compute memo lock");
     if let Some(hit) = memo.get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
@@ -366,6 +512,16 @@ pub fn compute_cached(
     let r = compute::run(cfg);
     memo.insert(key, r.clone());
     (r, CacheStats::default())
+}
+
+/// Whether a compute run for `cfg` is already memoized — the planner
+/// skips emitting a compute task for it (a warm cache across repeated
+/// in-process runs).
+pub fn compute_is_cached(cfg: &lightvm::usecases::compute::ComputeConfig) -> bool {
+    enabled()
+        && COMPUTE_MEMO
+            .get()
+            .is_some_and(|m| m.lock().expect("compute memo lock").contains_key(&format!("{:?}", cfg)))
 }
 
 impl CacheStats {

@@ -46,6 +46,93 @@ fn worker_count_does_not_change_output() {
     }
 }
 
+/// The scheduler keeps artefacts byte-identical at every worker count:
+/// `--jobs 1` (the `--seq` path), 2 and 8 produce the same figure JSON
+/// and CSV, and the report's per-unit rows keep declared order with
+/// identical deterministic fields (wall-clock and allocation counts are
+/// the only things allowed to move).
+#[test]
+fn artefacts_identical_across_worker_counts() {
+    let scale = Scale::quick();
+    let ids = ["fig04", "fig05", "fig12a", "fig12b", "fig13", "fig17", "fig18", "faults"];
+    let build = || {
+        ids.iter()
+            .map(|id| spec_by_id(scale, id).expect("registered"))
+            .collect::<Vec<_>>()
+    };
+    let (base_figs, base_rep) = runner::run(build(), 1, scale.quick);
+    for jobs in [2, 8] {
+        let (figs, rep) = runner::run(build(), jobs, scale.quick);
+        assert_eq!(base_figs.len(), figs.len());
+        for (a, b) in base_figs.iter().zip(&figs) {
+            assert_eq!(a.figure.to_json(), b.figure.to_json(), "jobs={jobs}");
+            assert_eq!(a.figure.to_csv(), b.figure.to_csv(), "jobs={jobs}");
+        }
+        let stable = |r: &metrics::RunnerReport| {
+            r.units
+                .iter()
+                .map(|u| (u.figure.clone(), u.unit.clone(), u.events, u.virtual_ms.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stable(&base_rep), stable(&rep), "jobs={jobs}");
+    }
+}
+
+/// The planner's task graph is well-formed: task ids are topological
+/// (so the DAG cannot contain a cycle), every dependency edge points at
+/// an existing task, and every infrastructure resource has exactly one
+/// producer task. Planned at full scale: the quick-scale tests in this
+/// binary may have warmed the in-process caches, but nothing builds the
+/// full-scale resources, so none of the producers may be elided.
+#[test]
+fn plan_is_acyclic_with_unique_producers() {
+    let (heads, plan) = bench::sched::plan(bench::figures::all_specs(Scale::full()));
+    let tasks = plan.view();
+    assert!(!tasks.is_empty());
+
+    let mut producers = std::collections::HashMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            assert!(d < i, "task {i} ({}) depends on later task {d}", t.label);
+        }
+        match t.kind {
+            "chain" | "probe" | "compute" => {
+                // Infrastructure labels name the resource they produce;
+                // a duplicate would mean two tasks build the same thing.
+                let prev = producers.insert(t.label.clone(), i);
+                assert_eq!(prev, None, "duplicate producer for {}", t.label);
+                assert!(t.figure.is_empty());
+            }
+            "unit" => assert!(!t.figure.is_empty()),
+            other => panic!("unknown task kind {other}"),
+        }
+    }
+
+    // Units that declared dependencies got them wired: spot-check the
+    // three dependency flavours.
+    let dep_kinds = |figure: &str| -> Vec<&'static str> {
+        tasks
+            .iter()
+            .filter(|t| t.kind == "unit" && t.figure == figure)
+            .flat_map(|t| t.deps.iter().map(|&d| tasks[d].kind))
+            .collect()
+    };
+    assert!(dep_kinds("fig04").contains(&"chain"));
+    assert!(dep_kinds("fig13").iter().all(|&k| k == "probe"));
+    assert_eq!(dep_kinds("fig13").len(), 4);
+    assert!(dep_kinds("fig17").contains(&"compute"));
+
+    // Every unit survived planning (heads come back drained, so count
+    // against a fresh registry).
+    let n_units = tasks.iter().filter(|t| t.kind == "unit").count();
+    let declared: usize = bench::figures::all_specs(Scale::full())
+        .iter()
+        .map(|s| s.units.len())
+        .sum();
+    assert_eq!(n_units, declared);
+    assert!(heads.iter().all(|h| h.units.is_empty()));
+}
+
 /// The registry itself is stable: same scale, same specs.
 #[test]
 fn registry_is_complete_and_stable() {

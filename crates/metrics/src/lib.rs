@@ -12,5 +12,5 @@ pub mod stats;
 
 pub use figure::{Figure, Series};
 pub use json::Json;
-pub use report::{RunnerReport, UnitPerf};
+pub use report::{RunnerReport, TaskPerf, UnitPerf};
 pub use stats::{Cdf, Summary};

@@ -151,6 +151,62 @@ impl UnitPerf {
     }
 }
 
+/// One scheduled task in the runner's dependency graph: a figure unit,
+/// a worldcache chain rung, a probe-walk step or a memoized compute
+/// run. The trace records when it ran, on which worker, and what it
+/// depended on — enough to reconstruct the schedule and its critical
+/// path offline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskPerf {
+    /// Task id (index into the trace; `deps` refer to these).
+    pub id: u64,
+    /// Task kind: `"unit"`, `"chain"`, `"probe"` or `"compute"`.
+    pub kind: String,
+    /// Human-readable label, e.g. `"chain xl/daytime@1000"`.
+    pub label: String,
+    /// Owning figure id for unit tasks, empty for infrastructure tasks.
+    pub figure: String,
+    /// Worker thread index the task ran on.
+    pub thread: u64,
+    /// Start/end offsets from run start, in milliseconds.
+    pub start_ms: f64,
+    pub end_ms: f64,
+    /// Simulation work the task itself performed (boots for chain
+    /// tasks, probes for probe tasks, own events for units; 0 where
+    /// the task only reads caches).
+    pub events: u64,
+    /// Heap allocations made while the task ran on its thread.
+    pub allocs: u64,
+    /// Ids of the tasks this task waited for.
+    pub deps: Vec<u64>,
+}
+
+impl TaskPerf {
+    /// Wall-clock the task occupied its worker, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id".to_string(), Json::Num(self.id as f64)),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+            ("label".to_string(), Json::Str(self.label.clone())),
+            ("figure".to_string(), Json::Str(self.figure.clone())),
+            ("thread".to_string(), Json::Num(self.thread as f64)),
+            ("start_ms".to_string(), Json::Num(round3(self.start_ms))),
+            ("end_ms".to_string(), Json::Num(round3(self.end_ms))),
+            ("wall_ms".to_string(), Json::Num(round3(self.wall_ms()))),
+            ("events".to_string(), Json::Num(self.events as f64)),
+            ("allocs".to_string(), Json::Num(self.allocs as f64)),
+            (
+                "deps".to_string(),
+                Json::Arr(self.deps.iter().map(|&d| Json::Num(d as f64)).collect()),
+            ),
+        ])
+    }
+}
+
 /// A whole runner invocation: configuration, totals and per-unit rows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunnerReport {
@@ -171,6 +227,11 @@ pub struct RunnerReport {
     /// Per-unit measurements, in deterministic (figure, declaration)
     /// order.
     pub units: Vec<UnitPerf>,
+    /// Scheduler trace: every task the dependency-aware runner
+    /// executed (units plus chain/probe/compute infrastructure), in
+    /// task-id order. Empty for reports produced without the DAG
+    /// scheduler (e.g. hand-built fixtures).
+    pub tasks: Vec<TaskPerf>,
 }
 
 impl RunnerReport {
@@ -205,9 +266,71 @@ impl RunnerReport {
         self.units.iter().map(|u| u.boot_events_saved).sum()
     }
 
-    /// Aggregate throughput: total events over summed unit wall-clock.
+    /// Summed wall-clock across every scheduled task — unit tasks plus
+    /// the chain/probe/compute infrastructure tasks that build shared
+    /// worlds. This is what a fully sequential run would cost. Falls
+    /// back to the unit sum when no trace is present.
+    pub fn total_task_wall_ms(&self) -> f64 {
+        if self.tasks.is_empty() {
+            self.total_unit_wall_ms()
+        } else {
+            self.tasks.iter().map(TaskPerf::wall_ms).sum()
+        }
+    }
+
+    /// Total host allocations across every scheduled task (falls back
+    /// to the unit sum without a trace).
+    pub fn total_task_allocs(&self) -> u64 {
+        if self.tasks.is_empty() {
+            self.total_allocs()
+        } else {
+            self.tasks.iter().map(|t| t.allocs).sum()
+        }
+    }
+
+    /// Critical-path length through the measured task graph: the
+    /// longest dependency chain by observed wall-clock. No schedule —
+    /// at any worker count — can finish faster than this.
+    pub fn critical_path_ms(&self) -> f64 {
+        let mut cp = vec![0.0f64; self.tasks.len()];
+        let mut longest = 0.0f64;
+        // Tasks are emitted in topological (id) order: deps < id.
+        for (i, t) in self.tasks.iter().enumerate() {
+            let from_deps = t
+                .deps
+                .iter()
+                .map(|&d| cp[d as usize])
+                .fold(0.0f64, f64::max);
+            cp[i] = from_deps + t.wall_ms();
+            longest = longest.max(cp[i]);
+        }
+        longest
+    }
+
+    /// Deepest observed concurrency: the most tasks whose execution
+    /// intervals overlapped at one instant.
+    pub fn max_width(&self) -> u64 {
+        let mut edges: Vec<(f64, i64)> = Vec::with_capacity(self.tasks.len() * 2);
+        for t in &self.tasks {
+            edges.push((t.start_ms, 1));
+            edges.push((t.end_ms, -1));
+        }
+        // Ends sort before starts at the same instant, so abutting
+        // tasks on one thread don't count as overlapping.
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut width, mut max) = (0i64, 0i64);
+        for (_, d) in edges {
+            width += d;
+            max = max.max(width);
+        }
+        max.max(0) as u64
+    }
+
+    /// Aggregate throughput: total events over summed task wall-clock
+    /// (the honest sequential-equivalent denominator — chain builds
+    /// count whether they ran inside a unit or as their own task).
     pub fn aggregate_events_per_sec(&self) -> f64 {
-        let wall_s = self.total_unit_wall_ms() / 1e3;
+        let wall_s = self.total_task_wall_ms() / 1e3;
         if wall_s > 0.0 {
             self.total_events() as f64 / wall_s
         } else {
@@ -215,11 +338,22 @@ impl RunnerReport {
         }
     }
 
-    /// Observed parallel speedup: summed unit wall-clock over run
+    /// Observed parallel speedup: summed task wall-clock over run
     /// wall-clock.
     pub fn speedup(&self) -> f64 {
         if self.wall_ms > 0.0 {
-            self.total_unit_wall_ms() / self.wall_ms
+            self.total_task_wall_ms() / self.wall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Upper bound on achievable speedup at any core count: summed
+    /// task wall over the critical path (0 without a trace).
+    pub fn speedup_bound(&self) -> f64 {
+        let cp = self.critical_path_ms();
+        if cp > 0.0 {
+            self.total_task_wall_ms() / cp
         } else {
             0.0
         }
@@ -262,8 +396,31 @@ impl RunnerReport {
                 Json::Num(self.total_boots_saved() as f64),
             ),
             (
+                "scheduler".to_string(),
+                Json::obj([
+                    ("tasks".to_string(), Json::Num(self.tasks.len() as f64)),
+                    ("max_width".to_string(), Json::Num(self.max_width() as f64)),
+                    (
+                        "critical_path_ms".to_string(),
+                        Json::Num(round3(self.critical_path_ms())),
+                    ),
+                    (
+                        "total_task_wall_ms".to_string(),
+                        Json::Num(round3(self.total_task_wall_ms())),
+                    ),
+                    (
+                        "speedup_bound".to_string(),
+                        Json::Num(round3(self.speedup_bound())),
+                    ),
+                ]),
+            ),
+            (
                 "units".to_string(),
                 Json::Arr(self.units.iter().map(UnitPerf::to_json).collect()),
+            ),
+            (
+                "tasks".to_string(),
+                Json::Arr(self.tasks.iter().map(TaskPerf::to_json).collect()),
             ),
         ])
         .pretty()
@@ -304,6 +461,7 @@ mod tests {
                 UnitPerf::new("a", "u1", 100.0, 0.0, 300).with_allocs(30),
                 UnitPerf::new("a", "u2", 200.0, 0.0, 600).with_allocs(60),
             ],
+            tasks: Vec::new(),
         };
         assert_eq!(r.total_events(), 900);
         assert_eq!(r.total_allocs(), 90);
@@ -322,6 +480,7 @@ mod tests {
             quick: false,
             wall_ms: 1.0,
             units: vec![UnitPerf::new("fig04", "debian", 1.0, 2.0, 3)],
+            tasks: Vec::new(),
         };
         let js = r.to_json();
         assert!(js.contains("\"fig04\""));
@@ -340,5 +499,65 @@ mod tests {
     fn allocs_per_event_handles_zero_events() {
         let u = UnitPerf::new("a", "u", 1.0, 0.0, 0).with_allocs(5);
         assert_eq!(u.allocs_per_event(), 0.0);
+    }
+
+    fn task(id: u64, start: f64, end: f64, deps: &[u64]) -> TaskPerf {
+        TaskPerf {
+            id,
+            kind: "unit".to_string(),
+            label: format!("t{id}"),
+            figure: String::new(),
+            thread: 0,
+            start_ms: start,
+            end_ms: end,
+            events: 10,
+            allocs: 1,
+            deps: deps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn scheduler_stats_from_trace() {
+        // Diamond: 0 -> {1, 2} -> 3, with 2 the slow middle branch.
+        let r = RunnerReport {
+            jobs: 2,
+            host_cores: 2,
+            alloc_counting: true,
+            quick: true,
+            wall_ms: 40.0,
+            units: Vec::new(),
+            tasks: vec![
+                task(0, 0.0, 10.0, &[]),
+                task(1, 10.0, 15.0, &[0]),
+                task(2, 10.0, 30.0, &[0]),
+                task(3, 30.0, 40.0, &[1, 2]),
+            ],
+        };
+        assert!((r.total_task_wall_ms() - 45.0).abs() < 1e-9);
+        assert!((r.critical_path_ms() - 40.0).abs() < 1e-9); // 0 -> 2 -> 3
+        assert_eq!(r.max_width(), 2); // tasks 1 and 2 overlap
+        assert!((r.speedup_bound() - 45.0 / 40.0).abs() < 1e-9);
+        assert_eq!(r.total_task_allocs(), 4);
+        let js = r.to_json();
+        assert!(js.contains("\"scheduler\""));
+        assert!(js.contains("\"critical_path_ms\""));
+        assert!(js.contains("\"max_width\": 2"));
+        crate::json::Json::parse(&js).expect("report JSON parses");
+    }
+
+    #[test]
+    fn trace_free_report_falls_back_to_unit_totals() {
+        let r = RunnerReport {
+            jobs: 1,
+            host_cores: 1,
+            alloc_counting: false,
+            quick: false,
+            wall_ms: 100.0,
+            units: vec![UnitPerf::new("a", "u", 100.0, 0.0, 1000)],
+            tasks: Vec::new(),
+        };
+        assert!((r.total_task_wall_ms() - 100.0).abs() < 1e-9);
+        assert_eq!(r.critical_path_ms(), 0.0);
+        assert!((r.aggregate_events_per_sec() - 10_000.0).abs() < 1e-9);
     }
 }
