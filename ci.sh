@@ -113,6 +113,26 @@ for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
   done
 done
 
+echo "== clone-boot gate (template boots vs --no-clone-boot) =="
+# Template boots (toolstack::cloneboot) replay recorded create deltas
+# instead of fully executing repeated creates. Like the snapshot cache,
+# they must be invisible in the artefacts: a run with template boots
+# disabled — every create fully executed — must reproduce the default
+# run's bytes exactly.
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/noclone" \
+  cargo run --release -p bench --bin runall -- --no-clone-boot \
+  --report "$FIG_DIR/noclone/bench_runner.json" > /dev/null
+for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
+          fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
+          faults; do
+  for ext in json csv; do
+    if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/noclone/$id.$ext"; then
+      echo "ci: $id.$ext differs with template boots disabled" >&2
+      exit 1
+    fi
+  done
+done
+
 echo "== fault-free baseline gate (full scale vs committed results/) =="
 # With the fault plan inactive the injection layer must consume zero
 # RNG draws and charge nothing: every committed figure artefact —

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq]
-//!        [--report PATH] [--no-snapshot-cache]
+//!        [--report PATH] [--no-snapshot-cache] [--no-clone-boot]
 //! ```
 //!
 //! * `--jobs N`   worker threads (default: available parallelism)
@@ -15,6 +15,9 @@
 //!   unit re-simulates its world from scratch. Artefacts are
 //!   byte-identical either way (`ci.sh` gates it); the flag exists to
 //!   prove that and to time the uncached path.
+//! * `--no-clone-boot`  disable template boots: every create runs the
+//!   full toolstack path instead of replaying a recorded delta.
+//!   Artefacts are byte-identical either way (`ci.sh` gates this too).
 //!
 //! Figure artefacts go to `LIGHTVM_FIG_DIR` (default `target/figures`)
 //! exactly as the individual `figNN` binaries write them; the merged
@@ -50,7 +53,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq] [--report PATH] [--no-snapshot-cache]"
+        "usage: runall [--jobs N] [--filter SUBSTR[,SUBSTR..]] [--list] [--seq] [--report PATH] [--no-snapshot-cache] [--no-clone-boot]"
     );
     std::process::exit(2);
 }
@@ -83,6 +86,7 @@ fn parse_args() -> Args {
                 args.report = std::path::PathBuf::from(it.next().unwrap_or_else(|| usage()));
             }
             "--no-snapshot-cache" => bench::worldcache::set_enabled(false),
+            "--no-clone-boot" => toolstack::cloneboot::set_enabled(false),
             _ => usage(),
         }
     }
@@ -149,6 +153,14 @@ fn main() -> ExitCode {
         report.tasks.len(),
         report.max_width(),
         report.critical_path_ms()
+    );
+    say!(
+        "# cloneboot: {}",
+        if toolstack::cloneboot::enabled() {
+            toolstack::cloneboot::summary()
+        } else {
+            "disabled (--no-clone-boot)".to_string()
+        }
     );
     match report.write(&args.report) {
         Ok(()) => say!("# perf report -> {}", args.report.display()),

@@ -62,7 +62,8 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
                     out.snapshot_hits,
                     out.snapshot_forks,
                     out.boot_events_saved,
-                ),
+                )
+                .with_clone_stats(out.clone_boot_hits, out.boots_replayed),
         );
         outputs[fi].push(out);
     }

@@ -51,11 +51,19 @@ use crate::worldcache::{self, WorldSpec};
 /// dense-world forks live.
 const PROBE_THROTTLE: usize = 4;
 
-/// What a task does when it runs. Infra bodies return an event count
-/// for the trace (boots climbed, probes run, requests simulated).
+/// Longest climb a single chain task may perform; larger requested
+/// spans are split into evenly spaced intermediate rungs. 150 boots is
+/// ~15-35 ms of simulation post-cloneboot — big enough to amortise
+/// task overhead, small enough to pipeline behind consumers.
+const MAX_CHAIN_SPAN: usize = 150;
+
+/// What a task does when it runs. Infra bodies return `(events,
+/// boots_replayed)` for the trace: an event count (boots climbed,
+/// probes run, requests simulated) plus how many of those creates
+/// replayed a cloneboot template (chain tasks; zero elsewhere).
 enum Body {
     Unit(Box<dyn FnOnce() -> UnitOutput + Send>),
-    Infra(Box<dyn FnOnce() -> u64 + Send>),
+    Infra(Box<dyn FnOnce() -> (u64, u64) + Send>),
 }
 
 struct Task {
@@ -110,10 +118,11 @@ impl Plan {
 }
 
 /// Rough per-boot simulation cost by toolstack, in milliseconds (from
-/// the committed perf baseline). Drives chain-task cost estimates.
+/// the committed perf baseline; xl's reflects template boots replaying
+/// the name scan). Drives chain-task cost estimates.
 fn boot_cost_ms(mode: ToolstackMode) -> f64 {
     match mode.label() {
-        "xl" => 0.25,
+        "xl" => 0.10,
         "chaos [XS]" | "chaos [XS+split]" => 0.08,
         "chaos [NoXS]" => 0.02,
         _ => 0.03,
@@ -181,6 +190,29 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
         for c in &mut chains {
             c.rungs.sort_unstable();
             c.rungs.dedup();
+            // Split long climbs into evenly spaced intermediate rungs,
+            // so one 1000-boot chain becomes several short tasks the
+            // executor can start early and interleave with other work
+            // (template boots make the per-rung cost low enough for the
+            // extra task overhead to be noise). Byte-identical: the
+            // chain still climbs through exactly the same creates, and
+            // `advance` publishes observables at every ladder rung it
+            // crosses regardless of task boundaries; consumers only
+            // ever read the rungs they declared, which are all kept.
+            let mut split = Vec::with_capacity(c.rungs.len());
+            let mut prev = 0usize;
+            for &rung in &c.rungs {
+                let span = rung - prev;
+                if span > MAX_CHAIN_SPAN {
+                    let pieces = span.div_ceil(MAX_CHAIN_SPAN);
+                    for p in 1..pieces {
+                        split.push(prev + span * p / pieces);
+                    }
+                }
+                split.push(rung);
+                prev = rung;
+            }
+            c.rungs = split;
         }
     }
 
@@ -205,7 +237,10 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
                 deps: prev.into_iter().collect(),
                 cost: span as f64 * boot_cost_ms(req.spec.mode),
                 slot: None,
-                body: Body::Infra(Box::new(move || worldcache::build_to(&spec, rung))),
+                body: Body::Infra(Box::new(move || {
+                    let (boots, stats) = worldcache::build_to(&spec, rung);
+                    (boots, stats.boots_replayed)
+                })),
             });
             chain_task.insert((req.spec.key(), rung), id);
             prev = Some(id);
@@ -254,7 +289,7 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
                 deps,
                 cost: 2.0 + n as f64 * 0.02,
                 slot: None,
-                body: Body::Infra(Box::new(move || b.probe_rung(i))),
+                body: Body::Infra(Box::new(move || (b.probe_rung(i), 0))),
             });
             probe_ids.push(probe_id);
         }
@@ -281,7 +316,7 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
             slot: None,
             body: Body::Infra(Box::new(move || {
                 let (r, _) = worldcache::compute_cached(&body_cfg);
-                (r.service_times.len() + r.concurrency.len()) as u64
+                ((r.service_times.len() + r.concurrency.len()) as u64, 0)
             })),
         });
         compute_task.insert(format!("{cfg:?}"), id);
@@ -380,7 +415,7 @@ struct Ctx {
     cv: Condvar,
     bodies: Vec<Mutex<Option<Body>>>,
     #[allow(clippy::type_complexity)]
-    results: Vec<Mutex<Option<(f64, f64, usize, u64, u64, Option<UnitOutput>)>>>,
+    results: Vec<Mutex<Option<(f64, f64, usize, u64, u64, u64, Option<UnitOutput>)>>>,
     succs: Vec<Vec<usize>>,
     rank: Vec<f64>,
     started: Instant,
@@ -432,18 +467,21 @@ fn worker(ctx: &Ctx, thread: usize) {
         // its own execution, not the shared builds it reads.
         let a0 = crate::alloc::thread_allocs();
         let start_ms = ctx.started.elapsed().as_secs_f64() * 1e3;
-        let (events, out) = match body {
+        let (events, boots_replayed, out) = match body {
             Body::Unit(f) => {
                 let o = f();
-                (o.events, Some(o))
+                (o.events, o.boots_replayed, Some(o))
             }
-            Body::Infra(f) => (f(), None),
+            Body::Infra(f) => {
+                let (events, replayed) = f();
+                (events, replayed, None)
+            }
         };
         let end_ms = ctx.started.elapsed().as_secs_f64() * 1e3;
         let allocs = crate::alloc::thread_allocs() - a0;
         bail.armed = false;
         *ctx.results[id].lock().expect("result lock") =
-            Some((start_ms, end_ms, thread, events, allocs, out));
+            Some((start_ms, end_ms, thread, events, boots_replayed, allocs, out));
 
         let mut g = ctx.state.lock().expect("scheduler lock");
         g.done += 1;
@@ -538,7 +576,7 @@ pub(crate) fn execute(
     for (i, ((kind, label, figure, deps, slot), result)) in
         meta.into_iter().zip(ctx.results).enumerate()
     {
-        let (start_ms, end_ms, thread, events, allocs, out) = result
+        let (start_ms, end_ms, thread, events, boots_replayed, allocs, out) = result
             .into_inner()
             .expect("result lock")
             .expect("every task ran");
@@ -551,6 +589,7 @@ pub(crate) fn execute(
             start_ms,
             end_ms,
             events,
+            boots_replayed,
             allocs,
             deps: deps.into_iter().map(|d| d as u64).collect(),
         });

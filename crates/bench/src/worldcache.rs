@@ -139,6 +139,12 @@ pub struct CacheStats {
     pub forks: u64,
     /// create+boot sequences skipped thanks to cached prefixes.
     pub boots_saved: u64,
+    /// Creates that found a cloneboot template (this call's builds).
+    pub clone_hits: u64,
+    /// Creates whose name scan was replayed in closed form.
+    pub boots_replayed: u64,
+    /// Store-engine requests those replays avoided.
+    pub clone_saved: u64,
 }
 
 impl CacheStats {
@@ -146,6 +152,9 @@ impl CacheStats {
         self.hits += other.hits;
         self.forks += other.forks;
         self.boots_saved += other.boots_saved;
+        self.clone_hits += other.clone_hits;
+        self.boots_replayed += other.boots_replayed;
+        self.clone_saved += other.clone_saved;
     }
 }
 
@@ -284,12 +293,18 @@ fn advance(
     to: usize,
     records: &mut Vec<CreateRecord>,
     mut info: Option<&mut HashMap<usize, RungInfo>>,
+    stats: &mut CacheStats,
 ) {
+    // Attribution diffs the plane's own counters, not the process
+    // totals: totals move under parallel workers, the plane is ours.
+    let before = cp.clone_stats;
     for i in from..to {
-        let report = cp
-            .create_vm(&format!("{}-{i}", image.name), image)
-            .expect("world chain create");
-        let boot = cp.boot_vm(report.dom).expect("world chain boot");
+        // Creates route through the template-boot cache: first create
+        // of a shape records an exemplar, later ones replay the delta
+        // (closed-form xl name scan) at identical simulated charges.
+        let (report, boot) =
+            toolstack::cloneboot::create_and_boot_report(cp, &format!("{}-{i}", image.name), image)
+                .expect("world chain create+boot");
         note_boot();
         let done = i + 1;
         if i >= records.len() {
@@ -312,6 +327,9 @@ fn advance(
     if let Some(info) = info {
         info.entry(to).or_insert_with(|| RungInfo::capture(cp));
     }
+    stats.clone_hits += cp.clone_stats.hits - before.hits;
+    stats.boots_replayed += cp.clone_stats.replayed - before.replayed;
+    stats.clone_saved += cp.clone_stats.saved - before.saved;
 }
 
 /// Brings `spec`'s chain to at least `target` guests and hands the
@@ -327,7 +345,7 @@ fn with_world_at<T>(
     if !enabled() {
         let mut cp = spec.build_base();
         let mut records = Vec::new();
-        advance(&mut cp, &spec.image, 0, target, &mut records, None);
+        advance(&mut cp, &spec.image, 0, target, &mut records, None, &mut stats);
         let out = consume(&cp, &records);
         return (out, records, stats);
     }
@@ -355,7 +373,7 @@ fn with_world_at<T>(
             stats.boots_saved = *at as u64;
             note_reuse(*at as u64);
         }
-        advance(world, &spec.image, *at, target, records, Some(info));
+        advance(world, &spec.image, *at, target, records, Some(info), &mut stats);
         *at = target;
         consume(world, records)
     } else {
@@ -363,7 +381,7 @@ fn with_world_at<T>(
         // the records for this prefix are, and the tip stays deep for
         // the consumers that want it.
         let mut cp = base.as_ref().expect("base set with tip").fork();
-        advance(&mut cp, &spec.image, 0, target, records, Some(info));
+        advance(&mut cp, &spec.image, 0, target, records, Some(info), &mut stats);
         consume(&cp, records)
     };
     (out, records[..target].to_vec(), stats)
@@ -389,14 +407,15 @@ pub fn world_at(spec: &WorldSpec, target: usize) -> (ControlPlane, Vec<CreateRec
 
 /// Chain-task entry point: advances `spec`'s chain tip in place to
 /// `target`, publishing records and rung observables on the way, and
-/// returns how many boots this call simulated. A tip already at or
-/// past `target` makes this a no-op — the scheduler orders rung tasks
-/// so each one climbs exactly its own span. No-op when the cache is
-/// disabled (the planner emits no chain tasks then, but a stray call
-/// must not populate a cache the run has sworn off).
-pub fn build_to(spec: &WorldSpec, target: usize) -> u64 {
+/// returns how many boots this call simulated plus the cache stats of
+/// the climb (clone-boot hits/replays, for the task trace). A tip
+/// already at or past `target` makes this a no-op — the scheduler
+/// orders rung tasks so each one climbs exactly its own span. No-op
+/// when the cache is disabled (the planner emits no chain tasks then,
+/// but a stray call must not populate a cache the run has sworn off).
+pub fn build_to(spec: &WorldSpec, target: usize) -> (u64, CacheStats) {
     if !enabled() {
-        return 0;
+        return (0, CacheStats::default());
     }
     let chain = chain_for(spec.key());
     let mut chain = chain.lock().expect("worldcache chain lock");
@@ -416,16 +435,17 @@ pub fn build_to(spec: &WorldSpec, target: usize) -> u64 {
     };
     if *at < target {
         let boots = (target - *at) as u64;
-        advance(world, &spec.image, *at, target, records, Some(info));
+        let mut stats = CacheStats::default();
+        advance(world, &spec.image, *at, target, records, Some(info), &mut stats);
         *at = target;
-        boots
+        (boots, stats)
     } else {
         // Ensure the rung is published even when a warm cache already
         // sits exactly at the target.
         if *at == target {
             info.entry(target).or_insert_with(|| RungInfo::capture(world));
         }
-        0
+        (0, CacheStats::default())
     }
 }
 
@@ -529,7 +549,9 @@ impl CacheStats {
     pub fn into_output(self, out: &mut crate::figures::UnitOutput) {
         out.snapshot_hits += self.hits;
         out.snapshot_forks += self.forks;
-        out.boot_events_saved += self.boots_saved;
+        out.boot_events_saved += self.boots_saved + self.clone_saved;
+        out.clone_boot_hits += self.clone_hits;
+        out.boots_replayed += self.boots_replayed;
     }
 }
 

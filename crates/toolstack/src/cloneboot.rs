@@ -1,0 +1,436 @@
+//! Template boots: delta-replay guest instantiation.
+//!
+//! The first create+boot of a *template shape* — a `(lineage, image,
+//! create path)` triple — runs fully and records the create as a
+//! reusable delta: the per-phase simulated-cost trace, the store-node
+//! and watch-count deltas it left behind, and the density-dependent
+//! cost inputs the traced phases read (store size, running count, log
+//! length). Subsequent creates of the same shape *replay* the delta:
+//! every phase re-executes the real toolstack code — provisioning,
+//! registration, device announce/connect, CPU contention — except xl's
+//! O(n) unique-name scan, which is the one phase whose wall cost grows
+//! with density. That scan is replaced by a closed-form charge
+//! ([`xenstore::Xenstored::replay_name_scan`]) that is integer-exactly
+//! what the per-request scan would have charged, because every
+//! protocol cost is `u64` nanosecond arithmetic and
+//! `n * per_request == Σ requests` holds bit-for-bit.
+//!
+//! Identity remapping comes for free from re-executing real code: the
+//! new guest draws its own [`hypervisor::DomId`], interns its own
+//! store symbols through the lineage's shared
+//! interner, and allocates its own event channels and grant refs — the
+//! template never stores ids that need rewriting, so there is no
+//! translation table to get wrong.
+//!
+//! Validity is enforced at three levels, all failing *safe* (the worst
+//! case of any mismatch is losing the speedup, never a wrong world):
+//!
+//! 1. **Per-replay shape check** (uncharged): the closed form applies
+//!    only when `/local/domain`'s children are exactly the plane's VM
+//!    table (see `ControlPlane::xl_name_check_replay`); any foreign
+//!    node, missing entry or name collision falls back to the real
+//!    scan silently.
+//! 2. **Post-replay drift check**: the store-node delta left by a
+//!    replayed create must equal the template's recorded delta, or the
+//!    template is poisoned and later creates run fully.
+//! 3. **Sampling verification**: the first replay and every
+//!    [`VERIFY_INTERVAL`]-th thereafter forks the world, runs the
+//!    replay on the fork and the full path on the canonical plane, and
+//!    compares reported latencies plus full
+//!    [`ControlPlane::world_digest`]s; any difference poisons the
+//!    template.
+//!
+//! The whole subsystem is gated like the snapshot cache: `runall
+//! --no-clone-boot` (or [`set_enabled`]) routes every create through
+//! [`ControlPlane::create_and_boot`] untouched, and CI byte-compares
+//! the figure artefacts both ways.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use guests::GuestImage;
+use hypervisor::DomId;
+use simcore::SimTime;
+
+use crate::plane::{ControlPlane, CreateReport, PlaneError, ToolstackMode};
+
+/// Replays between digest-verified ones (the first replay always
+/// verifies). Verification forks the world and digests it twice, which
+/// grows with density; the per-replay node-delta drift check is what
+/// polices every single replay, so sampling can afford to be sparse —
+/// at 1024 a typical figure chain digest-verifies its first replay and
+/// the drift check covers the rest.
+const VERIFY_INTERVAL: u64 = 1024;
+
+/// What identifies a template shape. The lineage pins mode, machine,
+/// Dom0 sizing and the interned-symbol history (clones and snapshot
+/// forks share all of them); the image fingerprint pins every field
+/// the create path branches on; `from_shell` separates the split
+/// daemon's pooled path from the full path.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TemplateKey {
+    lineage: u64,
+    image_name: String,
+    mem_mib: u64,
+    image_bytes: u64,
+    kind: u8,
+    watches: u32,
+    needs_net: bool,
+    needs_block: bool,
+    needs_console: bool,
+    from_shell: bool,
+}
+
+impl TemplateKey {
+    fn new(cp: &ControlPlane, image: &GuestImage, from_shell: bool) -> TemplateKey {
+        TemplateKey {
+            lineage: cp.lineage,
+            image_name: image.name.clone(),
+            mem_mib: image.mem_mib,
+            image_bytes: image.image_bytes,
+            kind: image.kind as u8,
+            watches: image.watches,
+            needs_net: image.needs_net,
+            needs_block: image.needs_block,
+            needs_console: image.needs_console,
+            from_shell,
+        }
+    }
+}
+
+/// The density-dependent inputs the exemplar's traced phases read.
+/// They are recorded for the drift story — the replay recomputes all
+/// of them live (real code), so their drift changes charges *with* the
+/// simulation instead of invalidating the template.
+#[derive(Clone, Copy, Debug, Default)]
+struct CostInputs {
+    store_nodes: usize,
+    running: usize,
+    log_lines: u64,
+}
+
+impl CostInputs {
+    fn of(cp: &ControlPlane) -> CostInputs {
+        CostInputs {
+            store_nodes: cp.xs.store().node_count(),
+            running: cp.running_count(),
+            log_lines: cp.xs.log_total_lines(),
+        }
+    }
+}
+
+/// A recorded template boot.
+struct Template {
+    /// `(phase tag, cumulative simulated cost)` breakpoints of the
+    /// exemplar create.
+    phase_trace: Vec<(&'static str, SimTime)>,
+    /// Store nodes the exemplar create+boot added. The steady-state
+    /// delta (`steady_nodes`) is smaller: the exemplar also creates
+    /// one-time parent directories (`/local/domain`, `/vm`, ...).
+    nodes_written: i64,
+    /// Store-node delta of a steady-state create, recorded at the
+    /// first replay (which is always digest-verified) and required of
+    /// every later one.
+    steady_nodes: Option<i64>,
+    /// Watch registrations it added.
+    watches_registered: i64,
+    /// Cost inputs at exemplar time (drift reference; see
+    /// [`CostInputs`]).
+    recorded_at: CostInputs,
+    /// Replays applied so far.
+    replays: u64,
+    /// True once any check failed; poisoned templates are never
+    /// replayed again (creates run fully).
+    poisoned: bool,
+}
+
+fn registry() -> &'static Mutex<HashMap<TemplateKey, Template>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<TemplateKey, Template>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Per-plane clone-boot counters, accumulated on the [`ControlPlane`]
+/// a create runs on. Unlike the process-global totals below, these are
+/// race-free under parallel workers: a caller diffs the plane's own
+/// counters around its builds to attribute work to itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CloneStats {
+    /// Creates that found a usable template.
+    pub hits: u64,
+    /// Creates whose name scan was replayed in closed form.
+    pub replayed: u64,
+    /// Store-engine requests those replays avoided.
+    pub saved: u64,
+}
+
+/// Creates that found a usable (non-poisoned) template.
+static HITS: AtomicU64 = AtomicU64::new(0);
+/// Creates where the closed-form name scan actually applied.
+static REPLAYED: AtomicU64 = AtomicU64::new(0);
+/// Store-engine requests the closed form avoided.
+static EVENTS_SAVED: AtomicU64 = AtomicU64::new(0);
+/// Replays where the shape check bailed to the real scan.
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// Sampling verifications performed.
+static VERIFIES: AtomicU64 = AtomicU64::new(0);
+/// Templates poisoned by a failed check.
+static POISONS: AtomicU64 = AtomicU64::new(0);
+
+/// Globally enables/disables template boots (the `--no-clone-boot`
+/// ablation). Off, every create runs fully.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True if template boots are on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// `(hits, replays, events saved)` since process start.
+pub fn totals() -> (u64, u64, u64) {
+    (
+        HITS.load(Ordering::Relaxed),
+        REPLAYED.load(Ordering::Relaxed),
+        EVENTS_SAVED.load(Ordering::Relaxed),
+    )
+}
+
+/// Replays where the xl shape check bailed to the real scan (tests:
+/// the counter is process-global, so assert on before/after deltas).
+pub fn fallback_total() -> u64 {
+    FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// One-line summary for run reports.
+pub fn summary() -> String {
+    format!(
+        "hits {} replayed {} events-saved {} fallbacks {} verifies {} poisons {}",
+        HITS.load(Ordering::Relaxed),
+        REPLAYED.load(Ordering::Relaxed),
+        EVENTS_SAVED.load(Ordering::Relaxed),
+        FALLBACKS.load(Ordering::Relaxed),
+        VERIFIES.load(Ordering::Relaxed),
+        POISONS.load(Ordering::Relaxed),
+    )
+}
+
+/// Drops every recorded template and zeroes the counters (tests).
+pub fn clear() {
+    registry().lock().unwrap().clear();
+    for c in [&HITS, &REPLAYED, &EVENTS_SAVED, &FALLBACKS, &VERIFIES, &POISONS] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// What the registry knows about one template (tests/diagnostics).
+#[derive(Clone, Debug)]
+pub struct TemplateInfo {
+    /// Phase breakpoints the exemplar recorded.
+    pub phases: usize,
+    /// Store nodes the exemplar create+boot added.
+    pub nodes_written: i64,
+    /// Watch registrations it added.
+    pub watches_registered: i64,
+    /// Store size when the exemplar ran (density drift reference).
+    pub recorded_store_nodes: usize,
+    /// Running guests when the exemplar ran.
+    pub recorded_running: usize,
+    /// Access-log length when the exemplar ran.
+    pub recorded_log_lines: u64,
+    /// Replays applied so far.
+    pub replays: u64,
+    /// Whether a failed check retired this template.
+    pub poisoned: bool,
+}
+
+/// Looks up the template for `cp`'s lineage and `image` (either create
+/// path), if one exists.
+pub fn template_info(cp: &ControlPlane, image: &GuestImage) -> Option<TemplateInfo> {
+    for from_shell in [false, true] {
+        let key = TemplateKey::new(cp, image, from_shell);
+        if let Some(t) = registry().lock().unwrap().get(&key) {
+            return Some(TemplateInfo {
+                phases: t.phase_trace.len(),
+                nodes_written: t.nodes_written,
+                watches_registered: t.watches_registered,
+                recorded_store_nodes: t.recorded_at.store_nodes,
+                recorded_running: t.recorded_at.running,
+                recorded_log_lines: t.recorded_at.log_lines,
+                replays: t.replays,
+                poisoned: t.poisoned,
+            });
+        }
+    }
+    None
+}
+
+/// [`ControlPlane::create_and_boot`] through the template cache: the
+/// first create of a shape records an exemplar, later ones replay it.
+/// Same signature, same results, same simulated charges — only the
+/// wall-clock cost of xl's name scan changes.
+pub fn create_and_boot(
+    cp: &mut ControlPlane,
+    name: &str,
+    image: &GuestImage,
+) -> Result<(DomId, SimTime, SimTime), PlaneError> {
+    let (report, boot) = create_and_boot_report(cp, name, image)?;
+    Ok((report.dom, report.total(), boot))
+}
+
+/// [`create_and_boot`] keeping the full [`CreateReport`] (what the
+/// worldcache's chain builds record for Figure 5's breakdown).
+pub fn create_and_boot_report(
+    cp: &mut ControlPlane,
+    name: &str,
+    image: &GuestImage,
+) -> Result<(CreateReport, SimTime), PlaneError> {
+    // An active fault plan can fail any phase; templates only describe
+    // the fault-free path, so bypass entirely.
+    if !enabled() || cp.faults.is_active() {
+        return cp.create_and_boot_report(name, image);
+    }
+    let from_shell = cp.mode.uses_split() && cp.daemon.peek(image.mem_mib, image.needs_net);
+    let key = TemplateKey::new(cp, image, from_shell);
+
+    enum Plan {
+        Record,
+        Skip,
+        Replay { verify: bool },
+    }
+    let plan = {
+        let mut reg = registry().lock().unwrap();
+        match reg.get_mut(&key) {
+            None => Plan::Record,
+            Some(t) if t.poisoned => Plan::Skip,
+            Some(t) => {
+                let verify = t.replays % VERIFY_INTERVAL == 0;
+                t.replays += 1;
+                Plan::Replay { verify }
+            }
+        }
+    };
+
+    match plan {
+        Plan::Skip => cp.create_and_boot_report(name, image),
+        Plan::Record => record_exemplar(cp, name, image, key),
+        Plan::Replay { verify } => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            cp.clone_stats.hits += 1;
+            if verify {
+                verified_replay(cp, name, image, key)
+            } else {
+                replay(cp, name, image, key)
+            }
+        }
+    }
+}
+
+/// Full create+boot with phase tracing on; on success the delta it
+/// left behind becomes the template.
+fn record_exemplar(
+    cp: &mut ControlPlane,
+    name: &str,
+    image: &GuestImage,
+    key: TemplateKey,
+) -> Result<(CreateReport, SimTime), PlaneError> {
+    let before = CostInputs::of(cp);
+    let watches_before = cp.xs.watch_count() as i64;
+    cp.phase_trace = Some(Vec::new());
+    let result = cp.create_and_boot_report(name, image);
+    let phase_trace = cp.phase_trace.take().unwrap_or_default();
+    if result.is_ok() {
+        let template = Template {
+            phase_trace,
+            nodes_written: cp.xs.store().node_count() as i64 - before.store_nodes as i64,
+            steady_nodes: None,
+            watches_registered: cp.xs.watch_count() as i64 - watches_before,
+            recorded_at: before,
+            replays: 0,
+            poisoned: false,
+        };
+        registry().lock().unwrap().insert(key, template);
+    }
+    result
+}
+
+/// A replayed create: real code everywhere, closed-form name scan when
+/// the shape check admits it, node-delta drift check afterwards.
+fn replay(
+    cp: &mut ControlPlane,
+    name: &str,
+    image: &GuestImage,
+    key: TemplateKey,
+) -> Result<(CreateReport, SimTime), PlaneError> {
+    let nodes_before = cp.xs.store().node_count() as i64;
+    cp.fast_name_scan = true;
+    cp.last_scan_saved = 0;
+    let result = cp.create_and_boot_report(name, image);
+    cp.fast_name_scan = false;
+    let scan_replayed = cp.last_scan_replayed;
+    if scan_replayed {
+        REPLAYED.fetch_add(1, Ordering::Relaxed);
+        EVENTS_SAVED.fetch_add(cp.last_scan_saved, Ordering::Relaxed);
+        cp.clone_stats.replayed += 1;
+        cp.clone_stats.saved += cp.last_scan_saved;
+    } else if cp.mode == ToolstackMode::Xl {
+        FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+    if result.is_ok() {
+        // Drift check: a steady-state create always leaves the same
+        // node delta (the exemplar's own delta is larger — it also
+        // created one-time parent directories — so the reference is
+        // taken at the first replay, which is digest-verified).
+        let delta = cp.xs.store().node_count() as i64 - nodes_before;
+        let mut reg = registry().lock().unwrap();
+        if let Some(t) = reg.get_mut(&key) {
+            match t.steady_nodes {
+                None => t.steady_nodes = Some(delta),
+                Some(expected) if expected != delta => {
+                    drop(reg);
+                    poison(&key);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    result
+}
+
+/// A sampled replay: the replay runs on a fork, the canonical plane
+/// runs the full path, and the two worlds must agree exactly.
+fn verified_replay(
+    cp: &mut ControlPlane,
+    name: &str,
+    image: &GuestImage,
+    key: TemplateKey,
+) -> Result<(CreateReport, SimTime), PlaneError> {
+    VERIFIES.fetch_add(1, Ordering::Relaxed);
+    let mut probe = cp.fork();
+    let fast = replay(&mut probe, name, image, key.clone());
+    let full = cp.create_and_boot_report(name, image);
+    let agree = match (&fast, &full) {
+        (Ok((fast_report, fast_boot)), Ok((full_report, full_boot))) => {
+            fast_report.dom == full_report.dom
+                && fast_report.total() == full_report.total()
+                && fast_boot == full_boot
+                && probe.fork().world_digest() == cp.fork().world_digest()
+        }
+        (Err(_), Err(_)) => true,
+        _ => false,
+    };
+    if !agree {
+        poison(&key);
+    }
+    full
+}
+
+fn poison(key: &TemplateKey) {
+    POISONS.fetch_add(1, Ordering::Relaxed);
+    if let Some(t) = registry().lock().unwrap().get_mut(key) {
+        t.poisoned = true;
+    }
+}

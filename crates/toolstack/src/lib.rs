@@ -12,6 +12,7 @@
 //! Every `create` returns a [`CreateReport`] carrying the per-category
 //! cost breakdown, reproducing the instrumentation behind Figure 5.
 
+pub mod cloneboot;
 pub mod config;
 pub mod lifecycle;
 pub mod plane;

@@ -330,6 +330,9 @@ impl ControlPlane {
             if let Some(bg) = rec.bg {
                 self.cpu.remove(bg);
             }
+            if rec.booted {
+                self.note_unbooted(rec.image.watches);
+            }
         }
         if vm.booted {
             self.dom0_load_total = (self.dom0_load_total - vm.image.dom0_load).max(0.0);
@@ -345,6 +348,7 @@ impl ControlPlane {
             .map(|d| d.vcpu_cores[0])
             .unwrap_or(self.dom0_cores);
         let bg = self.cpu.add_background(core, image.idle_demand);
+        self.note_booted(image.watches);
         self.dom0_load_total += image.dom0_load;
         *self
             .image_instances

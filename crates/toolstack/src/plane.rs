@@ -232,7 +232,40 @@ pub struct ControlPlane {
     fe_tokens: Vec<Arc<str>>,
     /// Scratch buffer for directory listings (xl's unique-name check).
     dir_scratch: Vec<XsSym>,
+    /// Sum of `image.watches` over booted guests, maintained
+    /// incrementally so `refresh_interference` is O(1) per boot/destroy
+    /// (the integer sum is order-free, so it matches the old per-call
+    /// fold exactly).
+    booted_watches: u32,
+    /// Scratch for cloneboot's uncharged store-shape probe.
+    scan_scratch: Vec<u32>,
+    /// When true (set by `cloneboot` around replayed creates),
+    /// `xl_name_check` may replace its O(n) store scan with the
+    /// closed-form charge in [`Xenstored::replay_name_scan`] whenever the
+    /// store shape matches the VM table exactly; any mismatch falls back
+    /// to the real scan silently.
+    pub(crate) fast_name_scan: bool,
+    /// Whether the last `xl_name_check` took the closed-form path.
+    pub(crate) last_scan_replayed: bool,
+    /// Store requests the last closed-form scan avoided (1 directory +
+    /// one read per entry).
+    pub(crate) last_scan_saved: u64,
+    /// When present, create phases append `(tag, running meter total)`
+    /// breakpoints here (cloneboot exemplar recording).
+    pub(crate) phase_trace: Option<Vec<(&'static str, SimTime)>>,
+    /// Identity of this plane's interner ancestry: clones and snapshot
+    /// forks inherit it, fresh planes draw a new one. Part of the
+    /// cloneboot template key — a lineage pins mode, machine, Dom0
+    /// sizing and interned-symbol history at once.
+    pub(crate) lineage: u64,
+    /// Clone-boot counters for creates run *on this plane* (see
+    /// [`crate::cloneboot::CloneStats`]); callers diff them around
+    /// their builds for race-free per-task attribution.
+    pub clone_stats: crate::cloneboot::CloneStats,
 }
+
+/// Lineage ids for [`ControlPlane::new`]; 0 is never issued.
+static NEXT_LINEAGE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl ControlPlane {
     /// Creates a host: `dom0_cores` cores for Dom0, the rest for guests,
@@ -273,6 +306,14 @@ impl ControlPlane {
             xs_events: Vec::new(),
             fe_tokens: Vec::new(),
             dir_scratch: Vec::new(),
+            booted_watches: 0,
+            scan_scratch: Vec::new(),
+            fast_name_scan: false,
+            last_scan_replayed: false,
+            last_scan_saved: 0,
+            phase_trace: None,
+            lineage: NEXT_LINEAGE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            clone_stats: crate::cloneboot::CloneStats::default(),
             machine,
         }
         .finish_init()
@@ -380,10 +421,24 @@ impl ControlPlane {
 
     /// Updates the ambient-interference level from the registered
     /// watch count (stand-in for the running guests' own xenbus traffic).
+    /// Bookkeeping for a guest entering/leaving the booted set (watch
+    /// registrations feed the ambient-interference level).
+    pub(crate) fn note_booted(&mut self, watches: u32) {
+        self.booted_watches += watches;
+    }
+
+    pub(crate) fn note_unbooted(&mut self, watches: u32) {
+        self.booted_watches -= watches;
+    }
+
     pub(crate) fn refresh_interference(&mut self) {
-        let watches: u32 = self.vms.values().filter(|v| v.booted).map(|v| v.image.watches).sum();
+        debug_assert_eq!(
+            self.booted_watches,
+            self.vms.values().filter(|v| v.booted).map(|v| v.image.watches).sum::<u32>(),
+            "incremental booted-watch sum drifted from the VM map"
+        );
         self.xs
-            .set_ambient_interference((watches as f64 * 1.2e-6).min(0.02));
+            .set_ambient_interference((self.booted_watches as f64 * 1.2e-6).min(0.02));
     }
 
     // --- create ---------------------------------------------------------------
@@ -402,6 +457,7 @@ impl ControlPlane {
             Category::Config,
             cost.config_parse_base + cost.config_parse_per_byte * config_len as u64,
         );
+        self.trace_phase("config", &meter);
 
         // Toolstack-internal state keeping.
         meter.charge(
@@ -411,6 +467,7 @@ impl ControlPlane {
                 _ => cost.chaos_internal,
             },
         );
+        self.trace_phase("internal", &meter);
 
         let created = if self.mode.uses_split() {
             match self.daemon.take(image.mem_mib, image.needs_net) {
@@ -431,6 +488,7 @@ impl ControlPlane {
                 return Err(e);
             }
         };
+        self.trace_phase("domain", &meter);
 
         // Image build: parse the kernel image and lay it out in memory;
         // Linux kernels (Tinyx/Debian) additionally pay decompression and
@@ -442,6 +500,7 @@ impl ControlPlane {
             load += cost.kernel_decompress_per_mib * mib;
         }
         meter.charge(Category::Load, load);
+        self.trace_phase("load", &meter);
 
         // Boot it last: the domain is left paused; `boot_vm` unpauses.
         let slow = self.dom0_slowdown();
@@ -483,6 +542,7 @@ impl ControlPlane {
         if self.mode.uses_split() {
             self.daemon_refill(image);
         }
+        self.trace_phase("finish", &meter);
         Ok(CreateReport { dom, meter, from_shell })
     }
 
@@ -730,6 +790,11 @@ impl ControlPlane {
         meter: &mut Meter,
         name: &str,
     ) -> Result<(), PlaneError> {
+        self.last_scan_replayed = false;
+        if self.fast_name_scan && self.xl_name_check_replay(cost, meter, name) {
+            self.last_scan_replayed = true;
+            return Ok(());
+        }
         let dir = self.xs.local_domain_sym();
         let mut entries = std::mem::take(&mut self.dir_scratch);
         match self.xs.directory_syms(cost, meter, 0, dir, &mut entries) {
@@ -757,6 +822,68 @@ impl ControlPlane {
             return Err(PlaneError::NameTaken(name.to_string()));
         }
         Ok(())
+    }
+
+    /// Attempts the closed-form twin of `xl_name_check`: validates —
+    /// without charging — that `/local/domain`'s children are exactly
+    /// this plane's VM table (plus, possibly, Dom0's own directory,
+    /// whose `name` node must be absent) and that no guest already has
+    /// `name`; when they are, [`Xenstored::replay_name_scan`] charges
+    /// precisely what the real scan would have and the store engine is
+    /// never entered. Returns false on any mismatch — including a name
+    /// collision, so the real scan reproduces `NameTaken` with its exact
+    /// early-exit charges.
+    fn xl_name_check_replay(&mut self, cost: &CostModel, meter: &mut Meter, name: &str) -> bool {
+        let ld = self.xs.local_domain_sym();
+        let mut children = std::mem::take(&mut self.scan_scratch);
+        let shape_ok = match self.xs.probe_children_u32(ld, &mut children) {
+            Ok(all_numeric) => all_numeric,
+            // No `/local/domain` at all: the scan is one NotFound
+            // directory request, which the empty closed form matches.
+            Err(XsError::NotFound) => children.is_empty(),
+            Err(_) => false,
+        };
+        let mut dom0_entry = false;
+        let mut known = shape_ok;
+        if known {
+            for &c in &children {
+                if c == 0 {
+                    dom0_entry = true;
+                } else if !self.vms.contains_key(&DomId(c)) {
+                    known = false;
+                    break;
+                }
+            }
+            // Children are unique, so membership + matching count means
+            // the sets are equal.
+            known &= children.len() == self.vms.len() + dom0_entry as usize;
+        }
+        let replayable = known
+            && (!dom0_entry || {
+                let name_sym = self.xs.child_sym(self.xs.domain_dir_sym(0), "name");
+                !self.xs.probe_exists(name_sym)
+            })
+            && !self.vms.values().any(|vm| vm.name == name);
+        let scanned = children.len() as u64;
+        self.scan_scratch = children;
+        if !replayable {
+            return false;
+        }
+        self.last_scan_saved = scanned + 1;
+        self.xs.replay_name_scan(
+            cost,
+            meter,
+            dom0_entry,
+            self.vms.iter().map(|(d, vm)| (d.0, vm.name.len())),
+        );
+        true
+    }
+
+    /// Appends a phase breakpoint to the active trace, if any.
+    pub(crate) fn trace_phase(&mut self, tag: &'static str, meter: &Meter) {
+        if let Some(trace) = &mut self.phase_trace {
+            trace.push((tag, meter.total()));
+        }
     }
 
     /// Writes the domain's registration records (name, memory, console,
@@ -1088,6 +1215,9 @@ impl ControlPlane {
         // error, not a panic.
         let vm = self.vms.get_mut(&dom).ok_or(PlaneError::NoSuchVm)?;
         vm.bg = Some(bg);
+        if !vm.booted {
+            self.booted_watches += image.watches;
+        }
         vm.booted = true;
         self.refresh_interference();
         Ok(meter.total())
@@ -1133,9 +1263,21 @@ impl ControlPlane {
         name: &str,
         image: &GuestImage,
     ) -> Result<(DomId, SimTime, SimTime), PlaneError> {
+        let (report, boot) = self.create_and_boot_report(name, image)?;
+        Ok((report.dom, report.total(), boot))
+    }
+
+    /// [`ControlPlane::create_and_boot`] keeping the full
+    /// [`CreateReport`] (per-category breakdown) instead of just the
+    /// create total.
+    pub fn create_and_boot_report(
+        &mut self,
+        name: &str,
+        image: &GuestImage,
+    ) -> Result<(CreateReport, SimTime), PlaneError> {
         let report = self.create_vm(name, image)?;
         match self.boot_vm(report.dom) {
-            Ok(boot) => Ok((report.dom, report.total(), boot)),
+            Ok(boot) => Ok((report, boot)),
             Err(e) => {
                 self.create_failures += 1;
                 let _ = self.destroy_vm(report.dom);
@@ -1159,6 +1301,7 @@ impl ControlPlane {
         }
         if vm.booted {
             self.dom0_load_total = (self.dom0_load_total - vm.image.dom0_load).max(0.0);
+            self.booted_watches -= vm.image.watches;
         }
         if self.mode.uses_xenstore() {
             for devid in &vm.net_devids {

@@ -81,6 +81,26 @@ impl AccessLog {
         }
     }
 
+    /// Records `n` accesses at once, returning `(lines, rotations)`:
+    /// how many lines were written and how many rotations triggered.
+    /// Counter state afterwards is exactly what `n` calls of
+    /// [`AccessLog::append`] would leave (each append increments the
+    /// live-file counter and resets it at [`ROTATE_LINES`], which is
+    /// plain div/mod arithmetic), so batched callers charge
+    /// `lines * line_cost + rotations * rotation_cost` — the same
+    /// integer total as per-call charging, in O(1).
+    pub fn append_many(&mut self, n: u64) -> (u64, u64) {
+        if !self.enabled || n == 0 {
+            return (0, 0);
+        }
+        self.total_lines += n;
+        let reached = self.lines_in_current + n;
+        let rotations = reached / ROTATE_LINES;
+        self.lines_in_current = reached % ROTATE_LINES;
+        self.rotations += rotations;
+        (n, rotations)
+    }
+
     /// Rotations performed so far.
     pub fn rotations(&self) -> u64 {
         self.rotations
@@ -121,6 +141,41 @@ mod tests {
         }
         assert_eq!(log.rotations(), 0);
         assert_eq!(log.total_lines(), 0);
+    }
+
+    #[test]
+    fn append_many_matches_per_call_appends() {
+        // Sweep batch sizes across the rotation boundary, comparing a
+        // batched log against a per-call twin after every batch.
+        for batch in [1u64, 7, 100, ROTATE_LINES - 1, ROTATE_LINES, ROTATE_LINES + 3] {
+            let mut a = AccessLog::new(true);
+            let mut b = AccessLog::new(true);
+            for round in 0..4 {
+                let (mut lines, mut rotations) = (0u64, 0u64);
+                for _ in 0..batch {
+                    match b.append() {
+                        LogOutcome::Disabled => {}
+                        LogOutcome::Line => lines += 1,
+                        LogOutcome::LineAndRotation { .. } => {
+                            lines += 1;
+                            rotations += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    a.append_many(batch),
+                    (lines, rotations),
+                    "batch {batch}, round {round}"
+                );
+                assert_eq!(a.total_lines(), b.total_lines());
+                assert_eq!(a.rotations(), b.rotations());
+                assert_eq!(a.lines_in_current, b.lines_in_current);
+            }
+        }
+        // Disabled logs batch to nothing.
+        let mut off = AccessLog::new(false);
+        assert_eq!(off.append_many(1000), (0, 0));
+        assert_eq!(off.total_lines(), 0);
     }
 
     #[test]

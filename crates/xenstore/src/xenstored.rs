@@ -164,9 +164,26 @@ impl Xenstored {
         self.log.set_enabled(enabled);
     }
 
+    /// True if the access log is recording (a cloneboot template-validity
+    /// input: batched log charges depend on it).
+    pub fn logging_enabled(&self) -> bool {
+        self.log.enabled()
+    }
+
+    /// The daemon flavor (cloneboot template-validity input: protocol
+    /// charges scale with it).
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
     /// Rotations performed so far (spike provenance check).
     pub fn log_rotations(&self) -> u64 {
         self.log.rotations()
+    }
+
+    /// Total access-log lines written so far.
+    pub fn log_total_lines(&self) -> u64 {
+        self.log.total_lines()
     }
 
     /// Sets the per-touched-node probability of ambient interference.
@@ -512,6 +529,93 @@ impl Xenstored {
         self.store.sort_syms_by_name(out);
         self.charge(meter, cost.xs_dir_per_entry * n as u64);
         Ok(())
+    }
+
+    // --- cloneboot replay support ----------------------------------------
+    //
+    // `toolstack::cloneboot` replays xl's O(n) unique-name scan as closed-
+    // form arithmetic once a template boot has validated the store shape.
+    // Everything here is either an uncharged read-only probe (validity
+    // checks) or a batched charge that is integer-exactly what the real
+    // per-request scan would have charged — protocol costs are u64
+    // nanosecond arithmetic, so `n * per_request == sum of n requests`
+    // holds bit-for-bit (`replay_scan_matches_real_scan` pins it).
+
+    /// Uncharged walk of a node's children: clears `out` and pushes each
+    /// child's numeric name, returning `false` if any child's name is
+    /// non-numeric (an entry xl's scan would skip, which the closed form
+    /// cannot express). Ignores read permissions — a template-validity
+    /// probe, not a client operation.
+    pub fn probe_children_u32(&self, sym: XsSym, out: &mut Vec<u32>) -> Result<bool, XsError> {
+        out.clear();
+        let mut all = true;
+        self.store.for_each_child_sym(0, sym, |child| {
+            match self.store.sym_name_u32(child) {
+                Some(n) => out.push(n),
+                None => all = false,
+            }
+        })?;
+        Ok(all)
+    }
+
+    /// Uncharged existence probe (template validity only).
+    pub fn probe_exists(&self, sym: XsSym) -> bool {
+        self.store.exists_sym(sym)
+    }
+
+    /// Byte length of `/local/domain/<domid>/name` — what
+    /// [`Xenstored::read_s`] would charge as path payload for a domain's
+    /// name node. Derived from the live `/local/domain` path length so
+    /// it cannot drift from the interner's path strings.
+    fn domain_name_path_len(&self, domid: u32) -> u64 {
+        let digits = if domid == 0 { 1 } else { domid.ilog10() as u64 + 1 };
+        // "<local_domain>" + "/" + digits + "/name"
+        self.store.path_len(self.local_domain) as u64 + 1 + digits + "/name".len() as u64
+    }
+
+    /// Charges exactly what xl's unique-name scan — one `directory` of
+    /// `/local/domain` plus one `read` per numeric entry — would charge,
+    /// without executing the store operations. The caller (the cloneboot
+    /// template fast path) has already validated the preconditions this
+    /// arithmetic encodes: the directory's children are precisely the
+    /// `guests` entries plus, when `dom0_entry`, Dom0's own directory
+    /// (whose `name` node does not exist, so its read pays no value
+    /// payload); every guest read succeeds and returns `name_len` bytes.
+    /// Daemon stats and the access log advance as if the requests ran,
+    /// so later rotation spikes land on the same request.
+    pub fn replay_name_scan(
+        &mut self,
+        cost: &CostModel,
+        meter: &mut Meter,
+        dom0_entry: bool,
+        guests: impl Iterator<Item = (u32, usize)>,
+    ) {
+        let mut children: u64 = dom0_entry as u64;
+        // Path payload of each request, starting with the directory's.
+        let mut path_payload = self.store.path_len(self.local_domain) as u64;
+        let mut value_payload: u64 = 0;
+        if dom0_entry {
+            path_payload += self.domain_name_path_len(0);
+        }
+        for (domid, name_len) in guests {
+            children += 1;
+            path_payload += self.domain_name_path_len(domid);
+            value_payload += name_len as u64;
+        }
+        let requests = 1 + children;
+
+        self.stats.requests += requests;
+        let per_request = cost.xs_soft_interrupt * 4
+            + cost.xs_domain_crossing * 4
+            + cost.xs_process_base.scale(self.flavor.process_mult())
+            + cost.xs_poll_per_conn * self.conns.len() as u64;
+        let mut dt = per_request * requests;
+        dt += cost.xs_payload_per_byte * (path_payload + value_payload);
+        dt += cost.xs_dir_per_entry * children;
+        let (lines, rotations) = self.log.append_many(requests);
+        dt += cost.xs_log_line * lines
+            + (cost.xs_log_rotate_per_file * crate::log::NUM_LOG_FILES as u64) * rotations;
+        meter.charge(Category::Xenstore, dt);
     }
 
     /// Changes permissions on a node.
@@ -959,6 +1063,68 @@ mod tests {
             CostModel::paper_defaults(),
             Meter::new(),
         )
+    }
+
+    #[test]
+    fn replay_scan_matches_real_scan() {
+        // Twin daemons with identical state: four guests with name nodes
+        // plus Dom0's own directory (whose `name` node does not exist).
+        let (mut real, cost, _) = setup();
+        let mut fast = Xenstored::new(Flavor::Oxenstored, 42);
+        let guests = [(1u32, "a"), (5, "guest-5"), (42, "long-guest-name-42"), (123, "x")];
+        let mut m = Meter::new();
+        for xs in [&mut real, &mut fast] {
+            xs.write(&cost, &mut m, 0, &p("/local/domain/0/backend"), b"")
+                .unwrap();
+            for (d, name) in guests {
+                xs.write(
+                    &cost,
+                    &mut m,
+                    0,
+                    &p(&format!("/local/domain/{d}/name")),
+                    name.as_bytes(),
+                )
+                .unwrap();
+            }
+            for c in 1..=3 {
+                xs.connect(c);
+            }
+        }
+
+        // Enough scans to cross a log rotation inside the batched path:
+        // 2500 scans x 6 requests each > ROTATE_LINES.
+        let (mut m_real, mut m_fast) = (Meter::new(), Meter::new());
+        let mut dir = Vec::new();
+        for _ in 0..2500 {
+            // The exact scan `xl_name_check` performs...
+            let ld = real.local_domain_sym();
+            real.directory_syms(&cost, &mut m_real, 0, ld, &mut dir)
+                .unwrap();
+            for i in 0..dir.len() {
+                let entry = dir[i];
+                if real.sym_name_u32(entry).is_none() {
+                    continue;
+                }
+                let name_sym = real.child_sym(entry, "name");
+                let _ = real.read_s(&cost, &mut m_real, 0, name_sym);
+            }
+            // ...versus its closed form.
+            fast.replay_name_scan(
+                &cost,
+                &mut m_fast,
+                true,
+                guests.iter().map(|&(d, name)| (d, name.len())),
+            );
+        }
+
+        assert_eq!(m_real.total(), m_fast.total());
+        assert_eq!(
+            m_real.of(Category::Xenstore),
+            m_fast.of(Category::Xenstore)
+        );
+        assert_eq!(real.stats().requests, fast.stats().requests);
+        assert_eq!(real.log_rotations(), fast.log_rotations());
+        assert!(real.log_rotations() >= 1, "scan volume should rotate the log");
     }
 
     #[test]
