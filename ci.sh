@@ -6,7 +6,10 @@
 # missing, if disabling the world-snapshot cache changes any artefact
 # byte, if any scheduler width changes any artefact byte (quick scale
 # at --jobs 2; full scale at --jobs 1/2/8 against the committed
-# sequential reference in results/), if runner throughput collapsed
+# sequential reference in results/), if the full-scale sequential wall
+# regressed >1.5x above the committed baseline (every-replay clone-boot
+# verification rides on the incremental world digest — it must stay
+# cheap), if runner throughput collapsed
 # (>5x below the committed baseline in results/bench_runner.json — a
 # coarse band that only trips on real regressions, not
 # machine-to-machine noise), or if the density hot path allocates again
@@ -23,12 +26,12 @@ test_log="$(mktemp)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 # Suite-count guard: a botched invocation (or a workspace edit that
 # drops crates from the build) silently shrinks coverage. The workspace
-# runs 60+ test binaries; fail loudly if most of them did not run.
+# runs 65+ test binaries; fail loudly if most of them did not run.
 suites=$(grep -c '^test result: ok' "$test_log" || true)
 rm -f "$test_log"
-echo "workspace test suites: $suites (guard: >= 60)"
-if [ "$suites" -lt 60 ]; then
-  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 60)" >&2
+echo "workspace test suites: $suites (guard: >= 65)"
+if [ "$suites" -lt 65 ]; then
+  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 65)" >&2
   exit 1
 fi
 
@@ -158,6 +161,28 @@ for J in 1 2 8; do
   done
 done
 
+echo "== wall gate (full scale, --jobs 1, verification every replay) =="
+# Incremental world digests (DESIGN.md §6h) pay for every-replay clone
+# boot verification; the whole point is that the full run got cheaper,
+# not dearer. Gate the fresh full-scale sequential wall against the
+# committed baseline with a 1.5x noise band — wide enough for
+# machine-to-machine variance, tight enough to catch the digest path
+# going accidentally O(world) again.
+extract_wall() {
+  grep -o '"wall_ms": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
+}
+if [ -s results/bench_runner.json ]; then
+  wall_base=$(extract_wall results/bench_runner.json)
+  wall_fresh=$(extract_wall "$FIG_DIR/full-j1/bench_runner.json")
+  echo "full-scale wall (--jobs 1): $wall_fresh ms fresh vs $wall_base ms committed (gate: <= 1.5x)"
+  if ! awk -v f="$wall_fresh" -v b="$wall_base" 'BEGIN { exit !(f <= b * 1.5) }'; then
+    echo "ci: full-scale sequential wall regressed >1.5x above committed baseline" >&2
+    exit 1
+  fi
+else
+  echo "ci: no committed baseline (results/bench_runner.json), skipping gate"
+fi
+
 echo "== throughput gate (aggregate_events_per_sec) =="
 extract_rate() {
   grep -o '"aggregate_events_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
@@ -181,7 +206,10 @@ echo "== allocation gate (density allocs/event) =="
 # be tight and absolute: the allocation-free request-path work landed
 # at 0.432 allocs/event (results/bench_micro_pr3.md; 5.505 before it).
 # Crossing 1.0 means allocations came back on the request hot path.
-fresh_allocs=$(cargo run --release -p bench --bin allocs -- 200 \
+# Capture before grepping: grep -m1 on the pipe can exit while the
+# binary is still flushing, and the SIGPIPE aborts the run.
+allocs_out=$(cargo run --release -p bench --bin allocs -- 200)
+fresh_allocs=$(printf '%s\n' "$allocs_out" \
   | grep -m1 -o 'allocs_per_event: *[0-9.]*' | grep -o '[0-9.]*$')
 echo "density hot path: $fresh_allocs allocs/event (gate: <= 1.0)"
 if ! awk -v f="$fresh_allocs" 'BEGIN { exit !(f <= 1.0) }'; then

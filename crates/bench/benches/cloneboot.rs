@@ -11,8 +11,8 @@
 //! amortized 16-fold and the create cost dominates the number. The
 //! replayed side goes through `toolstack::cloneboot::create_and_boot`
 //! exactly as the figure pipeline does, which means it also pays the
-//! sparse sampling verification — the number is the shipped amortized
-//! cost, not a best case.
+//! every-replay drift and content checks (DESIGN.md §6h) — the number
+//! is the shipped cost, not a best case.
 //!
 //! Results are recorded in `results/bench_micro_pr7.md`.
 

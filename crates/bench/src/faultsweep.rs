@@ -82,6 +82,30 @@ fn mode_unit(scale: Scale, mode: ToolstackMode) -> UnitSpec {
                     }
                 }
                 debug_assert_eq!(cp.create_failures() as usize, n - ok_times.len());
+                // Churn leak check (DESIGN.md §6h), on a throwaway fork
+                // so the canonical artefacts are untouched: one more
+                // create under injection — destroyed on success, rolled
+                // back on failure — must return the world to
+                // digest-identity. Cheap now that the digest is
+                // O(changed). The pool is topped up fault-free on both
+                // sides of the probe, mirroring proptest_faults: an
+                // aborted shell refill legitimately leaves it one short.
+                let mut probe = cp.fork();
+                probe.set_fault_plan(FaultPlan::none());
+                probe.prewarm(&img);
+                let before = probe.world_digest64();
+                probe.set_fault_plan(FaultPlan::seeded(FAULT_SEED ^ 1, rate));
+                if let Ok((dom, ..)) = probe.create_and_boot("churn-probe", &img) {
+                    probe.destroy_vm(dom).expect("churn probe destroy");
+                }
+                probe.set_fault_plan(FaultPlan::none());
+                probe.prewarm(&img);
+                assert_eq!(
+                    probe.world_digest64(),
+                    before,
+                    "{} rate {rate}: churn probe leaked world state",
+                    mode.label()
+                );
                 let injected = cp.faults.total_injected();
                 (UnitOutput::from_plane(&cp), ok_times, injected)
             };

@@ -248,6 +248,17 @@ impl WalkBuilder {
     pub(crate) fn build_rung(&self, i: usize) -> (u64, u64) {
         let n = self.steps[i];
         let (cp, _records, stats) = worldcache::world_at(&self.spec, n);
+        // Cross-check the fork against the rung the chain published at
+        // this density (DESIGN.md §6h): O(1) with warm hash caches, and
+        // it pins "the fork is the world the records describe" on every
+        // scheduled rung rather than trusting the chain discipline.
+        if let Some(digest) = worldcache::published_digest(&self.spec, n) {
+            assert_eq!(
+                cp.world_digest64_at_rest(),
+                digest,
+                "probe walk rung {n}: deposited fork diverged from the published rung"
+            );
+        }
         let mut guard = self.state.lock().expect("walk state lock");
         let st = guard.as_mut().expect("walk already finished");
         st.forks += 1;

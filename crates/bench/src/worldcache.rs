@@ -175,6 +175,11 @@ pub struct RungInfo {
     pub log_rotations: u64,
     /// Transaction conflicts so far (fig05 metadata).
     pub txn_conflicts: u64,
+    /// Fast at-rest world digest (DESIGN.md §6h) at this rung. Not a
+    /// figure input — a replay-from-base below the tip asserts against
+    /// it, so a chain that ever diverges from its own published rungs
+    /// fails loudly instead of serving two different "density d" worlds.
+    pub digest: u128,
 }
 
 impl RungInfo {
@@ -186,6 +191,7 @@ impl RungInfo {
             events: stats.requests + stats.watch_events + cp.cpu.tasks_started(),
             log_rotations: cp.xs.log_rotations(),
             txn_conflicts: stats.txn_conflicts,
+            digest: cp.world_digest64_at_rest(),
         }
     }
 }
@@ -380,8 +386,20 @@ fn with_world_at<T>(
         // Below the tip: replay from the base. No boots are saved, but
         // the records for this prefix are, and the tip stays deep for
         // the consumers that want it.
+        let published = info.get(&target).map(|r| r.digest);
         let mut cp = base.as_ref().expect("base set with tip").fork();
         advance(&mut cp, &spec.image, 0, target, records, Some(info), &mut stats);
+        // The rung was published when the chain first climbed past
+        // `target`; a replay of the same prefix must land on the same
+        // world. Cheap with warm hash caches, and it turns silent
+        // chain/replay divergence into a loud failure.
+        if let Some(digest) = published {
+            assert_eq!(
+                cp.world_digest64_at_rest(),
+                digest,
+                "worldcache: replay from base diverged from the rung published at density {target}"
+            );
+        }
         consume(&cp, records)
     };
     (out, records[..target].to_vec(), stats)
@@ -471,6 +489,20 @@ pub fn rung_published(spec: &WorldSpec, target: usize) -> bool {
     };
     let chain = chain.lock().expect("worldcache chain lock");
     chain.records.len() >= target && chain.info.contains_key(&target)
+}
+
+/// The fast at-rest digest published for `spec`'s chain at `target`,
+/// if any. Pure read (never creates a chain entry); the probe walk
+/// cross-checks each deposited fork against it.
+pub fn published_digest(spec: &WorldSpec, target: usize) -> Option<u128> {
+    let chain = CACHE
+        .get()?
+        .lock()
+        .expect("worldcache map lock")
+        .get(&spec.key())
+        .map(Arc::clone)?;
+    let chain = chain.lock().expect("worldcache chain lock");
+    chain.info.get(&target).map(|r| r.digest)
 }
 
 /// Like [`world_at`], but returns only the per-create records plus the

@@ -23,22 +23,33 @@
 //! translation table to get wrong.
 //!
 //! Validity is enforced at three levels, all failing *safe* (the worst
-//! case of any mismatch is losing the speedup, never a wrong world):
+//! case of any mismatch is losing the speedup, never a wrong world).
+//! PR 7 shipped with level 3 *sampled* (every 1024th replay) because
+//! each verification cost two O(world) string digests; incremental
+//! Merkle digests (DESIGN.md §6h) retired the sampling — **every
+//! replay is now verified**, and there is no interval constant left:
 //!
 //! 1. **Per-replay shape check** (uncharged): the closed form applies
 //!    only when `/local/domain`'s children are exactly the plane's VM
 //!    table (see `ControlPlane::xl_name_check_replay`); any foreign
 //!    node, missing entry or name collision falls back to the real
 //!    scan silently.
-//! 2. **Post-replay drift check**: the store-node delta left by a
-//!    replayed create must equal the template's recorded delta, or the
-//!    template is poisoned and later creates run fully.
-//! 3. **Sampling verification**: the first replay and every
-//!    [`VERIFY_INTERVAL`]-th thereafter forks the world, runs the
-//!    replay on the fork and the full path on the canonical plane, and
-//!    compares reported latencies plus full
-//!    [`ControlPlane::world_digest`]s; any difference poisons the
-//!    template.
+//! 2. **Per-replay drift + content check**: the store-node delta left
+//!    by a replayed create must equal the template's recorded delta,
+//!    *and* the guest's store subtrees (frontend/domain dir, `/vm`
+//!    entry, Dom0 backend dirs) must match the template's learned
+//!    content mask — per-node value hashes, position-independent, with
+//!    the fields that legitimately vary per create (domid-derived
+//!    values, MACs, event channels, grant refs) learned by diffing the
+//!    exemplar against the first verified replay rather than
+//!    hard-coded. Any mismatch poisons the template.
+//! 3. **First-replay dual execution**: the first replay of a template
+//!    runs on a fork while the canonical plane runs the full path; the
+//!    reported latencies and the fast
+//!    [`ControlPlane::world_digest64_at_rest`] world digests must
+//!    agree exactly, the two guests' subtree contents must be
+//!    identical, and the content mask is learned here. Any difference
+//!    poisons the template.
 //!
 //! The whole subsystem is gated like the snapshot cache: `runall
 //! --no-clone-boot` (or [`set_enabled`]) routes every create through
@@ -54,14 +65,6 @@ use hypervisor::DomId;
 use simcore::SimTime;
 
 use crate::plane::{ControlPlane, CreateReport, PlaneError, ToolstackMode};
-
-/// Replays between digest-verified ones (the first replay always
-/// verifies). Verification forks the world and digests it twice, which
-/// grows with density; the per-replay node-delta drift check is what
-/// polices every single replay, so sampling can afford to be sparse —
-/// at 1024 a typical figure chain digest-verifies its first replay and
-/// the drift check covers the rest.
-const VERIFY_INTERVAL: u64 = 1024;
 
 /// What identifies a template shape. The lineage pins mode, machine,
 /// Dom0 sizing and the interned-symbol history (clones and snapshot
@@ -120,6 +123,14 @@ impl CostInputs {
     }
 }
 
+/// Sorted `(relative-path hash, value hash)` pairs for every store
+/// node a create leaves under the guest's roots — see [`guest_content`].
+type ContentList = Vec<(u64, u128)>;
+
+/// [`ContentList`] with per-create-variable values masked out: `None`
+/// means "present, value varies per create" (learned, not hard-coded).
+type ContentMask = Vec<(u64, Option<u128>)>;
+
 /// A recorded template boot.
 struct Template {
     /// `(phase tag, cumulative simulated cost)` breakpoints of the
@@ -138,6 +149,17 @@ struct Template {
     /// Cost inputs at exemplar time (drift reference; see
     /// [`CostInputs`]).
     recorded_at: CostInputs,
+    /// Guest-subtree content the exemplar create left behind (mask
+    /// input; never compared against replays directly — the exemplar
+    /// also created one-time parents and carries its own domid-derived
+    /// values).
+    exemplar_content: ContentList,
+    /// Per-node content expectations for steady-state creates, learned
+    /// at the first (dual-executed) replay by diffing its guest content
+    /// against [`Template::exemplar_content`]: equal values must
+    /// reproduce exactly on every later replay, differing ones are
+    /// per-create-variable and only checked for presence.
+    content_mask: Option<ContentMask>,
     /// Replays applied so far.
     replays: u64,
     /// True once any check failed; poisoned templates are never
@@ -174,7 +196,9 @@ static REPLAYED: AtomicU64 = AtomicU64::new(0);
 static EVENTS_SAVED: AtomicU64 = AtomicU64::new(0);
 /// Replays where the shape check bailed to the real scan.
 static FALLBACKS: AtomicU64 = AtomicU64::new(0);
-/// Sampling verifications performed.
+/// Dual-execution (fork + full path) verifications performed — one per
+/// template, at its first replay. Every replay additionally runs the
+/// drift + content checks, which have no counter: they are universal.
 static VERIFIES: AtomicU64 = AtomicU64::new(0);
 /// Templates poisoned by a failed check.
 static POISONS: AtomicU64 = AtomicU64::new(0);
@@ -307,7 +331,10 @@ pub fn create_and_boot_report(
             None => Plan::Record,
             Some(t) if t.poisoned => Plan::Skip,
             Some(t) => {
-                let verify = t.replays % VERIFY_INTERVAL == 0;
+                // The first replay dual-executes against the full path
+                // (and learns the content mask); every replay after it
+                // is content-verified in place — no sampling interval.
+                let verify = t.replays == 0;
                 t.replays += 1;
                 Plan::Replay { verify }
             }
@@ -329,6 +356,67 @@ pub fn create_and_boot_report(
     }
 }
 
+/// Captures the store content a create left behind for guest `dom`:
+/// every node under the guest's frontend/domain dir, its `/vm` entry,
+/// and its Dom0 backend dirs, as sorted `(relative-path hash, value
+/// hash)` pairs. Paths hash relative to a per-root tag, so the same
+/// subtree shape under two different domids yields identical path
+/// hashes — values that embed the domid (MACs, frontend ids, event
+/// channels) still differ, which is exactly what the learned mask
+/// absorbs. Roots a mode never writes (noxs keeps almost nothing in
+/// the store) simply contribute nothing.
+fn guest_content(cp: &ControlPlane, dom: DomId) -> ContentList {
+    let store = cp.xs.store();
+    let mut out = Vec::with_capacity(64);
+    // Roots resolve without interning: this runs on every replay, and
+    // probing for dirs a mode never writes must not permanently grow
+    // the interner (which every world clone would then pay to copy).
+    if let Some(root) = cp.xs.resolve_domain_dir_sym(dom.0) {
+        store.subtree_leaves_hashed(root, 0, &mut out);
+    }
+    if let Some(root) = cp.xs.resolve_vm_dir_sym(dom.0) {
+        store.subtree_leaves_hashed(root, 1, &mut out);
+    }
+    for (tag, kind) in [(2u64, "vif"), (3, "vbd"), (4, "console"), (5, "sysctl")] {
+        if let Some(root) = cp.xs.resolve_backend_domain_dir_sym(0, kind, dom.0) {
+            store.subtree_leaves_hashed(root, tag, &mut out);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Learns which per-node values are create-invariant by diffing the
+/// exemplar's guest content against a verified steady-state create's.
+/// Both lists are sorted by path hash; a path present in one but not
+/// the other means the subtree *shape* varies per create — no mask can
+/// police that, so the caller must poison (`None`).
+fn build_mask(exemplar: &ContentList, steady: &ContentList) -> Option<ContentMask> {
+    if exemplar.len() != steady.len() {
+        return None;
+    }
+    exemplar
+        .iter()
+        .zip(steady)
+        .map(|(&(ep, ev), &(sp, sv))| {
+            if ep != sp {
+                return None;
+            }
+            Some((sp, if ev == sv { Some(sv) } else { None }))
+        })
+        .collect()
+}
+
+/// True if a replayed create's guest content satisfies the mask: same
+/// node set, and every create-invariant value reproduced exactly.
+fn content_matches(mask: &ContentMask, content: &ContentList) -> bool {
+    mask.len() == content.len()
+        && mask
+            .iter()
+            .zip(content)
+            .all(|(&(mp, mv), &(cp, cv))| mp == cp && mv.map_or(true, |v| v == cv))
+}
+
 /// Full create+boot with phase tracing on; on success the delta it
 /// left behind becomes the template.
 fn record_exemplar(
@@ -342,13 +430,15 @@ fn record_exemplar(
     cp.phase_trace = Some(Vec::new());
     let result = cp.create_and_boot_report(name, image);
     let phase_trace = cp.phase_trace.take().unwrap_or_default();
-    if result.is_ok() {
+    if let Ok((report, _)) = &result {
         let template = Template {
             phase_trace,
             nodes_written: cp.xs.store().node_count() as i64 - before.store_nodes as i64,
             steady_nodes: None,
             watches_registered: cp.xs.watch_count() as i64 - watches_before,
             recorded_at: before,
+            exemplar_content: guest_content(cp, report.dom),
+            content_mask: None,
             replays: 0,
             poisoned: false,
         };
@@ -358,7 +448,8 @@ fn record_exemplar(
 }
 
 /// A replayed create: real code everywhere, closed-form name scan when
-/// the shape check admits it, node-delta drift check afterwards.
+/// the shape check admits it; afterwards, the node-delta drift check
+/// and the learned-mask content check — both on *every* replay.
 fn replay(
     cp: &mut ControlPlane,
     name: &str,
@@ -379,29 +470,45 @@ fn replay(
     } else if cp.mode == ToolstackMode::Xl {
         FALLBACKS.fetch_add(1, Ordering::Relaxed);
     }
-    if result.is_ok() {
+    if let Ok((report, _)) = &result {
         // Drift check: a steady-state create always leaves the same
         // node delta (the exemplar's own delta is larger — it also
         // created one-time parent directories — so the reference is
-        // taken at the first replay, which is digest-verified).
+        // taken at the first replay, which is dual-execution-verified).
         let delta = cp.xs.store().node_count() as i64 - nodes_before;
+        // Content check: the guest's subtrees must satisfy the mask
+        // learned at the first replay (None until then — the first
+        // replay is covered by dual execution instead).
+        let content = guest_content(cp, report.dom);
         let mut reg = registry().lock().unwrap();
         if let Some(t) = reg.get_mut(&key) {
-            match t.steady_nodes {
-                None => t.steady_nodes = Some(delta),
-                Some(expected) if expected != delta => {
-                    drop(reg);
-                    poison(&key);
+            let drift_ok = match t.steady_nodes {
+                None => {
+                    t.steady_nodes = Some(delta);
+                    true
                 }
-                Some(_) => {}
+                Some(expected) => expected == delta,
+            };
+            let content_ok = match &t.content_mask {
+                Some(mask) => content_matches(mask, &content),
+                None => true,
+            };
+            if !(drift_ok && content_ok) {
+                drop(reg);
+                poison(&key);
             }
         }
     }
     result
 }
 
-/// A sampled replay: the replay runs on a fork, the canonical plane
-/// runs the full path, and the two worlds must agree exactly.
+/// The first replay of a template: the replay runs on a fork, the
+/// canonical plane runs the full path, and the two worlds must agree
+/// exactly — reported latencies, fast world digests (at rest: both
+/// worlds carry identical pending events iff they evolved
+/// identically), and the new guests' subtree contents. On agreement
+/// the content mask for all later replays is learned by diffing the
+/// verified content against the exemplar's.
 fn verified_replay(
     cp: &mut ControlPlane,
     name: &str,
@@ -417,13 +524,30 @@ fn verified_replay(
             fast_report.dom == full_report.dom
                 && fast_report.total() == full_report.total()
                 && fast_boot == full_boot
-                && probe.fork().world_digest() == cp.fork().world_digest()
+                && probe.world_digest64_at_rest() == cp.world_digest64_at_rest()
+                && guest_content(&probe, fast_report.dom)
+                    == guest_content(cp, full_report.dom)
         }
         (Err(_), Err(_)) => true,
         _ => false,
     };
     if !agree {
         poison(&key);
+    } else if let Ok((report, _)) = &full {
+        let steady = guest_content(cp, report.dom);
+        let mut reg = registry().lock().unwrap();
+        if let Some(t) = reg.get_mut(&key) {
+            match build_mask(&t.exemplar_content, &steady) {
+                Some(mask) => t.content_mask = Some(mask),
+                None => {
+                    // The subtree shape itself varies between the
+                    // exemplar and a steady-state create: nothing the
+                    // mask can police, so retire the template.
+                    drop(reg);
+                    poison(&key);
+                }
+            }
+        }
     }
     full
 }

@@ -27,7 +27,7 @@
 
 use crate::plane::ControlPlane;
 use simcore::Meter;
-use xenstore::XsPath;
+use xenstore::{Mix128, XsPath};
 
 /// A captured world state that can be forked into new control planes.
 ///
@@ -84,11 +84,12 @@ impl ControlPlane {
             self.xs.watch_count(),
             self.xs.conn_count(),
         ));
-        for conn in 0..16 {
-            let pending = self.xs.pending_events(conn);
-            if pending != 0 {
-                d.push_str(&format!("pending[{conn}]={pending}\n"));
-            }
+        // Iterate the connections that actually have queued events (in
+        // ascending conn order, so the rendering is deterministic) —
+        // a hard-coded id range would silently equate worlds whose
+        // differences live on higher-numbered connections.
+        for (conn, pending) in self.xs.pending_counts() {
+            d.push_str(&format!("pending[{conn}]={pending}\n"));
         }
         d.push_str(&format!(
             "net={} blk={} console={} ports={}\n",
@@ -107,15 +108,68 @@ impl ControlPlane {
         d.push_str(&format!("running={}\n", self.running_count()));
         d
     }
+
+    /// The fast world digest (DESIGN.md §6h): the store's incremental
+    /// Merkle digest plus the same scalar quantities the string digest
+    /// renders, mixed into one `u128`. After k store mutations this
+    /// costs O(k · depth) plus a handful of counter reads, instead of
+    /// the string digest's O(world) walk-and-render — which is what lets
+    /// cloneboot verify every replay and the property suites compare
+    /// worlds at every step. Like [`ControlPlane::world_digest`], it
+    /// first drains Dom0's pending toolstack events (background
+    /// deliveries, not state), and is never charged to simulated time.
+    pub fn world_digest64(&mut self) -> u128 {
+        let cost = self.cost();
+        let mut m = Meter::new();
+        self.xs.drain_events(&cost, &mut m, 0);
+        self.world_digest64_at_rest()
+    }
+
+    /// [`ControlPlane::world_digest64`] without the Dom0 drain: pure
+    /// `&self`, usable on shared snapshots. Includes per-connection
+    /// pending event counts, so it only equals another world's digest
+    /// when both are at the same delivery point — compare like with
+    /// like (two captured rungs, two quiescent forks), or drain first
+    /// via the `&mut` variant.
+    pub fn world_digest64_at_rest(&self) -> u128 {
+        let mut mix = Mix128::new();
+        mix.write_u128(self.xs.store().subtree_digest());
+        mix.write_u64(self.xs.store().node_count() as u64);
+        mix.write_u64(self.xs.watch_count() as u64);
+        mix.write_u64(self.xs.conn_count() as u64);
+        for (conn, pending) in self.xs.pending_counts() {
+            mix.write_u64(conn as u64);
+            mix.write_u64(pending as u64);
+        }
+        mix.write_u64(self.net.count() as u64);
+        mix.write_u64(self.blk.count() as u64);
+        mix.write_u64(self.console.count() as u64);
+        mix.write_u64(self.switch.port_count() as u64);
+        mix.write_u64(self.hv.domain_count() as u64);
+        mix.write_u64(self.guest_memory_used());
+        mix.write_u64(self.hv.evtchn.open_channels() as u64);
+        mix.write_u64(self.hv.gnttab.len() as u64);
+        mix.write_u64(self.running_count() as u64);
+        mix.finish()
+    }
 }
 
 /// Append one line per store node under `path` (depth-first, child
-/// order as the store reports it). Values are compared verbatim.
+/// order as the store reports it). Values are rendered byte-exactly:
+/// printable ASCII as-is, everything else as an unambiguous `\xNN`
+/// escape — a lossy UTF-8 rendering would let distinct invalid byte
+/// sequences collide on the replacement character.
 fn digest_walk(cp: &ControlPlane, path: &XsPath, out: &mut String) {
     out.push_str(path.as_str());
     if let Ok(value) = cp.xs.store().read(0, path) {
         out.push('=');
-        out.push_str(&String::from_utf8_lossy(value));
+        for &b in value {
+            match b {
+                b'\\' => out.push_str("\\\\"),
+                0x20..=0x7e => out.push(b as char),
+                _ => out.push_str(&format!("\\x{b:02x}")),
+            }
+        }
     }
     out.push('\n');
     if let Ok(children) = cp.xs.store().directory(0, path) {
@@ -153,5 +207,7 @@ mod sanity {
         let snap = cp.snapshot();
         let mut fork = snap.fork();
         assert_eq!(cp.world_digest(), fork.world_digest());
+        assert_eq!(cp.world_digest64(), fork.world_digest64());
+        assert_eq!(cp.world_digest64_at_rest(), fork.world_digest64_at_rest());
     }
 }

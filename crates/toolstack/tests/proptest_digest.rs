@@ -1,0 +1,248 @@
+//! Differential property tests of the incremental Merkle world digest
+//! (DESIGN.md §6h): after arbitrary op sequences, the cached digest
+//! equals a from-scratch recompute, and it agrees with the string
+//! digest oracle about which worlds are equal.
+//!
+//! Random op sequences — creates, destroys, fault-injected creates,
+//! raw store writes/removes, transaction commit/abort, fork-then-mutate
+//! — are generated per (mode, seed) with the workspace's seeded
+//! `SimRng` (offline build: no proptest crate) and applied identically
+//! to a twin plane, so every step yields both an equality pair (plane
+//! vs twin) and an inequality pair (step k vs step k-1).
+
+use guests::GuestImage;
+use hypervisor::DomId;
+use simcore::faults::{FaultPlan, FaultSite};
+use simcore::{Machine, MachinePreset, Meter, SimRng};
+use toolstack::{ControlPlane, ToolstackMode};
+use xenstore::XsPath;
+
+const MODES: [ToolstackMode; 4] = [
+    ToolstackMode::Xl,
+    ToolstackMode::ChaosXs,
+    ToolstackMode::ChaosNoxs,
+    ToolstackMode::LightVm,
+];
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+/// Ops per sequence: enough to interleave every op kind several times
+/// while string-digesting each step stays affordable.
+const OPS: usize = 24;
+
+fn image() -> GuestImage {
+    GuestImage::unikernel_daytime()
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(String),
+    /// Destroy the i-th (mod live count) surviving guest.
+    Destroy(usize),
+    /// A create under injection at the given fault site; success and
+    /// failure are both fine — the twin must just do the same.
+    FaultyCreate(usize, String),
+    /// Raw store write, possibly of a non-UTF-8 value.
+    StoreWrite(String, Vec<u8>),
+    /// Raw store rm of a previous [`Op::StoreWrite`] path (no-op if
+    /// that write never happened — twin-symmetric either way).
+    StoreRm(String),
+    /// A transaction writing two nodes, committed or aborted.
+    Txn(String, bool),
+    /// Fork, mutate the fork, drop it: the plane itself must be
+    /// untouched (checked against the twin like every other op).
+    ForkProbe(String),
+}
+
+fn gen_ops(rng: &mut SimRng) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(OPS);
+    for k in 0..OPS {
+        let op = match rng.index(10) {
+            0..=2 => Op::Create(format!("guest-{k}")),
+            3 => Op::Destroy(rng.index(8)),
+            4 => Op::FaultyCreate(rng.index(FaultSite::ALL.len()), format!("victim-{k}")),
+            5 => {
+                let value = if rng.chance(0.5) {
+                    vec![0xff, 0xfe, rng.index(256) as u8]
+                } else {
+                    format!("v{}", rng.index(1000)).into_bytes()
+                };
+                Op::StoreWrite(format!("/test/n{}", rng.index(6)), value)
+            }
+            6 => Op::StoreRm(format!("/test/n{}", rng.index(6))),
+            7 => Op::Txn(format!("/test/t{k}"), rng.chance(0.5)),
+            _ => Op::ForkProbe(format!("probe-{k}")),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Applies one op to a plane. `doms` tracks surviving guests so
+/// destroys pick the same victim on plane and twin.
+fn apply(cp: &mut ControlPlane, doms: &mut Vec<DomId>, op: &Op) {
+    let img = image();
+    match op {
+        Op::Create(name) => {
+            let (dom, ..) = cp.create_and_boot(name, &img).expect("create");
+            doms.push(dom);
+        }
+        Op::Destroy(i) => {
+            if !doms.is_empty() {
+                let dom = doms.remove(i % doms.len());
+                cp.destroy_vm(dom).expect("destroy");
+            }
+        }
+        Op::FaultyCreate(site, name) => {
+            cp.set_fault_plan(FaultPlan::at_site(0xd16e57, FaultSite::ALL[*site]));
+            if let Ok((dom, ..)) = cp.create_and_boot(name, &img) {
+                doms.push(dom);
+            }
+            cp.set_fault_plan(FaultPlan::none());
+        }
+        Op::StoreWrite(path, value) => {
+            let p = XsPath::parse(path).unwrap();
+            cp.xs.store_mut_for_tests().write(0, &p, value).expect("store write");
+        }
+        Op::StoreRm(path) => {
+            let p = XsPath::parse(path).unwrap();
+            let _ = cp.xs.store_mut_for_tests().rm(0, &p);
+        }
+        Op::Txn(path, commit) => {
+            let cost = cp.cost();
+            let mut m = Meter::new();
+            let id = cp.xs.txn_start(&cost, &mut m, 0);
+            let a = XsPath::parse(&format!("{path}/a")).unwrap();
+            let b = XsPath::parse(&format!("{path}/b")).unwrap();
+            cp.xs.txn_write(&cost, &mut m, 0, id, &a, b"in-txn").expect("txn write");
+            cp.xs.txn_write(&cost, &mut m, 0, id, &b, &[0xc0, 0xff]).expect("txn write");
+            cp.xs
+                .txn_end(&cost, &mut m, 0, id, *commit)
+                .expect("no interference, no conflict");
+        }
+        Op::ForkProbe(name) => {
+            let mut fork = cp.fork();
+            fork.create_and_boot(name, &img).expect("fork create");
+            // The fork diverged; the plane must not have (its twin
+            // receives no fork at all — the step comparison catches
+            // any leak).
+            assert_ne!(
+                fork.world_digest64(),
+                cp.fork().world_digest64(),
+                "mutated fork still digest-equal to its origin"
+            );
+        }
+    }
+}
+
+/// Fast digest of a plane without disturbing it (drains on a fork).
+fn fast(cp: &ControlPlane) -> u128 {
+    cp.fork().world_digest64()
+}
+
+/// String-digest oracle, same discipline.
+fn oracle(cp: &ControlPlane) -> String {
+    cp.fork().world_digest()
+}
+
+/// The cached digest must equal a recompute with every cache dropped.
+fn assert_cache_coherent(cp: &ControlPlane, ctx: &str) {
+    let fork = cp.fork();
+    let store = fork.xs.store();
+    assert_eq!(
+        store.subtree_digest(),
+        store.subtree_digest_uncached(),
+        "{ctx}: store cache diverged from recompute"
+    );
+    let mut warm = cp.fork();
+    let with_cache = warm.world_digest64();
+    warm.xs.store().clear_hash_caches();
+    assert_eq!(
+        warm.world_digest64(),
+        with_cache,
+        "{ctx}: cold world digest diverged from incremental"
+    );
+}
+
+#[test]
+fn incremental_digest_matches_recompute_and_string_oracle() {
+    let img = image();
+    for mode in MODES {
+        for seed in SEEDS {
+            let mut rng = SimRng::new(seed ^ 0xd1635);
+            let ops = gen_ops(&mut rng);
+
+            let mut cp = ControlPlane::new(
+                Machine::preset(MachinePreset::XeonE5_1630V3),
+                1,
+                mode,
+                seed,
+            );
+            cp.prewarm(&img);
+            let mut twin = ControlPlane::new(
+                Machine::preset(MachinePreset::XeonE5_1630V3),
+                1,
+                mode,
+                seed,
+            );
+            twin.prewarm(&img);
+
+            let mut doms = Vec::new();
+            let mut twin_doms = Vec::new();
+            let mut prev = (fast(&cp), oracle(&cp));
+            for (k, op) in ops.iter().enumerate() {
+                let ctx = format!("{mode:?} seed {seed} op {k} {op:?}");
+                apply(&mut cp, &mut doms, op);
+                apply(&mut twin, &mut twin_doms, op);
+                assert_eq!(doms, twin_doms, "{ctx}: twin drew different domids");
+
+                assert_cache_coherent(&cp, &ctx);
+
+                // Equality direction: identical op streams ⇒ equal fast
+                // digests AND equal string digests.
+                let (f, s) = (fast(&cp), oracle(&cp));
+                assert_eq!(f, fast(&twin), "{ctx}: twin fast digest diverged");
+                assert_eq!(s, oracle(&twin), "{ctx}: twin string digest diverged");
+
+                // Correspondence: the fast digest and the oracle agree
+                // on whether this step changed the world.
+                assert_eq!(
+                    f == prev.0,
+                    s == prev.1,
+                    "{ctx}: fast digest and string oracle disagree on change"
+                );
+                prev = (f, s);
+            }
+        }
+    }
+}
+
+/// The motivating collision: two distinct non-UTF-8 values must yield
+/// different digests in *both* paths (the string digest used to render
+/// through `from_utf8_lossy`, equating them on the replacement char).
+#[test]
+fn non_utf8_values_do_not_collide_in_either_digest() {
+    let mk = |bytes: &[u8]| {
+        let mut cp = ControlPlane::new(
+            Machine::preset(MachinePreset::XeonE5_1630V3),
+            1,
+            ToolstackMode::Xl,
+            9,
+        );
+        cp.xs
+            .store_mut_for_tests()
+            .write(0, &XsPath::parse("/test/bin").unwrap(), bytes)
+            .unwrap();
+        cp
+    };
+    let a = mk(&[0xff, 0xfe]);
+    let b = mk(&[0xfe, 0xff]);
+    assert_ne!(fast(&a), fast(&b), "fast digest collided on non-UTF-8");
+    assert_ne!(oracle(&a), oracle(&b), "string digest collided on non-UTF-8");
+    // And an escape-ambiguity probe: a literal backslash-x sequence in
+    // one value must not collide with the escaped rendering of another.
+    let c = mk(b"\\xff");
+    let d = mk(&[0xff]);
+    assert_ne!(oracle(&c), oracle(&d), "escaping is ambiguous");
+    assert_ne!(fast(&c), fast(&d));
+}

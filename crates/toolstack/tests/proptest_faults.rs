@@ -22,13 +22,18 @@ fn plane(mode: ToolstackMode) -> ControlPlane {
 /// compensating rollback on failure, or via destroy on success (sites
 /// that only add latency, or that the mode never exercises). Returns
 /// the outcome string and the final digest for determinism checks.
-fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, String) {
+///
+/// Digests use the fast incremental path with the Dom0 drain
+/// (`world_digest64`, not the at-rest variant): a rolled-back create
+/// fires extra Dom0 watch events on the way down, so only drained
+/// worlds compare like with like here.
+fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, u128) {
     let mut cp = plane(mode);
     let img = GuestImage::unikernel_daytime();
     cp.prewarm(&img);
     cp.create_and_boot("resident", &img)
         .expect("fault-free resident VM boots");
-    let before = cp.world_digest();
+    let before = cp.world_digest64();
 
     cp.set_fault_plan(FaultPlan::at_site(seed, site));
     let outcome = match cp.create_and_boot("victim", &img) {
@@ -51,7 +56,7 @@ fn run_case(mode: ToolstackMode, site: FaultSite, seed: u64) -> (String, String)
     // top it back up fault-free so the snapshots compare like with like.
     cp.prewarm(&img);
 
-    let after = cp.world_digest();
+    let after = cp.world_digest64();
     assert_eq!(
         before,
         after,

@@ -65,12 +65,12 @@ fn fork_resumed_from_any_step_matches_fresh_simulation() {
                 done = k;
                 snaps.push((k, cp.snapshot()));
             }
-            let reference = cp.world_digest();
+            let reference = cp.world_digest64();
             for (k, snap) in snaps {
                 let mut fork = snap.fork();
                 advance(&mut fork, k, target);
                 assert_eq!(
-                    fork.world_digest(),
+                    fork.world_digest64(),
                     reference,
                     "{mode:?} seed {seed}: fork resumed from {k} diverged from fresh build"
                 );
@@ -108,7 +108,7 @@ fn sequences_on_fork_match_original_and_leave_it_untouched() {
             let mut witness = original.fork();
             let mut fork = original.fork();
             let fork_times = probe_sequence(&mut fork);
-            let fork_digest = fork.world_digest();
+            let fork_digest = fork.world_digest64();
 
             // Isolation: churn on the fork (and, below, the original)
             // must not leak into the witness — it still matches a
@@ -118,8 +118,8 @@ fn sequences_on_fork_match_original_and_leave_it_untouched() {
             let mut pristine = base_plane(mode, seed);
             advance(&mut pristine, 0, n);
             assert_eq!(
-                witness.world_digest(),
-                pristine.world_digest(),
+                witness.world_digest64(),
+                pristine.world_digest64(),
                 "{mode:?} seed {seed}: mutating forks disturbed a sibling"
             );
 
@@ -130,7 +130,7 @@ fn sequences_on_fork_match_original_and_leave_it_untouched() {
                 "{mode:?} seed {seed}: probe latencies diverged on the fork"
             );
             assert_eq!(
-                original.world_digest(),
+                original.world_digest64(),
                 fork_digest,
                 "{mode:?} seed {seed}: probe end-state diverged on the fork"
             );

@@ -22,6 +22,7 @@
 //! Costs are charged to a [`simcore::Meter`] under
 //! [`simcore::Category::Xenstore`].
 
+pub mod hash;
 pub mod log;
 pub mod path;
 pub mod store;
@@ -30,6 +31,7 @@ pub mod txn;
 pub mod watch;
 pub mod xenstored;
 
+pub use hash::Mix128;
 pub use log::AccessLog;
 pub use path::XsPath;
 pub use store::{Perms, Store, XsError};

@@ -16,11 +16,12 @@
 //! transactions and watches can hold symbols across removals and
 //! recreations.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::hash::Mix128;
 use crate::path::XsPath;
 use crate::sym::{Interner, XsSym};
 
@@ -125,6 +126,19 @@ struct Node {
     last_child: Option<XsSym>,
     /// Next sibling in the parent's child chain.
     next_sibling: Option<XsSym>,
+    /// Cached Merkle digest of this node's subtree (DESIGN.md §6h):
+    /// name + raw value bytes + commutatively combined child digests.
+    /// `0` = dirty ([`node_hash`] never produces 0 — it maps a computed
+    /// 0 to 1, so the sentinel costs 16 bytes per node instead of
+    /// `Option<u128>`'s 32; nodes are cloned by the million on world
+    /// forks). Invalidated up the ancestor chain on every mutation
+    /// under the node, recomputed lazily by [`Store::subtree_digest`].
+    /// A `Cell` so the recompute works from `&self`; it clones with the
+    /// node, so structure-sharing snapshot clones inherit warm caches
+    /// (the cache is a pure function of digested state, never of
+    /// lineage). Generations and perms are excluded — mutating them
+    /// does not dirty the cache.
+    subtree_hash: Cell<u128>,
 }
 
 impl Node {
@@ -136,6 +150,7 @@ impl Node {
             first_child: None,
             last_child: None,
             next_sibling: None,
+            subtree_hash: Cell::new(0),
         }
     }
 }
@@ -314,6 +329,19 @@ impl Store {
     /// [`Store::child_sym`] with a numeric component.
     pub(crate) fn child_u32_sym(&self, sym: XsSym, n: u32) -> XsSym {
         self.interner.borrow_mut().child_u32(sym, n)
+    }
+
+    /// Non-interning child lookup: `None` when `<sym>/<name>` was never
+    /// interned. Hot read paths that probe for dirs which may not exist
+    /// use this — [`Store::child_sym`] would permanently grow the
+    /// interner (and every future world clone) per miss.
+    pub(crate) fn resolve_child_sym(&self, sym: XsSym, name: &str) -> Option<XsSym> {
+        self.interner.borrow_mut().resolve_child(sym, name)
+    }
+
+    /// [`Store::resolve_child_sym`] with a numeric component.
+    pub(crate) fn resolve_child_u32_sym(&self, sym: XsSym, n: u32) -> Option<XsSym> {
+        self.interner.borrow_mut().resolve_child_u32(sym, n)
     }
 
     /// Byte length of a symbol's full path (for wire-payload charging).
@@ -575,6 +603,7 @@ impl Store {
             }
             value.assign(&empty, &mut node.value);
             node.generation = generation;
+            self.invalidate_hash_up(sym);
             return Ok(());
         }
         // Slow path: build the root-exclusive ancestor chain (top-down)
@@ -630,6 +659,11 @@ impl Store {
                 let empty = self.empty.clone();
                 self.insert_node(s, Node::new(&empty, perms, generation));
                 self.link_child(parent, s);
+                // Restore the dirty-chain invariant (a fresh `None` cache
+                // must not sit below a cached ancestor). The first hop
+                // pays O(depth); siblings created next find the parent
+                // already dirty and exit immediately.
+                self.invalidate_hash_up(parent);
                 created += 1;
             }
             if is_last {
@@ -644,6 +678,7 @@ impl Store {
                 }
                 value.assign(&empty, &mut node.value);
                 node.generation = generation;
+                self.invalidate_hash_up(s);
             }
             parent = s;
         }
@@ -711,6 +746,7 @@ impl Store {
         // The parent's generation changes: its child list was modified.
         self.node_mut(parent).expect("parent exists").generation = generation;
         self.node_count -= removed;
+        self.invalidate_hash_up(parent);
         Ok(())
     }
 
@@ -794,7 +830,131 @@ impl Store {
         }
         node.perms = perms;
         node.generation = generation;
+        // Deliberately no hash invalidation: permissions (like
+        // generations) are excluded from world digests — see DESIGN.md
+        // §6h — so the Merkle cache stays warm across perms churn.
         Ok(())
+    }
+
+    // --- incremental Merkle digests (DESIGN.md §6h) -----------------------
+
+    /// Marks `sym` and its ancestors dirty. Early exit on the first
+    /// already-dirty node: the maintained invariant is "a dirty node has
+    /// only dirty ancestors", so the climb above it is redundant. After
+    /// k mutations a digest costs O(k · depth) amortized — the climbs
+    /// are the only per-mutation cost, and they shorten as dirt
+    /// accumulates.
+    fn invalidate_hash_up(&self, sym: XsSym) {
+        let mut cur = sym;
+        loop {
+            if let Some(n) = self.node(cur) {
+                if n.subtree_hash.replace(0) == 0 {
+                    return;
+                }
+            }
+            if cur == XsSym::ROOT {
+                return;
+            }
+            cur = self.parent_sym(cur);
+        }
+    }
+
+    /// The Merkle digest of the whole tree, recomputing only dirty
+    /// subtrees (clean ones are one `Cell` read). Pure `&self`: the
+    /// caches are interior-mutable and semantically invisible — they
+    /// never affect simulated time or world evolution.
+    pub fn subtree_digest(&self) -> u128 {
+        self.node_hash(XsSym::ROOT, true)
+    }
+
+    /// From-scratch recompute that neither reads nor writes the caches —
+    /// the differential oracle for [`Store::subtree_digest`].
+    pub fn subtree_digest_uncached(&self) -> u128 {
+        self.node_hash(XsSym::ROOT, false)
+    }
+
+    /// Drops every cached subtree hash (tests: verifies a cold walk
+    /// agrees with whatever the incremental path maintained).
+    pub fn clear_hash_caches(&self) {
+        for slot in &self.nodes {
+            if let Some(n) = slot {
+                n.subtree_hash.set(0);
+            }
+        }
+    }
+
+    /// Digest of one node's subtree: its name, raw value bytes (never a
+    /// lossy UTF-8 rendering), child count, and the wrapping sum of the
+    /// child digests. The commutative combine makes the digest
+    /// insertion-order independent, matching the sorted-listing string
+    /// digest without sorting or allocating; each child's own digest
+    /// already seals its name, so permuted sibling *contents* still
+    /// change the sum. Generations and permissions are excluded.
+    fn node_hash(&self, sym: XsSym, use_cache: bool) -> u128 {
+        let node = self.node(sym).expect("digest walk visits live nodes");
+        if use_cache {
+            let h = node.subtree_hash.get();
+            if h != 0 {
+                return h;
+            }
+        }
+        let mut mix = Mix128::new();
+        {
+            let interner = self.interner.borrow();
+            mix.write_field(interner.name(sym).as_bytes());
+        }
+        mix.write_field(&node.value);
+        let mut child_sum: u128 = 0;
+        let mut children: u64 = 0;
+        let mut cur = node.first_child;
+        while let Some(c) = cur {
+            child_sum = child_sum.wrapping_add(self.node_hash(c, use_cache));
+            children += 1;
+            cur = self.node(c).expect("linked child exists").next_sibling;
+        }
+        mix.write_u64(children);
+        mix.write_u128(child_sum);
+        // 0 is the dirty sentinel; the 2^-128 hash that lands on it is
+        // nudged to 1 (uniformly, so uncached recomputes agree).
+        let h = mix.finish().max(1);
+        if use_cache {
+            node.subtree_hash.set(h);
+        }
+        h
+    }
+
+    /// Collects `(relative-path hash, value hash)` for every node under
+    /// `root`, rooted at `tag` instead of the absolute path — so the
+    /// same guest subtree captured under two different domids yields
+    /// identical entries (cloneboot's per-replay content check compares
+    /// these across creates). Uncached: the caller's roots are tiny
+    /// per-guest subtrees. No-op if `root` has no node.
+    pub fn subtree_leaves_hashed(&self, root: XsSym, tag: u64, out: &mut Vec<(u64, u128)>) {
+        if self.node(root).is_none() {
+            return;
+        }
+        let mut path = Mix128::new();
+        path.write_u64(tag);
+        self.leaves_rec(root, path, out);
+    }
+
+    fn leaves_rec(&self, sym: XsSym, path: Mix128, out: &mut Vec<(u64, u128)>) {
+        let node = self.node(sym).expect("live subtree node");
+        let ph = path.finish();
+        out.push((
+            (ph >> 64) as u64 ^ ph as u64,
+            crate::hash::hash_bytes(&node.value),
+        ));
+        let mut cur = node.first_child;
+        while let Some(c) = cur {
+            let mut child_path = path;
+            {
+                let interner = self.interner.borrow();
+                child_path.write_field(interner.name(c).as_bytes());
+            }
+            self.leaves_rec(c, child_path, out);
+            cur = self.node(c).expect("linked child exists").next_sibling;
+        }
     }
 }
 
@@ -997,6 +1157,117 @@ mod tests {
         s.rm(5, &p("/g/a")).unwrap();
         assert_eq!(s.owned_by(5), 1);
         s.write(5, &p("/g/c"), b"").unwrap();
+    }
+
+    /// Every mutation path keeps the cached Merkle digest in sync with
+    /// a from-scratch recompute.
+    #[test]
+    fn incremental_digest_matches_uncached_recompute() {
+        let mut s = Store::new();
+        let check = |s: &Store, what: &str| {
+            assert_eq!(s.subtree_digest(), s.subtree_digest_uncached(), "{what}");
+        };
+        check(&s, "empty store");
+        s.write(0, &p("/a/b/c"), b"v1").unwrap();
+        check(&s, "chain create");
+        s.write(0, &p("/a/b/c"), b"v2").unwrap();
+        check(&s, "value overwrite");
+        s.write(0, &p("/a/b/d"), &[0xff, 0x00, 0xfe]).unwrap();
+        check(&s, "binary sibling");
+        s.rm(0, &p("/a/b/c")).unwrap();
+        check(&s, "rm leaf");
+        s.write(0, &p("/a/b/c"), b"v3").unwrap();
+        check(&s, "recreate");
+        s.rm(0, &p("/a")).unwrap();
+        check(&s, "rm subtree");
+        // A warm cache cleared cold must land on the same digest.
+        let warm = s.subtree_digest();
+        s.clear_hash_caches();
+        assert_eq!(s.subtree_digest(), warm, "cold rebuild diverged");
+    }
+
+    #[test]
+    fn digest_tracks_content_not_metadata() {
+        let mut a = Store::new();
+        a.write(0, &p("/x"), b"1").unwrap();
+        let d1 = a.subtree_digest();
+        // Permissions and generation churn are invisible.
+        a.set_perms(0, &p("/x"), Perms::private(3)).unwrap();
+        assert_eq!(a.subtree_digest(), d1, "perms changed the digest");
+        // Same bytes written again: generation bumps, digest stays.
+        a.write(0, &p("/x"), b"1").unwrap();
+        assert_eq!(a.subtree_digest(), d1, "no-op rewrite changed the digest");
+        // Content changes are visible.
+        a.write(0, &p("/x"), b"2").unwrap();
+        assert_ne!(a.subtree_digest(), d1, "value change went unnoticed");
+        // Distinct non-UTF-8 values are distinct (raw bytes, not lossy).
+        let mut b1 = Store::new();
+        b1.write(0, &p("/x"), &[0xff, 0xfe]).unwrap();
+        let mut b2 = Store::new();
+        b2.write(0, &p("/x"), &[0xfe, 0xff]).unwrap();
+        assert_ne!(
+            b1.subtree_digest(),
+            b2.subtree_digest(),
+            "non-UTF-8 values collided"
+        );
+    }
+
+    #[test]
+    fn digest_ignores_insertion_order_but_not_structure() {
+        let mut a = Store::new();
+        a.write(0, &p("/d/x"), b"1").unwrap();
+        a.write(0, &p("/d/y"), b"2").unwrap();
+        let mut b = Store::new();
+        b.write(0, &p("/d/y"), b"2").unwrap();
+        b.write(0, &p("/d/x"), b"1").unwrap();
+        assert_eq!(a.subtree_digest(), b.subtree_digest(), "order leaked");
+        // Swapped values under swapped names do differ.
+        let mut c = Store::new();
+        c.write(0, &p("/d/x"), b"2").unwrap();
+        c.write(0, &p("/d/y"), b"1").unwrap();
+        assert_ne!(a.subtree_digest(), c.subtree_digest(), "contents swapped silently");
+    }
+
+    #[test]
+    fn clone_inherits_warm_caches_and_diverges_safely() {
+        let mut a = Store::new();
+        a.write(0, &p("/g/one"), b"v").unwrap();
+        let da = a.subtree_digest(); // warm the cache
+        let mut b = a.clone();
+        assert_eq!(b.subtree_digest(), da, "clone lost the digest");
+        b.write(0, &p("/g/two"), b"w").unwrap();
+        assert_ne!(b.subtree_digest(), da, "clone mutation unseen");
+        assert_eq!(a.subtree_digest(), da, "original disturbed by clone write");
+        assert_eq!(b.subtree_digest(), b.subtree_digest_uncached());
+        b.rm(0, &p("/g/two")).unwrap();
+        assert_eq!(b.subtree_digest(), da, "undo did not restore the digest");
+    }
+
+    #[test]
+    fn subtree_leaves_are_position_independent() {
+        let mut s = Store::new();
+        s.write(0, &p("/local/domain/3/name"), b"guest").unwrap();
+        s.write(0, &p("/local/domain/3/state"), b"4").unwrap();
+        s.write(0, &p("/local/domain/9/name"), b"guest").unwrap();
+        s.write(0, &p("/local/domain/9/state"), b"4").unwrap();
+        let r3 = s.resolve("/local/domain/3").unwrap();
+        let r9 = s.resolve("/local/domain/9").unwrap();
+        let (mut l3, mut l9) = (Vec::new(), Vec::new());
+        s.subtree_leaves_hashed(r3, 7, &mut l3);
+        s.subtree_leaves_hashed(r9, 7, &mut l9);
+        l3.sort_unstable();
+        l9.sort_unstable();
+        assert_eq!(l3, l9, "same subtree at two positions hashed differently");
+        // A value difference shows up.
+        s.write(0, &p("/local/domain/9/state"), b"5").unwrap();
+        let mut l9b = Vec::new();
+        s.subtree_leaves_hashed(r9, 7, &mut l9b);
+        l9b.sort_unstable();
+        assert_ne!(l3, l9b, "value drift invisible to leaves");
+        // A missing root is an empty capture.
+        let mut none = Vec::new();
+        s.subtree_leaves_hashed(s.sym(&p("/absent")), 7, &mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

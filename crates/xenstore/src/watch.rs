@@ -101,6 +101,16 @@ impl WatchTable {
         removed > 0
     }
 
+    /// Iterates `(conn, queued events)` over every connection with a
+    /// non-empty pending queue, in ascending connection order (the map
+    /// is ordered — deterministic for digesting).
+    pub fn pending_counts(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&conn, q)| (conn, q.len()))
+    }
+
     /// Drops all watches and pending events of a connection (domain
     /// death).
     pub fn drop_conn(&mut self, conn: u32) {

@@ -212,6 +212,42 @@ impl Xenstored {
         self.watches.pending_count(conn)
     }
 
+    /// `(conn, queued events)` for every connection with undelivered
+    /// watch events, ascending — the world digest iterates this instead
+    /// of guessing a connection-id range.
+    pub fn pending_counts(&self) -> impl Iterator<Item = (ConnId, usize)> + '_ {
+        self.watches.pending_counts()
+    }
+
+    /// `/local/domain/<domid>`, or `None` if that path was never
+    /// interned. The resolve variants never grow the interner — they
+    /// sit on cloneboot's per-replay content check, where probing for
+    /// dirs a mode never writes must stay free.
+    pub fn resolve_domain_dir_sym(&self, domid: u32) -> Option<XsSym> {
+        self.store.resolve_child_u32_sym(self.local_domain, domid)
+    }
+
+    /// `/vm/<domid>` without interning (see
+    /// [`Xenstored::resolve_domain_dir_sym`]).
+    pub fn resolve_vm_dir_sym(&self, domid: u32) -> Option<XsSym> {
+        self.store.resolve_child_u32_sym(self.vm_root, domid)
+    }
+
+    /// `/local/domain/<backend>/backend/<kind>/<domid>` — the per-guest
+    /// backend directory covering all its devids (cloneboot's content
+    /// verification digests these subtrees) — without interning.
+    pub fn resolve_backend_domain_dir_sym(
+        &self,
+        backend: u32,
+        kind: &str,
+        domid: u32,
+    ) -> Option<XsSym> {
+        let dom = self.resolve_domain_dir_sym(backend)?;
+        let be = self.store.resolve_child_sym(dom, "backend")?;
+        let kind = self.store.resolve_child_sym(be, kind)?;
+        self.store.resolve_child_u32_sym(kind, domid)
+    }
+
     /// Crashes the daemon and restarts it from its persisted state,
     /// replaying one record per live node (tdb / access-log replay).
     ///
