@@ -26,12 +26,12 @@ test_log="$(mktemp)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 # Suite-count guard: a botched invocation (or a workspace edit that
 # drops crates from the build) silently shrinks coverage. The workspace
-# runs 65+ test binaries; fail loudly if most of them did not run.
+# runs 69+ test binaries; fail loudly if most of them did not run.
 suites=$(grep -c '^test result: ok' "$test_log" || true)
 rm -f "$test_log"
-echo "workspace test suites: $suites (guard: >= 65)"
-if [ "$suites" -lt 65 ]; then
-  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 65)" >&2
+echo "workspace test suites: $suites (guard: >= 69)"
+if [ "$suites" -lt 69 ]; then
+  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 69)" >&2
   exit 1
 fi
 
@@ -48,7 +48,7 @@ echo "== artefact check =="
 missing=0
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults; do
+          faults churn; do
   for ext in json csv; do
     if [ ! -s "$FIG_DIR/$id.$ext" ]; then
       echo "MISSING: $FIG_DIR/$id.$ext" >&2
@@ -74,7 +74,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/jobs2" \
   --report "$FIG_DIR/jobs2/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults; do
+          faults churn; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/jobs2/$id.$ext"; then
       echo "ci: $id.$ext differs between --seq and --jobs 2" >&2
@@ -96,6 +96,34 @@ for ext in json csv; do
   fi
 done
 
+echo "== churn smoke gate (replay bytes + census plateau) =="
+# The churn soak (DESIGN.md §6i) is seeded the same way: re-running the
+# standalone binary at quick scale must reproduce the runner's
+# artefacts byte for byte. The units already assert zero digest/census
+# drift internally (a leak panics the run); the gates below re-check
+# the published meta so a weakened assertion can't slip through.
+LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/churn-replay" \
+  cargo run --release -p bench --bin churn > /dev/null
+for ext in json csv; do
+  if ! cmp -s "$FIG_DIR/churn.$ext" "$FIG_DIR/churn-replay/churn.$ext"; then
+    echo "ci: churn.$ext not reproducible from the same seed" >&2
+    exit 1
+  fi
+done
+# Census-plateau gate: every unit's leak meta — digest drift, census
+# drift, last-window arena/interner growth, teardown errors — must be
+# exactly "0", and all 6 units must have published each key.
+for key in digest_drift census_drift arena_growth_last \
+           interner_growth_last teardown_errors; do
+  hits=$(grep -c "_$key\": \"0\"" "$FIG_DIR/churn.json" || true)
+  if [ "$hits" -ne 6 ]; then
+    echo "ci: churn census gate: expected 6 zero $key entries, got $hits" >&2
+    grep "_$key\"" "$FIG_DIR/churn.json" >&2 || true
+    exit 1
+  fi
+done
+echo "churn: 6 units leak-free (digest, census, arena, interner, teardown)"
+
 echo "== snapshot-cache gate (cached vs --no-snapshot-cache) =="
 # Figure units share worlds through bench::worldcache (snapshot/fork
 # chains + memoized probe walks). Caching must be invisible in the
@@ -107,7 +135,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/nocache" \
   --report "$FIG_DIR/nocache/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults; do
+          faults churn; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/nocache/$id.$ext"; then
       echo "ci: $id.$ext differs with the snapshot cache disabled" >&2
@@ -127,7 +155,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/noclone" \
   --report "$FIG_DIR/noclone/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults; do
+          faults churn; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/noclone/$id.$ext"; then
       echo "ci: $id.$ext differs with template boots disabled" >&2
@@ -151,7 +179,7 @@ for J in 1 2 8; do
     --report "$FULL_DIR/bench_runner.json"
   for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
             fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-            faults; do
+            faults churn; do
     for ext in json csv; do
       if ! cmp -s "results/$id.$ext" "$FULL_DIR/$id.$ext"; then
         echo "ci: $id.$ext (--jobs $J) differs from committed results/$id.$ext" >&2

@@ -1,0 +1,28 @@
+//! Thin wrapper over the `churn` registry figure (see `bench::churn`):
+//! the long-horizon churn & soak suite with digest/census leak
+//! detection, writing `churn.{json,csv}`. `runall` runs the same units
+//! on its thread pool alongside the paper figures.
+//!
+//! For a real soak (the CI artefacts use the default sizes), override
+//! the total lifecycle-event count:
+//!
+//! ```text
+//! cargo run --release -p bench --bin churn -- --events 1000000
+//! ```
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--events" => {
+                let n = args
+                    .next()
+                    .expect("--events takes a lifecycle-event count");
+                let _: usize = n.parse().expect("--events must be an integer");
+                std::env::set_var("LIGHTVM_CHURN_EVENTS", n);
+            }
+            other => panic!("unknown argument {other:?} (supported: --events N)"),
+        }
+    }
+    bench::runner::figure_main("churn");
+}

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod alloc;
+pub mod churn;
 pub mod faultsweep;
 pub mod figures;
 pub mod probewalk;

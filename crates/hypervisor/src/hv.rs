@@ -73,6 +73,13 @@ impl From<OutOfMemory> for HvError {
 pub struct Hypervisor {
     domains: BTreeMap<DomId, Domain>,
     next_domid: u32,
+    /// When set, the domid counter wraps at this bound and scans past
+    /// live domids instead of growing forever (real Xen wraps at
+    /// 0x7FF0). `None` (the default) keeps the stock monotonic counter:
+    /// domid decimal strings feed path-length protocol charges, so
+    /// recycling is opt-in for churn worlds rather than a global change
+    /// that would move every committed artefact byte.
+    domid_limit: Option<u32>,
     /// Host memory book-keeping (guest allocations only).
     pub memory: MemoryPressure,
     /// Event channels.
@@ -98,6 +105,7 @@ impl Hypervisor {
         Hypervisor {
             domains: BTreeMap::new(),
             next_domid: 1,
+            domid_limit: None,
             memory: MemoryPressure::new(mem_bytes, dom0_reserved),
             evtchn: EvtchnTable::new(),
             gnttab: GrantTable::new(),
@@ -109,6 +117,47 @@ impl Hypervisor {
 
     fn charge(meter: &mut Meter, dt: simcore::SimTime) {
         meter.charge(Category::Hypervisor, dt);
+    }
+
+    /// Makes domids recycle: allocation wraps below `limit` and skips
+    /// live domids with a deterministic first-fit scan. Churn worlds
+    /// use this so long-horizon create/destroy sequences draw from a
+    /// bounded domid (and thus XenStore path) set; without it the
+    /// interner — append-only by design — grows O(total creates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit < 2` (domid 0 is Dom0; at least one guest domid
+    /// must exist below the wrap point).
+    pub fn set_domid_limit(&mut self, limit: u32) {
+        assert!(limit >= 2, "domid limit must leave room for a guest");
+        self.domid_limit = Some(limit);
+    }
+
+    /// Next free domid under the configured policy.
+    fn alloc_domid(&mut self) -> DomId {
+        let Some(limit) = self.domid_limit else {
+            let id = DomId(self.next_domid);
+            self.next_domid += 1;
+            return id;
+        };
+        assert!(
+            (self.domains.len() as u32) < limit - 1,
+            "domid space exhausted: {} live under limit {limit}",
+            self.domains.len()
+        );
+        let mut cand = self.next_domid;
+        loop {
+            if cand >= limit || cand == 0 {
+                cand = 1;
+            }
+            if !self.domains.contains_key(&DomId(cand)) {
+                break;
+            }
+            cand += 1;
+        }
+        self.next_domid = cand + 1;
+        DomId(cand)
     }
 
     /// `XEN_DOMCTL_createdomain` + reservation: allocates the domain
@@ -123,8 +172,7 @@ impl Hypervisor {
             meter,
             cost.hypercall_base + cost.domctl_create + cost.mem_reserve_base,
         );
-        let id = DomId(self.next_domid);
-        self.next_domid += 1;
+        let id = self.alloc_domid();
         let mut vcpu_cores = Vec::with_capacity(cfg.vcpus as usize);
         for _ in 0..cfg.vcpus.max(1) {
             let core = self.guest_cores[self.next_core_rr % self.guest_cores.len()];
@@ -616,6 +664,31 @@ mod tests {
         let a = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
         hv.destroy(&cost, &mut m, a).unwrap();
         let b = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
-        assert!(b.0 > a.0, "domain ids are never reused");
+        assert!(b.0 > a.0, "domain ids are never reused by default");
+    }
+
+    #[test]
+    fn domid_limit_wraps_and_skips_live_domains() {
+        let (mut hv, cost, mut m) = setup();
+        hv.set_domid_limit(4); // usable guest domids: 1, 2, 3
+        let a = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
+        let b = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
+        let c = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
+        assert_eq!((a.0, b.0, c.0), (1, 2, 3));
+        // Free the middle domid: the counter wraps past the limit and
+        // first-fit lands on it, skipping the live neighbours.
+        hv.destroy(&cost, &mut m, b).unwrap();
+        let d = hv.create_domain(&cost, &mut m, &DomainConfig::default()).unwrap();
+        assert_eq!(d.0, 2, "freed domid is recycled under a limit");
+        // The same allocation sequence is a pure function of history.
+        let (mut hv2, cost2, mut m2) = setup();
+        hv2.set_domid_limit(4);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(hv2.create_domain(&cost2, &mut m2, &DomainConfig::default()).unwrap().0);
+        }
+        hv2.destroy(&cost2, &mut m2, DomId(2)).unwrap();
+        got.push(hv2.create_domain(&cost2, &mut m2, &DomainConfig::default()).unwrap().0);
+        assert_eq!(got, vec![1, 2, 3, 2]);
     }
 }

@@ -487,7 +487,13 @@ fn replay(
                     t.steady_nodes = Some(delta);
                     true
                 }
-                Some(expected) => expected == delta,
+                // An exemplar-shaped delta is the other legitimate
+                // steady state: a replay on a fresh fork of the
+                // lineage's base world (worldcache's replay-from-base
+                // path) re-creates the one-time parent directories the
+                // exemplar did, so it writes `nodes_written` nodes,
+                // not the post-warmup count. Anything else is drift.
+                Some(expected) => expected == delta || delta == t.nodes_written,
             };
             let content_ok = match &t.content_mask {
                 Some(mask) => content_matches(mask, &content),

@@ -12,6 +12,7 @@
 //! Every `create` returns a [`CreateReport`] carrying the per-category
 //! cost breakdown, reproducing the instrumentation behind Figure 5.
 
+pub mod census;
 pub mod cloneboot;
 pub mod config;
 pub mod lifecycle;
@@ -19,9 +20,10 @@ pub mod plane;
 pub mod snapshot;
 pub mod split;
 
+pub use census::WorldCensus;
 pub use config::{ConfigError, VmConfig};
 pub use lifecycle::SavedVm;
-pub use plane::{ControlPlane, CreateReport, PlaneError, ToolstackMode, Vm};
+pub use plane::{ControlPlane, CreateReport, PlaneError, TeardownErrors, ToolstackMode, Vm};
 pub use split::{ChaosDaemon, VmShell};
 
 #[cfg(test)]

@@ -183,6 +183,72 @@ pub struct Vm {
     pub blk_devids: Vec<u32>,
 }
 
+/// Per-site counters for errors swallowed on destroy/rollback paths.
+///
+/// Teardown must keep going whatever an individual step returns — a
+/// half-created guest has half the state, so "nothing to remove" is
+/// routine — but discarding *every* error silently can mask a leak
+/// (a device that refuses to die stays in the backend table forever).
+/// Each swallow site therefore classifies its error: absence
+/// (`NotFound`-class — the thing is already gone, so nothing can have
+/// leaked) stays silent with a comment at the site saying why, and
+/// anything else increments the site's counter here. The churn census
+/// reports the totals; monotone growth between matching checkpoints is
+/// a leak fingerprint with the site name attached.
+///
+/// These are cumulative counters, so the census treats them as
+/// report-only (they are excluded from checkpoint equality).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TeardownErrors {
+    /// XenStore-path device teardown failed with something other than
+    /// "already gone" (rollback or destroy).
+    pub xsdev: u64,
+    /// noxs device teardown failed with something other than
+    /// "already gone" (rollback or destroy).
+    pub noxs: u64,
+    /// Removing `/local/domain/<d>` or `/vm/<d>` failed with something
+    /// other than `NotFound`.
+    pub store_dirs: u64,
+    /// The hypervisor failed to destroy a domain during rollback.
+    pub hv_destroy: u64,
+    /// Unregistering a just-registered front-end watch failed in the
+    /// aborted-boot unwind.
+    pub unwatch: u64,
+    /// Tearing down a created-but-unbootable guest failed in the
+    /// `create_and_boot` unwind.
+    pub boot_unwind: u64,
+}
+
+impl TeardownErrors {
+    /// Sum over every site.
+    pub fn total(&self) -> u64 {
+        self.xsdev + self.noxs + self.store_dirs + self.hv_destroy + self.unwatch + self.boot_unwind
+    }
+}
+
+/// True if an XS-path device-teardown error means "already gone":
+/// nothing existed, so nothing can have leaked.
+fn xsdev_err_is_absence(e: &xsdev::XsDevError) -> bool {
+    matches!(
+        e,
+        xsdev::XsDevError::Xs(XsError::NotFound)
+            | xsdev::XsDevError::Dev(devices::DevError::NotFound)
+    )
+}
+
+/// True if a noxs device-teardown error means "already gone": the
+/// device-page entry was never written, the backend never allocated
+/// the device, or the domain itself is gone.
+fn noxs_err_is_absence(e: &noxs_driver::NoxsError) -> bool {
+    use hypervisor::devpage::DevicePageError;
+    matches!(
+        e,
+        noxs_driver::NoxsError::Dev(devices::DevError::NotFound)
+            | noxs_driver::NoxsError::Hv(HvError::NoSuchDomain)
+            | noxs_driver::NoxsError::Hv(HvError::DevPage(DevicePageError::NotFound))
+    )
+}
+
 /// Dom0 and everything in it.
 #[derive(Clone)]
 pub struct ControlPlane {
@@ -213,6 +279,9 @@ pub struct ControlPlane {
     pub faults: FaultPlan,
     /// Creates (or create+boots) that failed and were rolled back.
     pub(crate) create_failures: u64,
+    /// Unexpected (non-absence) errors swallowed on teardown paths,
+    /// by site (see [`TeardownErrors`]).
+    pub teardown_errors: TeardownErrors,
     pub(crate) dom0_cores: usize,
     pub(crate) vms: BTreeMap<DomId, Vm>,
     pub(crate) rng: SimRng,
@@ -295,6 +364,7 @@ impl ControlPlane {
             daemon: ChaosDaemon::new(8),
             faults: FaultPlan::none(),
             create_failures: 0,
+            teardown_errors: TeardownErrors::default(),
             dom0_cores,
             vms: BTreeMap::new(),
             rng: SimRng::new(seed),
@@ -959,6 +1029,8 @@ impl ControlPlane {
         meter: &mut Meter,
         kind: DeviceKind,
     ) -> Result<(), PlaneError> {
+        // Not a swallowed error: `kind` exists to make call sites
+        // self-describing (dispatch really is by event path).
         let _ = kind;
         let mut events = std::mem::take(&mut self.xs_events);
         let result = xsdev::backend_process_events(
@@ -1094,47 +1166,86 @@ impl ControlPlane {
         image: &GuestImage,
     ) {
         if self.mode.uses_xenstore() {
+            // Absence errors are the expected no-op on every rollback
+            // step below: the aborted create may have failed before
+            // reaching the device/dir in question, so "already gone" is
+            // normal. Anything else is counted — it may mask a leak.
             for devid in net_ids(image) {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.net, &mut self.switch,
                     self.mode.hotplug(), cost, meter, dom, devid,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
             for devid in blk_ids(image) {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.blk, &mut self.switch,
                     self.mode.hotplug(), cost, meter, dom, devid,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
             if image.needs_console {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.console, &mut self.switch,
                     self.mode.hotplug(), cost, meter, dom, 0,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
+            // `NotFound` is expected for both dirs: registration may not
+            // have run at all, and `/vm/<d>` is only written by xl's
+            // registration transaction in the first place.
             let d = self.xs.domain_dir_sym(dom.0);
-            let _ = self.xs.rm_s(cost, meter, 0, d);
+            if let Err(e) = self.xs.rm_s(cost, meter, 0, d) {
+                if e != XsError::NotFound {
+                    self.teardown_errors.store_dirs += 1;
+                }
+            }
             let v = self.xs.vm_dir_sym(dom.0);
-            let _ = self.xs.rm_s(cost, meter, 0, v);
+            if let Err(e) = self.xs.rm_s(cost, meter, 0, v) {
+                if e != XsError::NotFound {
+                    self.teardown_errors.store_dirs += 1;
+                }
+            }
             self.xs.disconnect(dom.0);
         } else {
             for devid in net_ids(image) {
-                let _ = noxs_driver::destroy_device(
+                if let Err(e) = noxs_driver::destroy_device(
                     &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
                     cost, meter, dom, devid,
-                );
+                ) {
+                    if !noxs_err_is_absence(&e) {
+                        self.teardown_errors.noxs += 1;
+                    }
+                }
             }
             if image.needs_console {
-                let _ = noxs_driver::destroy_device(
+                if let Err(e) = noxs_driver::destroy_device(
                     &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
                     cost, meter, dom, 0,
-                );
+                ) {
+                    if !noxs_err_is_absence(&e) {
+                        self.teardown_errors.noxs += 1;
+                    }
+                }
             }
             self.blk.drop_domain(dom);
             self.sysctl.drop_domain(dom);
         }
         self.switch.drop_domain(dom);
-        let _ = self.hv.destroy(cost, meter, dom);
+        // The domain exists on every path into rollback (it was created
+        // first), so any destroy failure at all is anomalous.
+        if self.hv.destroy(cost, meter, dom).is_err() {
+            self.teardown_errors.hv_destroy += 1;
+        }
     }
 
     // --- boot -----------------------------------------------------------------
@@ -1177,9 +1288,16 @@ impl ControlPlane {
                 // queues return to their pre-boot state. The domain
                 // itself stays created; the caller decides its fate.
                 for w in 0..image.watches as usize {
-                    let _ = self
+                    // These watches were registered a few lines up, so
+                    // any unwatch failure at all is anomalous (a leaked
+                    // watch-table entry).
+                    if self
                         .xs
-                        .unwatch_s(&cost, &mut meter, dom.0, d, &self.fe_tokens[w]);
+                        .unwatch_s(&cost, &mut meter, dom.0, d, &self.fe_tokens[w])
+                        .is_err()
+                    {
+                        self.teardown_errors.unwatch += 1;
+                    }
                 }
                 self.xs.drain_events(&cost, &mut meter, dom.0);
                 return Err(e);
@@ -1280,7 +1398,12 @@ impl ControlPlane {
             Ok(boot) => Ok((report, boot)),
             Err(e) => {
                 self.create_failures += 1;
-                let _ = self.destroy_vm(report.dom);
+                // The guest was fully created, so its teardown should
+                // succeed outright; the boot failure is what we report,
+                // but a destroy failure on top of it is counted.
+                if self.destroy_vm(report.dom).is_err() {
+                    self.teardown_errors.boot_unwind += 1;
+                }
                 Err(e)
             }
         }
@@ -1304,41 +1427,76 @@ impl ControlPlane {
             self.booted_watches -= vm.image.watches;
         }
         if self.mode.uses_xenstore() {
+            // The devids below were recorded when the create succeeded,
+            // so the devices exist; still, an "already gone" error
+            // cannot mask a leak (there is nothing left to free), so
+            // only non-absence errors are counted.
             for devid in &vm.net_devids {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.net, &mut self.switch,
                     self.mode.hotplug(), &cost, &mut meter, dom, *devid,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
             for devid in &vm.blk_devids {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.blk, &mut self.switch,
                     self.mode.hotplug(), &cost, &mut meter, dom, *devid,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
             if vm.image.needs_console {
-                let _ = xsdev::destroy_device_via_xenstore(
+                if let Err(e) = xsdev::destroy_device_via_xenstore(
                     &mut self.xs, &mut self.hv, &mut self.console, &mut self.switch,
                     self.mode.hotplug(), &cost, &mut meter, dom, 0,
-                );
+                ) {
+                    if !xsdev_err_is_absence(&e) {
+                        self.teardown_errors.xsdev += 1;
+                    }
+                }
             }
             let d = self.xs.domain_dir_sym(dom.0);
-            let _ = self.xs.rm_s(&cost, &mut meter, 0, d);
+            if let Err(e) = self.xs.rm_s(&cost, &mut meter, 0, d) {
+                if e != XsError::NotFound {
+                    self.teardown_errors.store_dirs += 1;
+                }
+            }
+            // `/vm/<d>` only exists in Xl mode (chaos's registration
+            // writes `/local/domain/<d>` alone), so `NotFound` here is
+            // the expected no-op for the chaos [XS] modes.
             let v = self.xs.vm_dir_sym(dom.0);
-            let _ = self.xs.rm_s(&cost, &mut meter, 0, v);
+            if let Err(e) = self.xs.rm_s(&cost, &mut meter, 0, v) {
+                if e != XsError::NotFound {
+                    self.teardown_errors.store_dirs += 1;
+                }
+            }
             self.xs.disconnect(dom.0);
         } else {
             for devid in &vm.net_devids {
-                let _ = noxs_driver::destroy_device(
+                if let Err(e) = noxs_driver::destroy_device(
                     &mut self.hv, &mut self.net, &mut self.switch, self.mode.hotplug(),
                     &cost, &mut meter, dom, *devid,
-                );
+                ) {
+                    if !noxs_err_is_absence(&e) {
+                        self.teardown_errors.noxs += 1;
+                    }
+                }
             }
             if vm.image.needs_console {
-                let _ = noxs_driver::destroy_device(
+                if let Err(e) = noxs_driver::destroy_device(
                     &mut self.hv, &mut self.console, &mut self.switch, self.mode.hotplug(),
                     &cost, &mut meter, dom, 0,
-                );
+                ) {
+                    if !noxs_err_is_absence(&e) {
+                        self.teardown_errors.noxs += 1;
+                    }
+                }
             }
             self.blk.drop_domain(dom);
             self.sysctl.drop_domain(dom);

@@ -34,7 +34,7 @@ pub mod xenstored;
 pub use hash::Mix128;
 pub use log::AccessLog;
 pub use path::XsPath;
-pub use store::{Perms, Store, XsError};
+pub use store::{Perms, Store, StoreCensus, XsError};
 pub use sym::{u32_str, Interner, XsSym};
 pub use txn::TxnId;
 pub use watch::{FireStats, WatchEvent, WatchTable};

@@ -5,16 +5,21 @@
 //! detection). All protocol and cost concerns live in
 //! [`crate::xenstored`].
 //!
-//! Nodes live in one flat slot vector indexed by path symbol; the tree
-//! shape is the interner's parent links plus each node's name-sorted
-//! child map. A lookup is one O(1) symbol resolution on the full path
-//! string followed by an array index — no per-component map walk, no
-//! hashing beyond the single resolve — and interior operations
+//! Nodes live in one flat slot arena addressed through a symbol→slot
+//! map; the tree shape is the interner's parent links plus each node's
+//! sibling chain. A lookup is one O(1) symbol resolution on the full
+//! path string followed by two array indexes — no per-component map
+//! walk, no hashing beyond the single resolve — and interior operations
 //! (transaction replay, ancestor checks) work on copyable `u32` symbols
 //! with no string traffic at all. Symbols are append-only — removing a
-//! node never retires its symbol (the slot goes back to `None`), so
-//! transactions and watches can hold symbols across removals and
-//! recreations.
+//! node never retires its symbol, so transactions and watches can hold
+//! symbols across removals and recreations — but the *slot* behind a
+//! removed node goes onto a free list and is recycled by the next
+//! insert, whatever its symbol. That keeps arena capacity O(peak live
+//! nodes) under create/destroy churn instead of O(total creates)
+//! (churned guests get fresh domids, hence fresh symbols, forever);
+//! [`Store::census`] exposes the occupancy for the churn suite's leak
+//! gates.
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -195,6 +200,27 @@ const CONST_VALS: &[&[u8]] = &[
     b"0000-0000",
 ];
 
+/// Sentinel in `Store::slot_of`: the symbol has no live node.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Arena-occupancy snapshot — the churn suite's per-world leak
+/// instrument. Two worlds holding the same population must report
+/// identical censuses; under churn, `capacity` must plateau at the peak
+/// live population and `interned_syms` once the canonical shape set has
+/// been seen. The invariant `live + free == capacity` always holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreCensus {
+    /// Live nodes, root included (equals [`Store::node_count`]).
+    pub live: usize,
+    /// Arena slots allocated, live or recycled — the plateau quantity.
+    pub capacity: usize,
+    /// Recycled slots awaiting reuse.
+    pub free: usize,
+    /// Interned path symbols (append-only by design; growth past the
+    /// canonical shape set is the PR 8 interner-bloat class of leak).
+    pub interned_syms: usize,
+}
+
 /// A value source for [`Store::write_val_sym`]: raw bytes (copied into
 /// the node's buffer) or an already-shared payload (refcount bump only —
 /// the transaction-commit path).
@@ -232,8 +258,16 @@ pub struct Store {
     digit_cache: RefCell<Vec<Option<Arc<[u8]>>>>,
     /// Reusable ancestor-chain buffer for the node-creating write path.
     chain_scratch: Vec<XsSym>,
-    /// Node slots, indexed by symbol; `None` = no node at that path.
+    /// Node slot arena, addressed through `slot_of`; `None` = a recycled
+    /// hole awaiting reuse (listed in `free_slots`).
     nodes: Vec<Option<Node>>,
+    /// Symbol → slot map (`NO_SLOT` = no node at that path). Grows
+    /// append-only with the interner; the slots it points into are
+    /// recycled, which is what keeps `nodes` at O(peak live) under
+    /// churn.
+    slot_of: Vec<u32>,
+    /// Recycled slots, reused LIFO by [`Store::insert_node`].
+    free_slots: Vec<u32>,
     node_count: usize,
     generation: u64,
     /// Nodes owned per domain (Dom0 exempt from quota).
@@ -255,6 +289,8 @@ impl Store {
         Store {
             interner: RefCell::new(Interner::new()),
             nodes: vec![Some(Node::new(&empty, Perms::dom0(), 0))],
+            slot_of: vec![0],
+            free_slots: Vec::new(),
             empty,
             consts: CONST_VALS.iter().map(|&v| Arc::from(v)).collect(),
             digit_cache: RefCell::new(Vec::new()),
@@ -285,6 +321,19 @@ impl Store {
     /// Global modification generation (bumped on every mutation).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Arena and interner occupancy (see [`StoreCensus`]). Pure read;
+    /// the churn suite compares censuses between matching checkpoints
+    /// to catch monotone resource drift.
+    pub fn census(&self) -> StoreCensus {
+        debug_assert_eq!(self.node_count + self.free_slots.len(), self.nodes.len());
+        StoreCensus {
+            live: self.node_count,
+            capacity: self.nodes.len(),
+            free: self.free_slots.len(),
+            interned_syms: self.interner.borrow().len(),
+        }
     }
 
     // --- symbol plumbing --------------------------------------------------
@@ -369,20 +418,44 @@ impl Store {
         syms.sort_unstable_by(|&a, &b| interner.name(a).cmp(interner.name(b)));
     }
 
+    /// Resolves a symbol to its live arena slot, if any.
+    #[inline]
+    fn slot(&self, sym: XsSym) -> Option<usize> {
+        match self.slot_of.get(sym.index()).copied() {
+            Some(s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
     fn node(&self, sym: XsSym) -> Option<&Node> {
-        self.nodes.get(sym.index())?.as_ref()
+        self.nodes.get(self.slot(sym)?)?.as_ref()
     }
 
     fn node_mut(&mut self, sym: XsSym) -> Option<&mut Node> {
-        self.nodes.get_mut(sym.index())?.as_mut()
+        let slot = self.slot(sym)?;
+        self.nodes.get_mut(slot)?.as_mut()
     }
 
+    /// Installs a node for `sym`, reusing a recycled slot when one is
+    /// free (LIFO) and growing the arena only past the live+free peak.
     fn insert_node(&mut self, sym: XsSym, node: Node) {
         let idx = sym.index();
-        if idx >= self.nodes.len() {
-            self.nodes.resize_with(idx + 1, || None);
+        if idx >= self.slot_of.len() {
+            self.slot_of.resize(idx + 1, NO_SLOT);
         }
-        self.nodes[idx] = Some(node);
+        debug_assert_eq!(self.slot_of[idx], NO_SLOT, "insert over a live node");
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                debug_assert!(self.nodes[s as usize].is_none(), "free slot was live");
+                self.nodes[s as usize] = Some(node);
+                s
+            }
+            None => {
+                self.nodes.push(Some(node));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.slot_of[idx] = slot;
     }
 
     /// Appends `child` to `parent`'s child chain. O(1), allocation-free:
@@ -390,7 +463,7 @@ impl Store {
     /// for freshly inserted nodes, so the child cannot already be linked.
     fn link_child(&mut self, parent: XsSym, child: XsSym) {
         let tail = {
-            let p = self.nodes[parent.index()].as_mut().expect("parent exists");
+            let p = self.node_mut(parent).expect("parent exists");
             let tail = p.last_child.replace(child);
             if tail.is_none() {
                 p.first_child = Some(child);
@@ -398,8 +471,7 @@ impl Store {
             tail
         };
         if let Some(t) = tail {
-            self.nodes[t.index()].as_mut().expect("tail sibling exists").next_sibling =
-                Some(child);
+            self.node_mut(t).expect("tail sibling exists").next_sibling = Some(child);
         }
     }
 
@@ -407,10 +479,10 @@ impl Store {
     /// slot must still be live (its `next_sibling` is read). O(siblings)
     /// symbol hops, no string work.
     fn unlink_child(&mut self, parent: XsSym, child: XsSym) {
-        let next = self.nodes[child.index()].as_ref().and_then(|n| n.next_sibling);
+        let next = self.node(child).and_then(|n| n.next_sibling);
         let mut prev: Option<XsSym> = None;
-        let mut cur = self.nodes[parent.index()]
-            .as_ref()
+        let mut cur = self
+            .node(parent)
             .expect("parent of a live node exists")
             .first_child;
         while let Some(c) = cur {
@@ -418,23 +490,16 @@ impl Store {
                 break;
             }
             prev = Some(c);
-            cur = self.nodes[c.index()].as_ref().expect("sibling exists").next_sibling;
+            cur = self.node(c).expect("sibling exists").next_sibling;
         }
         if cur != Some(child) {
             return; // not linked
         }
         match prev {
-            None => {
-                self.nodes[parent.index()]
-                    .as_mut()
-                    .expect("parent exists")
-                    .first_child = next
-            }
-            Some(p) => {
-                self.nodes[p.index()].as_mut().expect("sibling exists").next_sibling = next
-            }
+            None => self.node_mut(parent).expect("parent exists").first_child = next,
+            Some(p) => self.node_mut(p).expect("sibling exists").next_sibling = next,
         }
-        let p = self.nodes[parent.index()].as_mut().expect("parent exists");
+        let p = self.node_mut(parent).expect("parent exists");
         if p.last_child == Some(child) {
             p.last_child = prev;
         }
@@ -731,8 +796,16 @@ impl Store {
         let removed = doomed.len();
         let parent = self.parent_sym(sym);
         self.unlink_child(parent, sym);
+        // Release the slots in DFS doom order (deterministic, so the
+        // LIFO reuse order — and with it every later world byte — is a
+        // pure function of the operation sequence).
         for s in doomed {
-            self.nodes[s.index()] = None;
+            let idx = s.index();
+            let slot = self.slot_of[idx];
+            debug_assert_ne!(slot, NO_SLOT, "doomed node has a slot");
+            self.nodes[slot as usize] = None;
+            self.slot_of[idx] = NO_SLOT;
+            self.free_slots.push(slot);
         }
         for (owner, n) in credits {
             if owner != 0 {
@@ -1268,6 +1341,51 @@ mod tests {
         let mut none = Vec::new();
         s.subtree_leaves_hashed(s.sym(&p("/absent")), 7, &mut none);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn churned_arena_capacity_plateaus() {
+        let mut s = Store::new();
+        // Build the peak population once: /g plus eight children.
+        for i in 0..8 {
+            s.write(0, &p(&format!("/g/{i}")), b"v").unwrap();
+        }
+        let peak = s.census();
+        assert_eq!(peak.live + peak.free, peak.capacity);
+        // Churn far past the peak, through *fresh* symbols each round
+        // (distinct paths, as churned domids produce) — the arena must
+        // not grow once the population fits in recycled slots.
+        for round in 0..100 {
+            for i in 0..8 {
+                s.rm(0, &p(&format!("/g/{i}"))).unwrap();
+            }
+            for i in 0..8 {
+                s.write(0, &p(&format!("/g/{i}")), b"v").unwrap();
+            }
+            let c = s.census();
+            assert_eq!(c.capacity, peak.capacity, "round {round}: arena grew");
+            assert_eq!(c.live, peak.live, "round {round}: population drifted");
+            assert_eq!(c.live + c.free, c.capacity);
+            assert_eq!(s.subtree_digest(), s.subtree_digest_uncached());
+        }
+    }
+
+    #[test]
+    fn rm_recycles_slots_for_brand_new_paths() {
+        let mut s = Store::new();
+        s.write(0, &p("/a/b"), b"x").unwrap();
+        let cap = s.census().capacity;
+        s.rm(0, &p("/a")).unwrap();
+        assert_eq!(s.census().free, 2);
+        // Never-seen paths (fresh symbols) must fill the freed slots
+        // instead of growing the arena — this is exactly the churn
+        // pattern (new domid, new subtree) the old symbol-indexed
+        // arena leaked on.
+        s.write(0, &p("/c/d"), b"y").unwrap();
+        let c = s.census();
+        assert_eq!(c.capacity, cap, "fresh symbols should reuse freed slots");
+        assert_eq!(c.free, 0);
+        assert_eq!(s.read(0, &p("/c/d")).unwrap(), b"y");
     }
 
     #[test]

@@ -149,6 +149,13 @@ impl Xenstored {
         self.stats
     }
 
+    /// The store's arena/interner occupancy (see
+    /// [`crate::store::StoreCensus`]) — the churn suite's per-world
+    /// resource census.
+    pub fn store_census(&self) -> crate::store::StoreCensus {
+        self.store.census()
+    }
+
     /// Number of registered watches.
     pub fn watch_count(&self) -> usize {
         self.watches.count()
