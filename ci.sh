@@ -26,12 +26,12 @@ test_log="$(mktemp)"
 cargo test -q --workspace 2>&1 | tee "$test_log"
 # Suite-count guard: a botched invocation (or a workspace edit that
 # drops crates from the build) silently shrinks coverage. The workspace
-# runs 69+ test binaries; fail loudly if most of them did not run.
+# runs 70+ test binaries; fail loudly if most of them did not run.
 suites=$(grep -c '^test result: ok' "$test_log" || true)
 rm -f "$test_log"
-echo "workspace test suites: $suites (guard: >= 69)"
-if [ "$suites" -lt 69 ]; then
-  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 69)" >&2
+echo "workspace test suites: $suites (guard: >= 70)"
+if [ "$suites" -lt 70 ]; then
+  echo "ci: only $suites test suite(s) ran — workspace coverage lost (expected >= 70)" >&2
   exit 1
 fi
 
@@ -48,7 +48,7 @@ echo "== artefact check =="
 missing=0
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults churn; do
+          faults churn cluster; do
   for ext in json csv; do
     if [ ! -s "$FIG_DIR/$id.$ext" ]; then
       echo "MISSING: $FIG_DIR/$id.$ext" >&2
@@ -74,7 +74,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/jobs2" \
   --report "$FIG_DIR/jobs2/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults churn; do
+          faults churn cluster; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/jobs2/$id.$ext"; then
       echo "ci: $id.$ext differs between --seq and --jobs 2" >&2
@@ -124,6 +124,35 @@ for key in digest_drift census_drift arena_growth_last \
 done
 echo "churn: 6 units leak-free (digest, census, arena, interner, teardown)"
 
+echo "== cluster determinism gate (replay bytes + shard widths) =="
+# The cluster figure couples thousands of fork-stamped hosts through
+# the sharded conservative-lookahead executor (DESIGN.md §6j). The
+# standalone binary replays it from the same seed and must reproduce
+# the runner's bytes; its --jobs flag widens the shard worker pool,
+# which must be invisible in the artefacts too.
+for J in 1 2 8; do
+  LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/cluster-j$J" \
+    cargo run --release -p bench --bin cluster -- --jobs "$J" > /dev/null
+  for ext in json csv; do
+    if ! cmp -s "$FIG_DIR/cluster.$ext" "$FIG_DIR/cluster-j$J/cluster.$ext"; then
+      echo "ci: cluster.$ext (--jobs $J) not reproducible from the same seed" >&2
+      exit 1
+    fi
+  done
+done
+# Evacuation hygiene: both evac units must record zero digest and
+# census drift across the surviving hosts (the units assert it too;
+# this catches a weakened assertion).
+for key in evac_digest_drift evac_census_drift; do
+  hits=$(grep -c "$key\": \"0\"" "$FIG_DIR/cluster.json" || true)
+  if [ "$hits" -ne 2 ]; then
+    echo "ci: cluster evac gate: expected 2 zero $key entries, got $hits" >&2
+    grep "$key\"" "$FIG_DIR/cluster.json" >&2 || true
+    exit 1
+  fi
+done
+echo "cluster: byte-identical at shard widths 1/2/8, evac units leak-free"
+
 echo "== snapshot-cache gate (cached vs --no-snapshot-cache) =="
 # Figure units share worlds through bench::worldcache (snapshot/fork
 # chains + memoized probe walks). Caching must be invisible in the
@@ -135,7 +164,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/nocache" \
   --report "$FIG_DIR/nocache/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults churn; do
+          faults churn cluster; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/nocache/$id.$ext"; then
       echo "ci: $id.$ext differs with the snapshot cache disabled" >&2
@@ -155,7 +184,7 @@ LIGHTVM_QUICK=1 LIGHTVM_FIG_DIR="$FIG_DIR/noclone" \
   --report "$FIG_DIR/noclone/bench_runner.json" > /dev/null
 for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
           fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-          faults churn; do
+          faults churn cluster; do
   for ext in json csv; do
     if ! cmp -s "$FIG_DIR/$id.$ext" "$FIG_DIR/noclone/$id.$ext"; then
       echo "ci: $id.$ext differs with template boots disabled" >&2
@@ -179,7 +208,7 @@ for J in 1 2 8; do
     --report "$FULL_DIR/bench_runner.json"
   for id in fig01 fig02 fig04 fig05 fig09 fig10 fig11 fig12a fig12b \
             fig13 fig14 fig15 fig16a fig16b fig16c fig17 fig18 ablations \
-            faults churn; do
+            faults churn cluster; do
     for ext in json csv; do
       if ! cmp -s "results/$id.$ext" "$FULL_DIR/$id.$ext"; then
         echo "ci: $id.$ext (--jobs $J) differs from committed results/$id.$ext" >&2
@@ -188,6 +217,23 @@ for J in 1 2 8; do
     done
   done
 done
+
+echo "== cluster scale gate (committed results/cluster.json) =="
+# The density ladder must actually reach datacenter scale: summed over
+# the committed artefact's units, >= 1000 hosts stamped and >= 100000
+# guests running. (The ladder alone contributes 1111 hosts per mode at
+# full scale.)
+sum_meta() {
+  grep -o "\"[^\"]*_$1\": \"[0-9]*\"" results/cluster.json \
+    | grep -o '[0-9]*"$' | tr -d '"' | awk '{s+=$1} END {print s+0}'
+}
+hosts_total=$(sum_meta hosts)
+guests_total=$(sum_meta guests)
+echo "cluster scale: $hosts_total hosts, $guests_total guests (gate: >= 1000 / >= 100000)"
+if [ "$hosts_total" -lt 1000 ] || [ "$guests_total" -lt 100000 ]; then
+  echo "ci: cluster figure below datacenter scale ($hosts_total hosts, $guests_total guests)" >&2
+  exit 1
+fi
 
 echo "== wall gate (full scale, --jobs 1, verification every replay) =="
 # Incremental world digests (DESIGN.md §6h) pay for every-replay clone
@@ -212,6 +258,9 @@ else
 fi
 
 echo "== throughput gate (aggregate_events_per_sec) =="
+# Covers the cluster units too: their simulated events (hundreds of
+# thousands of host-world events per run) land in the same report, so
+# an events/s collapse in the sharded executor trips this gate.
 extract_rate() {
   grep -o '"aggregate_events_per_sec": *[0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
 }

@@ -8,7 +8,8 @@
 //!
 //! * `--jobs N`   worker threads (default: available parallelism)
 //! * `--filter`   only figures whose id contains one of the substrings
-//! * `--list`     print figure ids and unit counts, run nothing
+//! * `--list`     print figure ids, units and their declared shared
+//!   resources (`Dep`s), run nothing
 //! * `--seq`      force a single worker (equivalent to `--jobs 1`)
 //! * `--report`   perf-report path (default `results/bench_runner.json`)
 //! * `--no-snapshot-cache`  disable the world snapshot cache: every
@@ -114,6 +115,18 @@ fn main() -> ExitCode {
                 s.units.len(),
                 s.title
             );
+            for u in &s.units {
+                let deps = if u.deps.is_empty() {
+                    "(self-contained)".to_string()
+                } else {
+                    u.deps
+                        .iter()
+                        .map(|d| d.describe())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                say!("          - {:24} deps: {deps}", u.label);
+            }
         }
         return ExitCode::SUCCESS;
     }

@@ -149,6 +149,14 @@ fn churn_unit(scale: Scale, mode: ToolstackMode, faulty: bool) -> UnitSpec {
         let mut rot_s = Series::new(format!("{label}: log rotations/window"));
         let mut cap_s = Series::new(format!("{label}: store arena capacity"));
         let mut sym_s = Series::new(format!("{label}: interned symbols"));
+        // Shell-pool refill dynamics: depth as the window ends (before
+        // the checkpoint prewarm tops it back up) and the background
+        // refill time the daemon spent over the window, top-up included.
+        // Both are simulated quantities, so they stay byte-identical
+        // across scheduler widths like every other series here.
+        let mut pool_s = Series::new(format!("{label}: shell pool depth @window end"));
+        let mut refill_s = Series::new(format!("{label}: pool refill ms/window"));
+        let mut bg_prev = cp.background_meter.total();
         let mut captures: Vec<(u128, WorldCensus)> = Vec::new();
         let mut digest_drift = 0u64;
         let mut census_drift = 0u64;
@@ -193,6 +201,7 @@ fn churn_unit(scale: Scale, mode: ToolstackMode, faulty: bool) -> UnitSpec {
                     lifecycle += 1;
                 }
             }
+            let pool_depth = cp.daemon.len();
             let plan = std::mem::replace(&mut cp.faults, FaultPlan::none());
             cp.prewarm(&img);
             let digest = cp.world_digest64();
@@ -218,6 +227,10 @@ fn churn_unit(scale: Scale, mode: ToolstackMode, faulty: bool) -> UnitSpec {
             rot_prev = rot;
             cap_s.push(x, census.store_capacity as f64);
             sym_s.push(x, census.interned_syms as f64);
+            pool_s.push(x, pool_depth as f64);
+            let bg = cp.background_meter.total();
+            refill_s.push(x, (bg - bg_prev).as_millis_f64());
+            bg_prev = bg;
             captures.push((digest, census));
         }
 
@@ -239,7 +252,7 @@ fn churn_unit(scale: Scale, mode: ToolstackMode, faulty: bool) -> UnitSpec {
         let end = UnitOutput::from_plane(&cp);
         out.events += end.events - start.events;
         out.virtual_ms = virtual_ms;
-        out.series = vec![create_ms, rot_s, cap_s, sym_s];
+        out.series = vec![create_ms, rot_s, cap_s, sym_s, pool_s, refill_s];
         out.meta = vec![
             meta(&format!("{label}_lifecycle_events"), lifecycle),
             meta(&format!("{label}_creates_ok"), creates_ok),

@@ -151,6 +151,26 @@ pub enum Dep {
     Walk { mode: ToolstackMode, steps: Vec<usize> },
     /// The memoized overload simulation for `cfg` must have run.
     Compute { cfg: ComputeConfig },
+    /// The cluster host template for `spec` at `guests` density: the
+    /// same chain rung as `Chain`, consumed via `HostTemplate::capture`
+    /// instead of a direct fork (the planner maps both to one producer).
+    HostTemplate { spec: WorldSpec, guests: usize },
+}
+
+impl Dep {
+    /// One-line rendering for `runall --list` and traces.
+    pub fn describe(&self) -> String {
+        match self {
+            Dep::Chain { spec, rung } => format!("chain {}@{rung}", spec.label()),
+            Dep::Walk { mode, steps } => {
+                format!("walk {} ({} steps)", mode.label(), steps.len())
+            }
+            Dep::Compute { cfg } => format!("compute {}/{}", cfg.mode.label(), cfg.requests),
+            Dep::HostTemplate { spec, guests } => {
+                format!("host-template {}@{guests}", spec.label())
+            }
+        }
+    }
 }
 
 /// One independently runnable slice of a figure.
@@ -1073,6 +1093,7 @@ pub fn all_specs(scale: Scale) -> Vec<FigureSpec> {
         crate::ablations::spec(scale),
         crate::faultsweep::spec(scale),
         crate::churn::spec(scale),
+        crate::cluster::spec(scale),
     ]
 }
 

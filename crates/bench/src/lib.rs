@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod alloc;
 pub mod churn;
+pub mod cluster;
 pub mod faultsweep;
 pub mod figures;
 pub mod probewalk;

@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use metrics::{Figure, RunnerReport, UnitPerf};
+use metrics::{Figure, RunnerReport, TaskPerf, UnitPerf};
 
 use crate::figures::{FigureSpec, UnitOutput};
 use crate::sched;
@@ -43,7 +43,32 @@ pub fn run(specs: Vec<FigureSpec>, jobs: usize, quick: bool) -> (Vec<FigureRun>,
 
     let (heads, plan) = sched::plan(specs);
     let jobs = jobs.max(1).min(plan.len().max(1));
-    let (trace, unit_results) = sched::execute(plan, jobs, started);
+    // The cluster units' shard executor inherits the worker budget;
+    // artefact bytes never depend on it. Drop any spans left over from
+    // an earlier in-process run before collecting this run's.
+    crate::cluster::set_shard_jobs(jobs);
+    let _ = crate::cluster::drain_shard_trace();
+    let (mut trace, unit_results) = sched::execute(plan, jobs, started);
+
+    // Append the cluster units' per-worker shard spans as informational
+    // `"shard"` rows (their wall is contained in their unit's row; the
+    // report's aggregates skip them).
+    let next_id = trace.len() as u64;
+    for (i, s) in crate::cluster::drain_shard_trace().into_iter().enumerate() {
+        trace.push(TaskPerf {
+            id: next_id + i as u64,
+            kind: "shard".to_string(),
+            label: format!("shard {}#w{}", s.unit, s.worker),
+            figure: "cluster".to_string(),
+            thread: s.worker as u64,
+            start_ms: s.first.duration_since(started).as_secs_f64() * 1e3,
+            end_ms: s.last.duration_since(started).as_secs_f64() * 1e3,
+            events: s.shard_steps + s.messages,
+            boots_replayed: 0,
+            allocs: 0,
+            deps: Vec::new(),
+        });
+    }
 
     // Reassemble in declared order. Unit task ids follow declaration
     // order, so the results arrive (figure, unit)-sorted already; the
@@ -101,9 +126,16 @@ pub fn run_single(spec: FigureSpec) -> FigureRun {
 /// scale, runs it through the scheduler and prints/writes the usual
 /// artefacts.
 pub fn figure_main(id: &str) {
+    figure_main_jobs(id, 1);
+}
+
+/// [`figure_main`] on `jobs` workers (the `cluster` binary's `--jobs`;
+/// artefact bytes are identical at every width).
+pub fn figure_main_jobs(id: &str, jobs: usize) {
     let scale = crate::figures::Scale::from_env();
     let spec = crate::figures::spec_by_id(scale, id)
         .unwrap_or_else(|| panic!("unknown figure id {id:?}"));
-    let run = run_single(spec);
+    let (mut runs, _) = run(vec![spec], jobs, scale.quick);
+    let run = runs.pop().expect("one figure in, one figure out");
     crate::finish(&run.figure, &run.sample_xs);
 }

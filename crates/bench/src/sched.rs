@@ -183,6 +183,20 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
                                 computes.push(cfg.clone());
                             }
                         }
+                        // A host template is the chain rung at the
+                        // template's density — same producer, consumed
+                        // through HostTemplate::capture instead of a
+                        // direct fork.
+                        Dep::HostTemplate { spec: ws, guests } => {
+                            let idx = *chain_of.entry(ws.key()).or_insert_with(|| {
+                                chains.push(ChainReq {
+                                    spec: ws.clone(),
+                                    rungs: Vec::new(),
+                                });
+                                chains.len() - 1
+                            });
+                            chains[idx].rungs.push(*guests);
+                        }
                     }
                 }
             }
@@ -336,6 +350,9 @@ pub fn plan(specs: Vec<FigureSpec>) -> (Vec<FigureSpec>, Plan) {
                         walk_task.get(&(mode.label(), steps.clone())).copied()
                     }
                     Dep::Compute { cfg } => compute_task.get(&format!("{cfg:?}")).copied(),
+                    Dep::HostTemplate { spec: ws, guests } => {
+                        chain_task.get(&(ws.key(), *guests)).copied()
+                    }
                 };
                 // A missing producer means the resource is already
                 // cached (or the cache is disabled): nothing to wait on.

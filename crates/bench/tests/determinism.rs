@@ -143,7 +143,7 @@ fn registry_is_complete_and_stable() {
         [
             "fig01", "fig02", "fig04", "fig05", "fig09", "fig10", "fig11", "fig12a",
             "fig12b", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17",
-            "fig18", "ablations", "faults", "churn"
+            "fig18", "ablations", "faults", "churn", "cluster"
         ]
     );
     for s in &specs {

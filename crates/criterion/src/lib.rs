@@ -55,8 +55,10 @@ impl From<String> for BenchmarkId {
 
 /// Drives one benchmark body via [`Bencher::iter`].
 pub struct Bencher {
-    /// Measured per-iteration times from the sampling phase.
-    samples: Vec<Duration>,
+    /// `(batch total, iterations in the batch)` measurements. Totals
+    /// are kept undivided so sub-nanosecond bodies don't truncate to
+    /// zero before the median is taken.
+    samples: Vec<(Duration, u64)>,
 }
 
 const WARMUP_ITERS: u64 = 3;
@@ -94,15 +96,19 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(f());
             }
-            self.samples.push(start.elapsed() / batch as u32);
+            self.samples.push((start.elapsed(), batch));
         }
         if self.samples.is_empty() {
-            self.samples.push(one);
+            self.samples.push((one, 1));
         }
     }
 
     fn median_ns(&self) -> u128 {
-        let mut v: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        let mut v: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|(total, n)| total.as_nanos().max(1).div_ceil(*n as u128))
+            .collect();
         v.sort_unstable();
         v[v.len() / 2]
     }

@@ -183,7 +183,11 @@ impl UnitPerf {
 pub struct TaskPerf {
     /// Task id (index into the trace; `deps` refer to these).
     pub id: u64,
-    /// Task kind: `"unit"`, `"chain"`, `"probe"` or `"compute"`.
+    /// Task kind: `"unit"`, `"chain"`, `"probe"` or `"compute"` for
+    /// scheduled tasks; `"shard"` for the cluster units' per-worker
+    /// shard spans, which are informational — their wall is contained
+    /// in their owning unit's row, so every aggregate below excludes
+    /// them.
     pub kind: String,
     /// Human-readable label, e.g. `"chain xl/daytime@1000"`.
     pub label: String,
@@ -312,8 +316,14 @@ impl RunnerReport {
         if self.tasks.is_empty() {
             self.total_unit_wall_ms()
         } else {
-            self.tasks.iter().map(TaskPerf::wall_ms).sum()
+            self.scheduled().map(TaskPerf::wall_ms).sum()
         }
+    }
+
+    /// The scheduled tasks: everything except informational `"shard"`
+    /// rows, whose wall is already inside their owning unit's row.
+    fn scheduled(&self) -> impl Iterator<Item = &TaskPerf> {
+        self.tasks.iter().filter(|t| t.kind != "shard")
     }
 
     /// Total host allocations across every scheduled task (falls back
@@ -322,7 +332,7 @@ impl RunnerReport {
         if self.tasks.is_empty() {
             self.total_allocs()
         } else {
-            self.tasks.iter().map(|t| t.allocs).sum()
+            self.scheduled().map(|t| t.allocs).sum()
         }
     }
 
@@ -333,7 +343,12 @@ impl RunnerReport {
         let mut cp = vec![0.0f64; self.tasks.len()];
         let mut longest = 0.0f64;
         // Tasks are emitted in topological (id) order: deps < id.
+        // Shard rows are informational (wall contained in their unit's
+        // row) and never on the path.
         for (i, t) in self.tasks.iter().enumerate() {
+            if t.kind == "shard" {
+                continue;
+            }
             let from_deps = t
                 .deps
                 .iter()
@@ -349,7 +364,7 @@ impl RunnerReport {
     /// intervals overlapped at one instant.
     pub fn max_width(&self) -> u64 {
         let mut edges: Vec<(f64, i64)> = Vec::with_capacity(self.tasks.len() * 2);
-        for t in &self.tasks {
+        for t in self.scheduled() {
             edges.push((t.start_ms, 1));
             edges.push((t.end_ms, -1));
         }

@@ -23,6 +23,7 @@ pub mod faults;
 pub mod machine;
 pub mod memory;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use costs::{Category, CostModel, Meter};
@@ -32,4 +33,5 @@ pub use engine::{Engine, EventId};
 pub use machine::{Machine, MachinePreset};
 pub use memory::MemoryPressure;
 pub use rng::SimRng;
+pub use shard::{route, run_epoch, Envelope, Outbox, WorkerSpan, CONTROLLER};
 pub use time::SimTime;

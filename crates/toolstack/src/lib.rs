@@ -15,12 +15,14 @@
 pub mod census;
 pub mod cloneboot;
 pub mod config;
+pub mod fleet;
 pub mod lifecycle;
 pub mod plane;
 pub mod snapshot;
 pub mod split;
 
 pub use census::WorldCensus;
+pub use fleet::HostTemplate;
 pub use config::{ConfigError, VmConfig};
 pub use lifecycle::SavedVm;
 pub use plane::{ControlPlane, CreateReport, PlaneError, TeardownErrors, ToolstackMode, Vm};

@@ -12,6 +12,7 @@ use lvnet::Link;
 use noxs::checkpoint as noxs_ckpt;
 use noxs::migrate::{self as noxs_migrate, MigrationEndpoint};
 use simcore::{Category, Meter, SimTime};
+use std::sync::Arc;
 
 use devices::{xsdev, Backend};
 
@@ -34,7 +35,7 @@ impl ControlPlane {
     pub fn save_vm(&mut self, dom: DomId) -> Result<(SavedVm, SimTime), PlaneError> {
         let cost = self.cost();
         let mut meter = Meter::new();
-        let vm = self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)?.clone();
+        let vm = self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)?.as_ref().clone();
         let mem_mib = self.hv.domain(dom)?.populated_mib;
 
         meter.charge(
@@ -179,7 +180,7 @@ impl ControlPlane {
         link: &Link,
         dom: DomId,
     ) -> Result<(DomId, SimTime), PlaneError> {
-        let vm = self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)?.clone();
+        let vm = self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)?.as_ref().clone();
         let (new_dom, latency) = if self.mode.uses_xenstore() {
             self.migrate_via_xenstore(dst, link, dom, &vm)?
         } else {
@@ -356,7 +357,7 @@ impl ControlPlane {
             .or_insert(0) += 1;
         self.vms.insert(
             dom,
-            Vm {
+            Arc::new(Vm {
                 name: name.to_string(),
                 image: image.clone(),
                 core,
@@ -364,7 +365,7 @@ impl ControlPlane {
                 booted: true,
                 net_devids: if image.needs_net { vec![0] } else { vec![] },
                 blk_devids: if image.needs_block { vec![0] } else { vec![] },
-            },
+            }),
         );
         self.refresh_interference();
     }

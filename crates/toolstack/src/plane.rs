@@ -283,7 +283,10 @@ pub struct ControlPlane {
     /// by site (see [`TeardownErrors`]).
     pub teardown_errors: TeardownErrors,
     pub(crate) dom0_cores: usize,
-    pub(crate) vms: BTreeMap<DomId, Vm>,
+    // Per-entry `Arc` so a forked host shares all prewarmed VM records
+    // with its template by refcount; `Arc::make_mut` localises the copy
+    // to the one record a mutation touches.
+    pub(crate) vms: BTreeMap<DomId, Arc<Vm>>,
     pub(crate) rng: SimRng,
     /// Work done off the critical path (pool refills).
     pub background_meter: Meter,
@@ -451,12 +454,12 @@ impl ControlPlane {
 
     /// VM record access.
     pub fn vm(&self, dom: DomId) -> Result<&Vm, PlaneError> {
-        self.vms.get(&dom).ok_or(PlaneError::NoSuchVm)
+        self.vms.get(&dom).map(|v| v.as_ref()).ok_or(PlaneError::NoSuchVm)
     }
 
     /// Iterates over (domid, vm).
     pub fn vms(&self) -> impl Iterator<Item = (&DomId, &Vm)> {
-        self.vms.iter()
+        self.vms.iter().map(|(d, v)| (d, v.as_ref()))
     }
 
     /// Guest memory in use (bytes), the Figure 14 quantity.
@@ -596,7 +599,7 @@ impl ControlPlane {
             .or_insert(0) += 1;
         self.vms.insert(
             dom,
-            Vm {
+            Arc::new(Vm {
                 name: name.to_string(),
                 image: image.clone(),
                 core,
@@ -604,7 +607,7 @@ impl ControlPlane {
                 booted: false,
                 net_devids: if image.needs_net { vec![0] } else { vec![] },
                 blk_devids: if image.needs_block { vec![0] } else { vec![] },
-            },
+            }),
         );
         self.created_total += 1;
 
@@ -1331,7 +1334,7 @@ impl ControlPlane {
         // Re-fetch fallibly: the connect phase above can in principle
         // tear state down, and a vanished record should surface as an
         // error, not a panic.
-        let vm = self.vms.get_mut(&dom).ok_or(PlaneError::NoSuchVm)?;
+        let vm = Arc::make_mut(self.vms.get_mut(&dom).ok_or(PlaneError::NoSuchVm)?);
         vm.bg = Some(bg);
         if !vm.booted {
             self.booted_watches += image.watches;

@@ -21,7 +21,7 @@
 //! [`Store::census`] exposes the occupancy for the churn suite's leak
 //! gates.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -131,19 +131,6 @@ struct Node {
     last_child: Option<XsSym>,
     /// Next sibling in the parent's child chain.
     next_sibling: Option<XsSym>,
-    /// Cached Merkle digest of this node's subtree (DESIGN.md §6h):
-    /// name + raw value bytes + commutatively combined child digests.
-    /// `0` = dirty ([`node_hash`] never produces 0 — it maps a computed
-    /// 0 to 1, so the sentinel costs 16 bytes per node instead of
-    /// `Option<u128>`'s 32; nodes are cloned by the million on world
-    /// forks). Invalidated up the ancestor chain on every mutation
-    /// under the node, recomputed lazily by [`Store::subtree_digest`].
-    /// A `Cell` so the recompute works from `&self`; it clones with the
-    /// node, so structure-sharing snapshot clones inherit warm caches
-    /// (the cache is a pure function of digested state, never of
-    /// lineage). Generations and perms are excluded — mutating them
-    /// does not dirty the cache.
-    subtree_hash: Cell<u128>,
 }
 
 impl Node {
@@ -155,7 +142,134 @@ impl Node {
             first_child: None,
             last_child: None,
             next_sibling: None,
-            subtree_hash: Cell::new(0),
+        }
+    }
+}
+
+/// Slots per copy-on-write chunk in [`NodeArena`] and [`HashCache`].
+/// 64 keeps a chunk copy at a few KB — small enough that a forked world
+/// touching a handful of guests localises only a handful of chunks.
+const CHUNK_BITS: usize = 6;
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// The node slot arena, stored as fixed-size chunks shared
+/// copy-on-write across world forks: cloning a store bumps one refcount
+/// per chunk instead of deep-copying every node, and a mutation
+/// localises only the 64-slot chunk it lands in (`Arc::make_mut`).
+/// This is what makes cluster-scale fork stamping O(written state) in
+/// memory rather than O(template size) per host.
+#[derive(Clone, Debug)]
+struct NodeArena {
+    chunks: Vec<Arc<Vec<Option<Node>>>>,
+    /// Slots handed out so far (`<= chunks.len() * CHUNK`); the tail of
+    /// the last chunk is unallocated padding, always `None`.
+    len: usize,
+}
+
+impl NodeArena {
+    fn new() -> NodeArena {
+        NodeArena { chunks: Vec::new(), len: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, slot: usize) -> Option<&Node> {
+        self.chunks.get(slot >> CHUNK_BITS)?[slot & (CHUNK - 1)].as_ref()
+    }
+
+    /// Mutable access, localising the chunk first if it is shared with
+    /// a forked sibling.
+    #[inline]
+    fn get_mut(&mut self, slot: usize) -> Option<&mut Node> {
+        let chunk = self.chunks.get_mut(slot >> CHUNK_BITS)?;
+        Arc::make_mut(chunk)[slot & (CHUNK - 1)].as_mut()
+    }
+
+    fn set(&mut self, slot: usize, node: Option<Node>) {
+        let chunk = &mut self.chunks[slot >> CHUNK_BITS];
+        Arc::make_mut(chunk)[slot & (CHUNK - 1)] = node;
+    }
+
+    /// Appends a node in the next fresh slot, growing by one chunk when
+    /// the last is full. Returns the slot index.
+    fn push(&mut self, node: Node) -> usize {
+        let slot = self.len;
+        if slot >> CHUNK_BITS == self.chunks.len() {
+            let mut fresh = Vec::with_capacity(CHUNK);
+            fresh.resize_with(CHUNK, || None);
+            self.chunks.push(Arc::new(fresh));
+        }
+        self.len += 1;
+        self.set(slot, Some(node));
+        slot
+    }
+}
+
+/// Cached Merkle digests of each slot's subtree (DESIGN.md §6h), kept
+/// beside the arena rather than inside [`Node`] so arena chunks hold
+/// only plain data and stay shareable across forks. `0` = dirty
+/// ([`Store::node_hash`] never produces 0 — it maps a computed 0 to 1).
+/// Chunked copy-on-write like the arena: forked worlds inherit the
+/// template's warm caches by refcount (the cache is a pure function of
+/// digested state, never of lineage), and an invalidation or recompute
+/// localises only the chunk it writes — so a fork whose content
+/// diverges always owns the cache entries that describe the divergence.
+#[derive(Clone, Debug)]
+struct HashCache {
+    chunks: Vec<Arc<[u128; CHUNK]>>,
+}
+
+/// The symbol → slot map, CoW-chunked like the arena (a flat `Vec<u32>`
+/// re-copies four bytes per interned symbol on every fork). Reads
+/// beyond the populated range are `NO_SLOT`, so it never needs an
+/// explicit resize on the read side.
+#[derive(Clone, Debug)]
+struct SlotMap {
+    chunks: Vec<Arc<[u32; CHUNK]>>,
+}
+
+impl SlotMap {
+    fn new() -> SlotMap {
+        SlotMap { chunks: Vec::new() }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> u32 {
+        self.chunks.get(idx >> CHUNK_BITS).map_or(NO_SLOT, |c| c[idx & (CHUNK - 1)])
+    }
+
+    fn set(&mut self, idx: usize, slot: u32) {
+        while self.chunks.len() <= idx >> CHUNK_BITS {
+            self.chunks.push(Arc::new([NO_SLOT; CHUNK]));
+        }
+        Arc::make_mut(&mut self.chunks[idx >> CHUNK_BITS])[idx & (CHUNK - 1)] = slot;
+    }
+}
+
+impl HashCache {
+    fn new() -> HashCache {
+        HashCache { chunks: Vec::new() }
+    }
+
+    /// The cached digest for a slot; `0` (dirty) when out of range.
+    #[inline]
+    fn get(&self, slot: usize) -> u128 {
+        self.chunks.get(slot >> CHUNK_BITS).map_or(0, |c| c[slot & (CHUNK - 1)])
+    }
+
+    fn set(&mut self, slot: usize, digest: u128) {
+        while self.chunks.len() <= slot >> CHUNK_BITS {
+            self.chunks.push(Arc::new([0; CHUNK]));
+        }
+        Arc::make_mut(&mut self.chunks[slot >> CHUNK_BITS])[slot & (CHUNK - 1)] = digest;
+    }
+
+    fn clear(&mut self) {
+        for chunk in &mut self.chunks {
+            *chunk = Arc::new([0; CHUNK]);
         }
     }
 }
@@ -259,13 +373,18 @@ pub struct Store {
     /// Reusable ancestor-chain buffer for the node-creating write path.
     chain_scratch: Vec<XsSym>,
     /// Node slot arena, addressed through `slot_of`; `None` = a recycled
-    /// hole awaiting reuse (listed in `free_slots`).
-    nodes: Vec<Option<Node>>,
+    /// hole awaiting reuse (listed in `free_slots`). Chunked CoW — see
+    /// [`NodeArena`].
+    nodes: NodeArena,
+    /// Lazy per-slot subtree digests, CoW-shared like the arena.
+    /// Interior mutability so the `&self` digest walk can fill it;
+    /// borrows are short-scoped and never escape a method.
+    hash_cache: RefCell<HashCache>,
     /// Symbol → slot map (`NO_SLOT` = no node at that path). Grows
     /// append-only with the interner; the slots it points into are
     /// recycled, which is what keeps `nodes` at O(peak live) under
-    /// churn.
-    slot_of: Vec<u32>,
+    /// churn. CoW-chunked — see [`SlotMap`].
+    slot_of: SlotMap,
     /// Recycled slots, reused LIFO by [`Store::insert_node`].
     free_slots: Vec<u32>,
     node_count: usize,
@@ -286,10 +405,13 @@ impl Store {
     /// Creates a store containing only the root node.
     pub fn new() -> Store {
         let empty: Arc<[u8]> = Arc::from(&b""[..]);
+        let mut nodes = NodeArena::new();
+        nodes.push(Node::new(&empty, Perms::dom0(), 0));
         Store {
             interner: RefCell::new(Interner::new()),
-            nodes: vec![Some(Node::new(&empty, Perms::dom0(), 0))],
-            slot_of: vec![0],
+            nodes,
+            hash_cache: RefCell::new(HashCache::new()),
+            slot_of: { let mut m = SlotMap::new(); m.set(0, 0); m },
             free_slots: Vec::new(),
             empty,
             consts: CONST_VALS.iter().map(|&v| Arc::from(v)).collect(),
@@ -421,41 +543,44 @@ impl Store {
     /// Resolves a symbol to its live arena slot, if any.
     #[inline]
     fn slot(&self, sym: XsSym) -> Option<usize> {
-        match self.slot_of.get(sym.index()).copied() {
-            Some(s) if s != NO_SLOT => Some(s as usize),
-            _ => None,
+        match self.slot_of.get(sym.index()) {
+            NO_SLOT => None,
+            s => Some(s as usize),
         }
     }
 
     fn node(&self, sym: XsSym) -> Option<&Node> {
-        self.nodes.get(self.slot(sym)?)?.as_ref()
+        self.nodes.get(self.slot(sym)?)
     }
 
     fn node_mut(&mut self, sym: XsSym) -> Option<&mut Node> {
         let slot = self.slot(sym)?;
-        self.nodes.get_mut(slot)?.as_mut()
+        self.nodes.get_mut(slot)
     }
 
     /// Installs a node for `sym`, reusing a recycled slot when one is
     /// free (LIFO) and growing the arena only past the live+free peak.
     fn insert_node(&mut self, sym: XsSym, node: Node) {
         let idx = sym.index();
-        if idx >= self.slot_of.len() {
-            self.slot_of.resize(idx + 1, NO_SLOT);
-        }
-        debug_assert_eq!(self.slot_of[idx], NO_SLOT, "insert over a live node");
+        debug_assert_eq!(self.slot_of.get(idx), NO_SLOT, "insert over a live node");
         let slot = match self.free_slots.pop() {
             Some(s) => {
-                debug_assert!(self.nodes[s as usize].is_none(), "free slot was live");
-                self.nodes[s as usize] = Some(node);
+                debug_assert!(self.nodes.get(s as usize).is_none(), "free slot was live");
+                self.nodes.set(s as usize, Some(node));
                 s
             }
-            None => {
-                self.nodes.push(Some(node));
-                (self.nodes.len() - 1) as u32
-            }
+            None => self.nodes.push(node) as u32,
         };
-        self.slot_of[idx] = slot;
+        // A recycled slot may still carry the previous occupant's cached
+        // digest; the new node starts dirty. (Fresh slots read as dirty
+        // already — the cache grows lazily.)
+        {
+            let mut cache = self.hash_cache.borrow_mut();
+            if cache.get(slot as usize) != 0 {
+                cache.set(slot as usize, 0);
+            }
+        }
+        self.slot_of.set(idx, slot);
     }
 
     /// Appends `child` to `parent`'s child chain. O(1), allocation-free:
@@ -801,10 +926,10 @@ impl Store {
         // pure function of the operation sequence).
         for s in doomed {
             let idx = s.index();
-            let slot = self.slot_of[idx];
+            let slot = self.slot_of.get(idx);
             debug_assert_ne!(slot, NO_SLOT, "doomed node has a slot");
-            self.nodes[slot as usize] = None;
-            self.slot_of[idx] = NO_SLOT;
+            self.nodes.set(slot as usize, None);
+            self.slot_of.set(idx, NO_SLOT);
             self.free_slots.push(slot);
         }
         for (owner, n) in credits {
@@ -918,11 +1043,15 @@ impl Store {
     /// are the only per-mutation cost, and they shorten as dirt
     /// accumulates.
     fn invalidate_hash_up(&self, sym: XsSym) {
+        let mut cache = self.hash_cache.borrow_mut();
         let mut cur = sym;
         loop {
-            if let Some(n) = self.node(cur) {
-                if n.subtree_hash.replace(0) == 0 {
-                    return;
+            if let Some(slot) = self.slot(cur) {
+                if self.nodes.get(slot).is_some() {
+                    if cache.get(slot) == 0 {
+                        return;
+                    }
+                    cache.set(slot, 0);
                 }
             }
             if cur == XsSym::ROOT {
@@ -949,11 +1078,17 @@ impl Store {
     /// Drops every cached subtree hash (tests: verifies a cold walk
     /// agrees with whatever the incremental path maintained).
     pub fn clear_hash_caches(&self) {
-        for slot in &self.nodes {
-            if let Some(n) = slot {
-                n.subtree_hash.set(0);
-            }
-        }
+        self.hash_cache.borrow_mut().clear();
+    }
+
+    /// Freezes the interner's overlay into its shared base (see
+    /// [`Interner::freeze`]): clones taken from here on share the whole
+    /// symbol table by refcount instead of deep-copying it. Called at
+    /// fork points — host-template capture before cluster stamping.
+    /// Purely a representation change; symbols and lookups are
+    /// unaffected.
+    pub fn freeze_shared(&self) {
+        self.interner.borrow_mut().freeze();
     }
 
     /// Digest of one node's subtree: its name, raw value bytes (never a
@@ -964,9 +1099,10 @@ impl Store {
     /// already seals its name, so permuted sibling *contents* still
     /// change the sum. Generations and permissions are excluded.
     fn node_hash(&self, sym: XsSym, use_cache: bool) -> u128 {
-        let node = self.node(sym).expect("digest walk visits live nodes");
+        let slot = self.slot(sym).expect("digest walk visits live nodes");
+        let node = self.nodes.get(slot).expect("digest walk visits live nodes");
         if use_cache {
-            let h = node.subtree_hash.get();
+            let h = self.hash_cache.borrow().get(slot);
             if h != 0 {
                 return h;
             }
@@ -991,7 +1127,7 @@ impl Store {
         // nudged to 1 (uniformly, so uncached recomputes agree).
         let h = mix.finish().max(1);
         if use_cache {
-            node.subtree_hash.set(h);
+            self.hash_cache.borrow_mut().set(slot, h);
         }
         h
     }

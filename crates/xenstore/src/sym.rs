@@ -16,6 +16,16 @@
 //! Interning a path also interns every ancestor, so parent/ancestor
 //! walks are pointer-free symbol hops (`parent` links), not string
 //! slicing.
+//!
+//! The table is split into a frozen shared **base** plus a small local
+//! **overlay** of post-freeze additions. [`Interner::freeze`] (called at
+//! world fork points — template capture, cluster stamping) folds the
+//! overlay into the base behind an `Arc`, after which cloning the
+//! interner is a refcount bump plus an empty-overlay copy instead of a
+//! deep copy of every path ever seen. Symbols are indices into the
+//! concatenation `base.entries ++ overlay.entries`, so freezing never
+//! renumbers anything and forked siblings assign identical symbols for
+//! identical operation sequences.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,9 +57,23 @@ struct SymEntry {
     path: Arc<str>,
 }
 
-/// The append-only symbol table.
+/// The frozen, `Arc`-shared prefix of the symbol table. Immutable once
+/// built; forked worlds share it by refcount.
+#[derive(Clone, Debug)]
+struct InternerBase {
+    by_path: HashMap<Arc<str>, XsSym>,
+    entries: Vec<SymEntry>,
+}
+
+/// The append-only symbol table: a frozen shared base plus a local
+/// overlay of post-freeze additions (see the module docs).
 #[derive(Clone, Debug)]
 pub struct Interner {
+    /// Frozen prefix, shared across world forks. Symbols `0..base.entries
+    /// .len()` resolve here.
+    base: Arc<InternerBase>,
+    /// Post-freeze additions only; symbol `i` lives at local index
+    /// `i - base.entries.len()`.
     by_path: HashMap<Arc<str>, XsSym>,
     entries: Vec<SymEntry>,
     /// Reusable buffer for composing child paths; kept at capacity so a
@@ -70,20 +94,64 @@ impl Interner {
         let mut by_path = HashMap::new();
         by_path.insert(root.clone(), XsSym::ROOT);
         Interner {
-            by_path,
-            entries: vec![SymEntry {
-                parent: XsSym::ROOT,
-                depth: 0,
-                name_off: 1, // the root's name is the empty slice
-                path: root,
-            }],
+            base: Arc::new(InternerBase {
+                by_path,
+                entries: vec![SymEntry {
+                    parent: XsSym::ROOT,
+                    depth: 0,
+                    name_off: 1, // the root's name is the empty slice
+                    path: root,
+                }],
+            }),
+            by_path: HashMap::new(),
+            entries: Vec::new(),
             scratch: String::with_capacity(128),
         }
     }
 
     /// Number of interned paths (≥ 1: the root).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.base.entries.len() + self.entries.len()
+    }
+
+    /// Folds the local overlay into the shared base, so clones taken
+    /// from here on share the whole table by refcount instead of
+    /// deep-copying it. Symbols are unaffected (the concatenation order
+    /// is preserved). Called at world fork points; a no-op when the
+    /// overlay is already empty.
+    pub fn freeze(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        // Reuse the base allocation when this interner is its sole
+        // owner (the common capture-once case); clone it otherwise.
+        if Arc::get_mut(&mut self.base).is_none() {
+            self.base = Arc::new((*self.base).clone());
+        }
+        let base = Arc::get_mut(&mut self.base).expect("just made unique");
+        base.entries.append(&mut self.entries);
+        base.by_path.extend(self.by_path.drain());
+    }
+
+    /// The entry behind a symbol, wherever it lives.
+    #[inline]
+    fn entry(&self, index: usize) -> &SymEntry {
+        let split = self.base.entries.len();
+        if index < split {
+            &self.base.entries[index]
+        } else {
+            &self.entries[index - split]
+        }
+    }
+
+    /// Two-level lookup: overlay first (it is small or empty, and in an
+    /// unfrozen table it holds everything), then the frozen base.
+    #[inline]
+    fn lookup(&self, path: &str) -> Option<XsSym> {
+        if let Some(&s) = self.by_path.get(path) {
+            return Some(s);
+        }
+        self.base.by_path.get(path).copied()
     }
 
     /// Never empty — the root is always present.
@@ -93,7 +161,7 @@ impl Interner {
 
     /// Looks a path up without interning it. O(1) on the full string.
     pub fn resolve(&self, path: &str) -> Option<XsSym> {
-        self.by_path.get(path).copied()
+        self.lookup(path)
     }
 
     /// Interns `path` and every missing ancestor, returning its symbol.
@@ -101,7 +169,7 @@ impl Interner {
     /// The caller must pass a well-formed absolute path (an
     /// [`crate::path::XsPath`] invariant); this is not a validator.
     pub fn intern(&mut self, path: &str) -> XsSym {
-        if let Some(&s) = self.by_path.get(path) {
+        if let Some(s) = self.lookup(path) {
             return s;
         }
         // Walk ancestors until one is already interned, remembering the
@@ -114,7 +182,7 @@ impl Interner {
                 Some(0) | None => break, // parent is the root
                 Some(cut) => {
                     cur = &path[..cut];
-                    if let Some(&s) = self.by_path.get(cur) {
+                    if let Some(s) = self.lookup(cur) {
                         parent = s;
                         break;
                     }
@@ -122,15 +190,15 @@ impl Interner {
                 }
             }
         }
-        let mut depth = self.entries[parent.index()].depth;
+        let mut depth = self.entry(parent.index()).depth;
         for end in missing.into_iter().rev() {
             let arc: Arc<str> = path[..end].into();
             let name_off = if parent == XsSym::ROOT {
                 1
             } else {
-                self.entries[parent.index()].path.len() as u32 + 1
+                self.entry(parent.index()).path.len() as u32 + 1
             };
-            let sym = XsSym(self.entries.len() as u32);
+            let sym = XsSym(self.len() as u32);
             depth += 1;
             self.entries.push(SymEntry {
                 parent,
@@ -160,14 +228,14 @@ impl Interner {
         }
         scratch.push('/');
         scratch.push_str(name);
-        let sym = match self.by_path.get(scratch.as_str()) {
-            Some(&s) => s,
+        let sym = match self.lookup(scratch.as_str()) {
+            Some(s) => s,
             None => {
                 let arc: Arc<str> = scratch.as_str().into();
-                let sym = XsSym(self.entries.len() as u32);
+                let sym = XsSym(self.len() as u32);
                 self.entries.push(SymEntry {
                     parent,
-                    depth: self.entries[parent.index()].depth + 1,
+                    depth: self.entry(parent.index()).depth + 1,
                     name_off: (scratch.len() - name.len()) as u32,
                     path: arc.clone(),
                 });
@@ -204,37 +272,37 @@ impl Interner {
         }
         scratch.push('/');
         scratch.push_str(name);
-        let sym = self.by_path.get(scratch.as_str()).copied();
+        let sym = self.lookup(scratch.as_str());
         self.scratch = scratch;
         sym
     }
 
     /// The full path of a symbol.
     pub fn path_str(&self, sym: XsSym) -> &str {
-        &self.entries[sym.index()].path
+        &self.entry(sym.index()).path
     }
 
     /// The full path as a shareable `Arc` (for materialising `XsPath`s
     /// without copying).
     pub fn path_arc(&self, sym: XsSym) -> &Arc<str> {
-        &self.entries[sym.index()].path
+        &self.entry(sym.index()).path
     }
 
     /// The final component of a symbol's path (empty for the root).
     /// O(1): the offset is recorded at intern time.
     pub fn name(&self, sym: XsSym) -> &str {
-        let e = &self.entries[sym.index()];
+        let e = self.entry(sym.index());
         &e.path[e.name_off as usize..]
     }
 
     /// The parent symbol; the root's parent is the root.
     pub fn parent(&self, sym: XsSym) -> XsSym {
-        self.entries[sym.index()].parent
+        self.entry(sym.index()).parent
     }
 
     /// Path depth; the root is 0.
     pub fn depth(&self, sym: XsSym) -> u32 {
-        self.entries[sym.index()].depth
+        self.entry(sym.index()).depth
     }
 
     /// Iterates over `sym` and every ancestor up to and including the
@@ -380,6 +448,40 @@ mod tests {
         for v in [0u32, 1, 9, 10, 42, 12345, u32::MAX] {
             assert_eq!(u32_str(&mut buf, v), v.to_string());
         }
+    }
+
+    #[test]
+    fn freeze_preserves_symbols_and_keeps_growing() {
+        let mut i = Interner::new();
+        let a = i.intern("/a");
+        let abc = i.intern("/a/b/c");
+        let before = i.len();
+        i.freeze();
+        assert_eq!(i.len(), before, "freeze must not add or drop entries");
+        assert_eq!(i.resolve("/a"), Some(a));
+        assert_eq!(i.resolve("/a/b/c"), Some(abc));
+        assert_eq!(i.intern("/a/b/c"), abc, "re-intern after freeze");
+        assert_eq!(i.path_str(abc), "/a/b/c");
+        assert_eq!(i.parent(abc), i.resolve("/a/b").unwrap());
+        // Post-freeze growth lands in the overlay with continuous
+        // indices, and a clone + divergence assigns the same symbols a
+        // sequential interner would.
+        let mut seq = Interner::new();
+        seq.intern("/a");
+        seq.intern("/a/b/c");
+        let forked = i.clone();
+        for table in [&mut i, &mut seq] {
+            assert_eq!(table.intern("/new/leaf").index(), before + 1);
+            assert_eq!(table.child(a, "x"), table.intern("/a/x"));
+            assert_eq!(table.name(table.resolve("/new/leaf").unwrap()), "leaf");
+        }
+        // The fork taken before the divergence is unaffected.
+        assert_eq!(forked.len(), before);
+        assert_eq!(forked.resolve("/new/leaf"), None);
+        // Freezing again folds the overlay without renumbering.
+        i.freeze();
+        assert_eq!(i.resolve("/new/leaf").map(XsSym::index), Some(before + 1));
+        assert_eq!(i.intern("/a/x"), i.resolve("/a/x").unwrap());
     }
 
     #[test]

@@ -24,6 +24,61 @@ pub struct WatchEvent {
     pub token: Arc<str>,
 }
 
+/// Watches registered on one symbol: `(connection, token)` pairs.
+type WatchList = Vec<(u32, Arc<str>)>;
+
+/// Slots per copy-on-write chunk; mirrors the store arena's chunking.
+const CHUNK_BITS: usize = 6;
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// The symbol-indexed watch lists, chunked and shared copy-on-write
+/// across world forks (like the store's node arena): a dense
+/// `Vec<Vec<..>>` costs a Vec header per interned symbol on every world
+/// clone — at cluster scale that dominated fork memory — whereas chunks
+/// clone by refcount and a registration localises only the 64-slot
+/// chunk it lands in.
+#[derive(Clone, Default, Debug)]
+struct SymWatches {
+    chunks: Vec<Arc<Vec<WatchList>>>,
+}
+
+impl SymWatches {
+    #[inline]
+    fn get(&self, idx: usize) -> Option<&WatchList> {
+        self.chunks.get(idx >> CHUNK_BITS)?.get(idx & (CHUNK - 1))
+    }
+
+    /// The list for `idx`, for editing; grows by whole chunks and
+    /// localises a shared chunk first. Callers that may not end up
+    /// mutating should pre-check with [`SymWatches::get`] to avoid a
+    /// pointless chunk copy.
+    fn ensure_mut(&mut self, idx: usize) -> &mut WatchList {
+        while self.chunks.len() <= idx >> CHUNK_BITS {
+            let mut fresh = Vec::with_capacity(CHUNK);
+            fresh.resize_with(CHUNK, Vec::new);
+            self.chunks.push(Arc::new(fresh));
+        }
+        &mut Arc::make_mut(&mut self.chunks[idx >> CHUNK_BITS])[idx & (CHUNK - 1)]
+    }
+
+    /// Removes every entry of `conn`, returning how many were dropped.
+    /// Chunks without a matching entry are only read, never copied.
+    fn retain_without_conn(&mut self, conn: u32) -> usize {
+        let mut removed = 0;
+        for chunk in &mut self.chunks {
+            if !chunk.iter().any(|l| l.iter().any(|(c, _)| *c == conn)) {
+                continue;
+            }
+            for list in Arc::make_mut(chunk).iter_mut() {
+                let before = list.len();
+                list.retain(|(c, _)| *c != conn);
+                removed += before - list.len();
+            }
+        }
+        removed
+    }
+}
+
 /// The registry of watches plus per-connection pending event queues.
 ///
 /// Watches are keyed by the *store's* interned path symbols (no second
@@ -34,9 +89,9 @@ pub struct WatchEvent {
 /// watch (what xenstored pays), reported via [`FireStats::checked`].
 #[derive(Clone, Default, Debug)]
 pub struct WatchTable {
-    /// Watch lists, indexed by store symbol (dense; most slots are empty
-    /// ancestor entries).
-    by_sym: Vec<Vec<(u32, Arc<str>)>>,
+    /// Watch lists, indexed by store symbol (CoW-chunked; most slots
+    /// are empty ancestor entries).
+    by_sym: SymWatches,
     count: usize,
     pending: BTreeMap<u32, VecDeque<WatchEvent>>,
 }
@@ -70,10 +125,7 @@ impl WatchTable {
             path: store.path_of(sym),
             token: token.clone(),
         });
-        if self.by_sym.len() <= sym.index() {
-            self.by_sym.resize_with(sym.index() + 1, Vec::new);
-        }
-        self.by_sym[sym.index()].push((conn, token));
+        self.by_sym.ensure_mut(sym.index()).push((conn, token));
         self.count += 1;
     }
 
@@ -91,9 +143,13 @@ impl WatchTable {
     /// returning false — the table is never corrupted by a double
     /// unregister.
     pub fn unregister_sym(&mut self, conn: u32, sym: XsSym, token: &str) -> bool {
-        let Some(list) = self.by_sym.get_mut(sym.index()) else {
-            return false;
-        };
+        // Read-only miss check first, so a no-op unregister never
+        // copies a fork-shared chunk.
+        match self.by_sym.get(sym.index()) {
+            Some(list) if list.iter().any(|(c, t)| *c == conn && &**t == token) => {}
+            _ => return false,
+        }
+        let list = self.by_sym.ensure_mut(sym.index());
         let before = list.len();
         list.retain(|(c, t)| !(*c == conn && &**t == token));
         let removed = before - list.len();
@@ -114,13 +170,7 @@ impl WatchTable {
     /// Drops all watches and pending events of a connection (domain
     /// death).
     pub fn drop_conn(&mut self, conn: u32) {
-        let mut removed = 0;
-        for list in &mut self.by_sym {
-            let before = list.len();
-            list.retain(|(c, _)| *c != conn);
-            removed += before - list.len();
-        }
-        self.count -= removed;
+        self.count -= self.by_sym.retain_without_conn(conn);
         self.pending.remove(&conn);
     }
 
